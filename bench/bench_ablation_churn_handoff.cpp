@@ -1,0 +1,41 @@
+// Ablation A5 — buffer handoff under churn (§3.2).
+//
+// Every long-term bufferer of a message departs. With graceful leaves the
+// buffers transfer to random survivors and a later downstream request still
+// succeeds; with crashes (no handoff) the message is gone from the region.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "harness/experiments.h"
+
+int main() {
+  using namespace rrmp;
+  constexpr std::size_t kRegion = 40;
+  constexpr std::size_t kTrials = 25;
+
+  bench::banner(
+      "Ablation A5: long-term buffer handoff on voluntary leave (Sec. 3.2)",
+      "n = 40; all long-term bufferers of a message depart; a downstream\n"
+      "request then arrives. Without handoff the loss is unrecoverable.");
+
+  analysis::Table t(
+      {"departure", "trials", "recovered", "mean recovery ms"});
+  harness::ChurnOutcome with =
+      harness::run_churn_handoff(true, kRegion, kTrials, 0xAB5'0001);
+  harness::ChurnOutcome without =
+      harness::run_churn_handoff(false, kRegion, kTrials, 0xAB5'0001);
+  t.add_row({"graceful leave (handoff)",
+             analysis::Table::num(static_cast<std::uint64_t>(with.trials)),
+             analysis::Table::num(static_cast<std::uint64_t>(with.recovered)),
+             analysis::Table::num(with.mean_recovery_ms, 1)});
+  t.add_row({"crash (no handoff)",
+             analysis::Table::num(static_cast<std::uint64_t>(without.trials)),
+             analysis::Table::num(static_cast<std::uint64_t>(without.recovered)),
+             analysis::Table::num(without.mean_recovery_ms, 1)});
+  t.print(std::cout);
+
+  bool ok = with.recovered >= kTrials - 1 && without.recovered == 0;
+  bench::verdict(ok, "handoff preserves recoverability; crashes do not");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Ablation A1 — the §3.1 feedback formula.
+//
+// The short-term phase rests on: P(a holder sees no request while a
+// fraction p of the n-member region misses the message) =
+// (1 - 1/(n-1))^(n p) ~= e^-p. We Monte Carlo one request round and print
+// exact formula, approximation, and measurement side by side.
+#include <iostream>
+
+#include "analysis/analytic.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "harness/experiments.h"
+
+int main() {
+  using namespace rrmp;
+  constexpr std::size_t kTrials = 200000;
+
+  bench::banner(
+      "Ablation A1: P(no request received) vs fraction missing (Sec. 3.1)",
+      "One request round, each missing member probes one random neighbor;\n"
+      "formula (1-1/(n-1))^(np), approximation e^-p.");
+
+  bool ok = true;
+  for (std::size_t n : {100, 1000}) {
+    analysis::Table t({"p (missing)", "formula %", "e^-p % (paper approx)",
+                       "measured %"});
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      double exact = analysis::prob_no_request(n, p) * 100.0;
+      double approx = analysis::prob_no_request_approx(p) * 100.0;
+      double mc = harness::simulate_no_request_probability(
+                      n, p, kTrials, 0xAB1'0000 + n + static_cast<int>(p * 100)) *
+                  100.0;
+      ok = ok && std::abs(mc - exact) < 1.5;  // MC within 1.5pp of formula
+      t.add_row({analysis::Table::num(p, 2), analysis::Table::num(exact, 2),
+                 analysis::Table::num(approx, 2), analysis::Table::num(mc, 2)});
+    }
+    std::cout << "n = " << n << "\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  bench::verdict(ok, "measurement matches (1-1/(n-1))^(np); e^-p is close");
+  return ok ? 0 : 1;
+}

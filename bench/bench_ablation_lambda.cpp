@@ -1,0 +1,41 @@
+// Ablation A3 — the remote-recovery rate parameter (§2.2).
+//
+// When an entire region misses a message, each member sends a remote
+// request with probability lambda/|region| per round, so the expected
+// number of requests per round is lambda, independent of region size.
+// Larger lambda buys faster regional repair at the cost of more upstream
+// traffic.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "harness/experiments.h"
+
+int main() {
+  using namespace rrmp;
+  constexpr std::size_t kTrials = 60;
+
+  bench::banner(
+      "Ablation A3: expected remote requests per round == lambda (Sec. 2.2)",
+      "Whole child region (n in {20,50,100}) misses the message; parent has "
+      "it.\nFirst-round remote request count and full-region repair time.");
+
+  bool ok = true;
+  analysis::Table t({"lambda", "region n", "requests round 1 (expect lambda)",
+                     "repair ms"});
+  for (double lambda : {0.5, 1.0, 2.0, 4.0}) {
+    for (std::size_t n : {20, 50, 100}) {
+      harness::LambdaResult r = harness::run_lambda_experiment(
+          lambda, n, /*parent_size=*/20, kTrials,
+          0xAB3'0000 + n + static_cast<int>(lambda * 10));
+      ok = ok && std::abs(r.mean_first_round - lambda) < 0.35 * lambda + 0.25;
+      t.add_row({analysis::Table::num(lambda, 1),
+                 analysis::Table::num(static_cast<std::uint64_t>(n)),
+                 analysis::Table::num(r.mean_first_round, 2),
+                 analysis::Table::num(r.mean_recovery_ms, 1)});
+    }
+  }
+  t.print(std::cout);
+  bench::verdict(ok, "first-round remote requests ~= lambda at every size");
+  return ok ? 0 : 1;
+}

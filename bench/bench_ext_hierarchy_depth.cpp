@@ -1,0 +1,79 @@
+// Extension E1 — recovery latency vs hierarchy depth.
+//
+// The paper evaluates buffering inside one region; its §2 protocol,
+// however, chains regions: a loss at depth d is repaired by depth d-1,
+// whose member may itself still be recovering (waiter forwarding). This
+// bench quantifies the chain: time until a whole bottom region has a
+// message that only the root region received, for chains of 1..4 hops.
+//
+// Expected shape: latency grows roughly linearly with depth — each hop
+// adds one remote round trip (2 x 50 ms) plus regional spread — while the
+// per-hop remote request traffic stays ~lambda.
+#include <iostream>
+
+#include "analysis/stats.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "harness/cluster.h"
+
+using namespace rrmp;
+
+int main() {
+  constexpr std::size_t kRegionSize = 12;
+  constexpr std::size_t kTrials = 30;
+
+  bench::banner(
+      "Extension E1: regional-loss repair latency vs hierarchy depth",
+      "Chain of regions (12 members each, 50 ms one-way between levels);\n"
+      "only the root region receives the message; every level below must\n"
+      "recover it through its parent. lambda = 1.");
+
+  analysis::Table t({"depth (hops)", "repair ms (mean)", "repair ms (p90)",
+                     "remote requests"});
+  std::vector<double> means;
+  for (std::size_t depth = 1; depth <= 4; ++depth) {
+    std::vector<double> completion;
+    double remote_requests = 0;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      harness::ClusterConfig cc;
+      cc.region_sizes.assign(depth + 1, kRegionSize);
+      cc.parents.resize(depth + 1);
+      for (std::size_t r = 0; r <= depth; ++r) {
+        cc.parents[r] = r == 0 ? 0 : static_cast<RegionId>(r - 1);
+      }
+      cc.seed = 0xE1'0000 + depth * 1000 + trial;
+      harness::Cluster cluster(cc);
+
+      std::vector<MemberId> root = cluster.region_members(0);
+      MessageId id = cluster.inject_data_to(root[0], 1, root);
+      for (RegionId r = 1; r <= depth; ++r) {
+        cluster.inject_session_to(root[0], 1, cluster.region_members(r));
+      }
+      cluster.run_until_quiet(Duration::seconds(10));
+      if (!cluster.all_received(id)) continue;  // rare unlucky draw
+      TimePoint done = TimePoint::zero();
+      for (const auto& ev : cluster.metrics().deliveries()) {
+        if (ev.id == id && ev.at > done) done = ev.at;
+      }
+      completion.push_back(done.ms());
+      remote_requests += static_cast<double>(
+          cluster.metrics().counters().remote_requests_sent);
+    }
+    double mean = analysis::mean(completion);
+    means.push_back(mean);
+    t.add_row({analysis::Table::num(static_cast<std::uint64_t>(depth)),
+               analysis::Table::num(mean, 1),
+               analysis::Table::num(analysis::percentile(completion, 90), 1),
+               analysis::Table::num(remote_requests / kTrials, 1)});
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv("ext_hierarchy_depth", t);
+
+  bool monotone = bench::non_decreasing(means, /*slack=*/10.0);
+  // Each extra hop costs at least most of one inter-region round trip.
+  bool spaced = (means[3] - means[0]) > 150.0;
+  bench::verdict(monotone && spaced,
+                 "repair latency grows ~linearly with hierarchy depth "
+                 "(one remote RTT per hop)");
+  return (monotone && spaced) ? 0 : 1;
+}

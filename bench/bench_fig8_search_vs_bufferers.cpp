@@ -1,0 +1,44 @@
+// Figure 8: search time as the number of bufferers increases.
+//
+// A remote request arrives at a random member of a 100-member region where
+// everyone received-then-discarded the message except k long-term
+// bufferers. Search time is the time until a bufferer repairs the remote
+// requester (0 when the request lands on a bufferer). 100 seeds per point.
+//
+// Paper: ~45-50 ms at k=1 falling to ~20 ms at k=10 (twice the RTT).
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "harness/experiments.h"
+
+int main() {
+  using namespace rrmp;
+  constexpr std::size_t kRegion = 100;
+  constexpr std::size_t kTrials = 100;
+
+  bench::banner("Figure 8: search time vs #bufferers",
+                "n = 100, RTT = 10 ms, 100 trials per point.");
+
+  // Digitized from the paper's plot; approximate.
+  const std::vector<double> paper_ms = {48, 38, 33, 29, 27, 25, 23.5, 22, 21, 20};
+
+  analysis::Table t({"#bufferers", "paper ~ms", "measured ms"});
+  std::vector<double> curve;
+  for (std::size_t k = 1; k <= 10; ++k) {
+    double ms = harness::mean_search_ms(kRegion, k, kTrials, 0xF16'8000 + k);
+    curve.push_back(ms);
+    t.add_row({analysis::Table::num(static_cast<std::uint64_t>(k)),
+               analysis::Table::num(paper_ms[k - 1], 1),
+               analysis::Table::num(ms, 1)});
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv("fig8_search_vs_bufferers", t);
+
+  bool monotone = bench::non_increasing(curve, /*slack=*/3.0);
+  bool endpoints_ok = curve.front() >= 30.0 && curve.front() <= 70.0 &&
+                      curve.back() >= 10.0 && curve.back() <= 30.0;
+  bench::verdict(monotone && endpoints_ok,
+                 "search time falls with bufferer count; ~2xRTT at k=10");
+  return (monotone && endpoints_ok) ? 0 : 1;
+}

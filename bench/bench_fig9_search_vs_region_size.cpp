@@ -1,0 +1,45 @@
+// Figure 9: search time as the region grows from 100 to 1000 members, with
+// the number of bufferers fixed at 10.
+//
+// Paper: search time grows far more slowly than region size — a 10x larger
+// region costs only ~2.2x the search time; at n=1000 the bufferers are 1%
+// of the region, a 100x buffer-space saving over buffer-everywhere.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "harness/experiments.h"
+
+int main() {
+  using namespace rrmp;
+  constexpr std::size_t kBufferers = 10;
+  constexpr std::size_t kTrials = 120;
+
+  bench::banner("Figure 9: search time vs region size",
+                "k = 10 bufferers, RTT = 10 ms, 120 trials per point.");
+
+  // Digitized from the paper's plot; approximate.
+  const std::vector<double> paper_ms = {20, 26, 30, 33, 36, 38, 40, 42, 43, 45};
+
+  analysis::Table t({"region size", "paper ~ms", "measured ms"});
+  std::vector<double> curve;
+  for (std::size_t n = 100; n <= 1000; n += 100) {
+    double ms =
+        harness::mean_search_ms(n, kBufferers, kTrials, 0xF16'9000 + n);
+    curve.push_back(ms);
+    t.add_row({analysis::Table::num(static_cast<std::uint64_t>(n)),
+               analysis::Table::num(paper_ms[n / 100 - 1], 1),
+               analysis::Table::num(ms, 1)});
+  }
+  t.print(std::cout);
+  bench::maybe_write_csv("fig9_search_vs_region_size", t);
+
+  double growth = curve.back() / curve.front();
+  bool monotone = bench::non_decreasing(curve, /*slack=*/6.0);
+  bool sublinear = growth > 1.3 && growth < 4.0;  // paper: ~2.2x for 10x size
+  std::cout << "search-time growth for 10x region growth: " << growth
+            << "x (paper: ~2.2x)\n";
+  bench::verdict(monotone && sublinear,
+                 "search time grows sublinearly with region size");
+  return (monotone && sublinear) ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the figure/ablation bench binaries.
+//
+// Every bench prints: the paper's (digitized, approximate) values next to
+// the values measured on this implementation, plus a one-line shape verdict.
+// Absolute numbers are not expected to match a 2002 testbed; the *shape*
+// (monotonicity, ratios, who wins) is the reproduction target.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+
+namespace rrmp::bench {
+
+/// If RRMP_BENCH_CSV_DIR is set, also write `table` to
+/// $RRMP_BENCH_CSV_DIR/<name>.csv so plots can be regenerated from data
+/// files instead of scraping stdout.
+inline void maybe_write_csv(const std::string& name,
+                            const analysis::Table& table) {
+  const char* dir = std::getenv("RRMP_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  table.print_csv(out);
+  std::cout << "(csv written to " << path << ")\n";
+}
+
+inline void banner(const std::string& title, const std::string& setup) {
+  std::cout << "\n=== " << title << " ===\n" << setup << "\n\n";
+}
+
+inline void verdict(bool ok, const std::string& what) {
+  std::cout << (ok ? "[SHAPE OK] " : "[SHAPE MISMATCH] ") << what << "\n";
+}
+
+/// True if xs is non-increasing within `slack` (absolute).
+inline bool non_increasing(const std::vector<double>& xs, double slack = 0.0) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[i - 1] + slack) return false;
+  }
+  return true;
+}
+
+inline bool non_decreasing(const std::vector<double>& xs, double slack = 0.0) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] + slack < xs[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace rrmp::bench

@@ -1,0 +1,86 @@
+// Multicast file transfer — the workload RMTP was built for (paper §1).
+//
+// A 400-chunk "file" streams to three regions. We run it twice: once with
+// an RMTP-style repair server that archives every chunk, once with the
+// paper's two-phase buffering. Same loss, same seeds; compare peak and
+// residual buffer state.
+//
+//   $ ./file_transfer
+#include <cstdio>
+
+#include "harness/cluster.h"
+
+using namespace rrmp;
+
+namespace {
+
+struct RunStats {
+  bool complete = true;
+  std::size_t peak_per_member = 0;
+  std::size_t residual_msgs = 0;
+  double mean_recovery_ms = 0;
+};
+
+RunStats transfer(buffer::PolicyKind policy, const char* label) {
+  harness::ClusterConfig config;
+  config.region_sizes = {15, 15, 15};
+  config.policy = policy;
+  config.data_loss = 0.08;
+  config.seed = 424242;
+  harness::Cluster cluster(config);
+
+  constexpr int kChunks = 400;
+  constexpr std::size_t kChunkBytes = 512;
+  // Send a chunk every 2 ms — a 200 KB file at ~256 KB/s.
+  for (int i = 0; i < kChunks; ++i) {
+    cluster.sim().schedule_at(
+        TimePoint::zero() + Duration::millis(2) * i, [&cluster] {
+          cluster.endpoint(0).multicast(
+              std::vector<std::uint8_t>(kChunkBytes, 0xF1));
+        });
+  }
+  cluster.run_for(Duration::millis(2 * kChunks) + Duration::seconds(1));
+
+  RunStats out;
+  for (int seq = 1; seq <= kChunks; ++seq) {
+    if (!cluster.all_received(MessageId{0, static_cast<std::uint64_t>(seq)})) {
+      out.complete = false;
+    }
+  }
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    out.peak_per_member = std::max(
+        out.peak_per_member, cluster.endpoint(m).buffer().stats().peak_count);
+  }
+  out.residual_msgs = cluster.total_buffered();
+  double total = 0;
+  for (Duration d : cluster.metrics().recovery_latencies()) total += d.ms();
+  std::size_t n = cluster.metrics().recovery_latencies().size();
+  out.mean_recovery_ms = n ? total / static_cast<double>(n) : 0.0;
+
+  std::printf(
+      "%-18s file complete everywhere: %-3s  peak buffer/member: %4zu chunks"
+      "  residual: %5zu chunks  mean recovery: %.1f ms\n",
+      label, out.complete ? "yes" : "NO", out.peak_per_member,
+      out.residual_msgs, out.mean_recovery_ms);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("transferring a 400-chunk file to 45 members in 3 regions "
+              "(8%% loss)...\n\n");
+  RunStats everything =
+      transfer(buffer::PolicyKind::kBufferEverything, "repair-server:");
+  RunStats two_phase = transfer(buffer::PolicyKind::kTwoPhase, "two-phase:");
+
+  std::printf("\nresidual buffer state: two-phase holds %.1f%% of the "
+              "repair-server archive\n",
+              100.0 * static_cast<double>(two_phase.residual_msgs) /
+                  static_cast<double>(everything.residual_msgs));
+  std::printf("(expected ~C=6 copies per chunk per 15-member region; the "
+              "saving scales with region size —\n the paper reports 100x at "
+              "n=1000. 'Buffering the entire file in secondary storage ... "
+              "could\n become impractically large' — paper Sec. 1)\n");
+  return (everything.complete && two_phase.complete) ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Long-lived stream with churn — the setting where fixed buffering breaks.
+//
+// A market-data style ticker multicasts continuously for 10 simulated
+// seconds while members leave (gracefully, with long-term buffer handoff)
+// and crash. Demonstrates:
+//   - memory stays bounded under an unbounded stream (unlike an archive),
+//   - graceful leavers hand their long-term buffers to survivors,
+//   - late detectors still recover old ticks from long-term bufferers.
+//
+//   $ ./live_ticker
+#include <cstdio>
+
+#include "harness/cluster.h"
+
+using namespace rrmp;
+
+int main() {
+  harness::ClusterConfig config;
+  config.region_sizes = {24};
+  config.data_loss = 0.10;
+  config.seed = 7777;
+  config.policy_params.two_phase.long_term_ttl = Duration::seconds(2);
+  harness::Cluster cluster(config);
+
+  constexpr int kTicks = 1000;           // one tick per 10 ms: 10 s stream
+  const Duration kTickInterval = Duration::millis(10);
+
+  for (int i = 0; i < kTicks; ++i) {
+    cluster.sim().schedule_at(
+        TimePoint::zero() + kTickInterval * i, [&cluster] {
+          cluster.endpoint(0).multicast(std::vector<std::uint8_t>(64, 0x11));
+        });
+  }
+
+  // Churn: members leave or crash during the stream (never the sender).
+  RandomEngine churn_rng(55);
+  std::vector<MemberId> leavers = {5, 9, 13, 17, 21};
+  for (std::size_t i = 0; i < leavers.size(); ++i) {
+    MemberId victim = leavers[i];
+    bool graceful = (i % 2 == 0);
+    cluster.sim().schedule_at(
+        TimePoint::zero() + Duration::seconds(1) * static_cast<std::int64_t>(i + 1),
+        [&cluster, victim, graceful] {
+          if (graceful) {
+            cluster.leave(victim);
+          } else {
+            cluster.crash(victim);
+          }
+        });
+  }
+
+  // Sample total buffered messages once a second.
+  std::printf("t(s)  buffered-total  alive  handoffs\n");
+  for (int s = 1; s <= 11; ++s) {
+    cluster.run_for(Duration::seconds(1));
+    std::printf("%3d   %14zu  %5zu  %8llu\n", s, cluster.total_buffered(),
+                cluster.directory().alive_count(),
+                static_cast<unsigned long long>(
+                    cluster.metrics().counters().handoffs));
+  }
+
+  // Everything the survivors know about must have arrived.
+  std::size_t missing = 0;
+  for (int seq = 1; seq <= kTicks; ++seq) {
+    if (!cluster.all_received(MessageId{0, static_cast<std::uint64_t>(seq)})) {
+      ++missing;
+    }
+  }
+  const auto& c = cluster.metrics().counters();
+  std::printf("\n%d ticks streamed; %zu not yet everywhere; "
+              "%llu losses repaired; %llu handoff batches\n",
+              kTicks, missing,
+              static_cast<unsigned long long>(c.recoveries),
+              static_cast<unsigned long long>(c.handoffs));
+  std::printf("buffer stays ~bounded because idle ticks are kept by ~C "
+              "members for long_term_ttl=2s, then dropped.\n");
+  return missing == 0 ? 0 : 1;
+}

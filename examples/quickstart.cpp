@@ -1,0 +1,57 @@
+// Quickstart: a 20-member group in two regions, one lossy multicast, and
+// the two-phase buffer doing its job.
+//
+//   $ ./quickstart
+//
+// Walks through the public API: build a cluster, multicast, watch recovery
+// converge, inspect who ended up buffering what.
+#include <cstdio>
+
+#include "harness/cluster.h"
+
+using namespace rrmp;
+
+int main() {
+  // A root region of 12 members (the sender lives here) and a downstream
+  // region of 8, RTT 10 ms inside a region, 50 ms between regions.
+  harness::ClusterConfig config;
+  config.region_sizes = {12, 8};
+  config.data_loss = 0.35;  // initial IP multicast drops 35% per receiver
+  config.seed = 2002;       // DSN 2002
+
+  harness::Cluster cluster(config);
+
+  // Member 0 multicasts five messages.
+  std::vector<MessageId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(cluster.endpoint(0).multicast(
+        {std::uint8_t(i), 0xCA, 0xFE}));
+  }
+  std::printf("sent %zu messages into a %zu-member group (35%% loss)\n",
+              ids.size(), cluster.size());
+
+  // Let randomized error recovery run.
+  cluster.run_for(Duration::seconds(2));
+
+  for (const MessageId& id : ids) {
+    std::printf("message %u:%llu  received by %zu/%zu  buffered by %zu "
+                "(long-term %zu)\n",
+                id.source, static_cast<unsigned long long>(id.seq),
+                cluster.count_received(id), cluster.size(),
+                cluster.count_buffered(id), cluster.count_long_term(id));
+  }
+
+  const auto& c = cluster.metrics().counters();
+  std::printf("\nrecovery activity: %llu losses detected, %llu local + %llu "
+              "remote requests, %llu repairs, %llu regional multicasts\n",
+              static_cast<unsigned long long>(c.losses_detected),
+              static_cast<unsigned long long>(c.local_requests_sent),
+              static_cast<unsigned long long>(c.remote_requests_sent),
+              static_cast<unsigned long long>(c.repairs_sent),
+              static_cast<unsigned long long>(c.regional_multicasts));
+
+  bool all = true;
+  for (const MessageId& id : ids) all = all && cluster.all_received(id);
+  std::printf("all messages delivered everywhere: %s\n", all ? "yes" : "NO");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Real sockets: the same protocol endpoints on loopback UDP datagrams.
+//
+//   $ ./udp_demo
+//
+// Eight members (two regions) bind real UDP sockets on 127.0.0.1. The
+// sender's initial fan-out drops 30% of datagrams; randomized recovery
+// repairs the rest with actual packets. Topology latency (RTT 4 ms inside
+// a region, 10 ms one-way between regions) is reproduced with delayed
+// sends, so the protocol timing matches the simulator's.
+#include <cstdio>
+
+#include "harness/udp_runtime.h"
+
+using namespace rrmp;
+
+int main() {
+  net::Topology topo = net::make_hierarchy({5, 3}, Duration::millis(4),
+                                           Duration::millis(10));
+  harness::UdpRuntimeConfig config;
+  config.base_port = 39000;
+  config.seed = 99;
+  config.data_loss = 0.30;
+  config.protocol.session_interval = Duration::millis(20);
+  config.policy_params.two_phase.idle_threshold = Duration::millis(16);
+
+  std::unique_ptr<harness::UdpRuntime> rt;
+  try {
+    rt = std::make_unique<harness::UdpRuntime>(topo, config);
+  } catch (const std::exception& e) {
+    std::printf("cannot bind UDP sockets (%s) — nothing to demo here\n",
+                e.what());
+    return 0;
+  }
+
+  std::printf("8 members on 127.0.0.1:%u-%u, 30%% initial loss\n",
+              config.base_port, config.base_port + 7);
+
+  std::vector<MessageId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(rt->endpoint(0).multicast(
+        std::vector<std::uint8_t>(128, static_cast<std::uint8_t>(i))));
+  }
+  rt->run_for(Duration::millis(1500));  // wall-clock
+
+  std::size_t complete = 0;
+  for (const MessageId& id : ids) {
+    if (rt->all_received(id)) ++complete;
+  }
+  const auto& c = rt->metrics().counters();
+  std::printf("delivered everywhere: %zu/%zu messages\n", complete, ids.size());
+  std::printf("datagrams: %llu sent / %llu received; %llu losses detected, "
+              "%llu repairs\n",
+              static_cast<unsigned long long>(rt->bus().datagrams_sent()),
+              static_cast<unsigned long long>(rt->bus().datagrams_received()),
+              static_cast<unsigned long long>(c.losses_detected),
+              static_cast<unsigned long long>(c.repairs_sent));
+  return complete == ids.size() ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#include "analysis/analytic.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rrmp::analysis {
+
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  double log_choose = std::lgamma(static_cast<double>(n) + 1) -
+                      std::lgamma(static_cast<double>(k) + 1) -
+                      std::lgamma(static_cast<double>(n - k) + 1);
+  double log_pmf = log_choose + static_cast<double>(k) * std::log(p) +
+                   static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double poisson_pmf(double c, std::uint64_t k) {
+  if (c <= 0.0) return k == 0 ? 1.0 : 0.0;
+  double log_pmf = -c + static_cast<double>(k) * std::log(c) -
+                   std::lgamma(static_cast<double>(k) + 1);
+  return std::exp(log_pmf);
+}
+
+double prob_no_bufferer(double c) { return std::exp(-c); }
+
+double prob_no_request(std::uint64_t n, double p) {
+  if (n < 2) return 1.0;
+  double base = 1.0 - 1.0 / static_cast<double>(n - 1);
+  return std::pow(base, static_cast<double>(n) * p);
+}
+
+double prob_no_request_approx(double p) { return std::exp(-p); }
+
+double required_c(double p_target) {
+  if (p_target >= 1.0) return 0.0;
+  if (p_target <= 0.0) return std::numeric_limits<double>::infinity();
+  return -std::log(p_target);
+}
+
+}  // namespace rrmp::analysis

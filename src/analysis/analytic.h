@@ -1,0 +1,31 @@
+// Closed-form expressions from the paper, used as ground truth by the
+// figure benchmarks and property tests.
+#pragma once
+
+#include <cstdint>
+
+namespace rrmp::analysis {
+
+/// Binomial pmf: P[K = k], K ~ Binomial(n, p). Computed in log space.
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k);
+
+/// Poisson pmf: P[K = k], K ~ Poisson(c) — the paper's large-region
+/// approximation of the long-term bufferer count (§3.2): e^-C * C^k / k!.
+double poisson_pmf(double c, std::uint64_t k);
+
+/// P[no long-term bufferer] = e^-C (§3.2, Figure 4).
+double prob_no_bufferer(double c);
+
+/// §3.1: probability that a member receives no retransmission request when
+/// a fraction p of an n-member region misses a message:
+/// (1 - 1/(n-1))^(n*p).
+double prob_no_request(std::uint64_t n, double p);
+
+/// The paper's large-n approximation of prob_no_request: e^-p.
+double prob_no_request_approx(double p);
+
+/// Smallest C such that P[no long-term bufferer] = e^-C <= p_target —
+/// how an operator sizes C for a reliability goal (inverse of Figure 4).
+double required_c(double p_target);
+
+}  // namespace rrmp::analysis

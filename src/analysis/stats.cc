@@ -1,0 +1,61 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrmp::analysis {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 100.0);
+  double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.p50 = percentile(xs, 50);
+  s.p90 = percentile(xs, 90);
+  s.p99 = percentile(xs, 99);
+  return s;
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& xs, double lo,
+                                   double hi, std::size_t bins) {
+  std::vector<std::size_t> out(bins, 0);
+  if (bins == 0 || hi <= lo) return out;
+  double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto b = static_cast<std::ptrdiff_t>((x - lo) / width);
+    b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++out[static_cast<std::size_t>(b)];
+  }
+  return out;
+}
+
+}  // namespace rrmp::analysis

@@ -1,0 +1,36 @@
+// Descriptive statistics for experiment outputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rrmp::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Mean of a sample; 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::vector<double> xs, double q);
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// values clamp to the edge buckets.
+std::vector<std::size_t> histogram(const std::vector<double>& xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace rrmp::analysis

@@ -1,0 +1,37 @@
+// Console table and CSV emitters for the benchmark harness. Every figure
+// bench prints one of these with a "paper" column next to the measured one.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrmp::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a bench section header ("== Figure 8: ... ==").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace rrmp::analysis

@@ -1,0 +1,18 @@
+#include "buffer/buffer_everything.h"
+
+namespace rrmp::buffer {
+
+std::vector<proto::Data> BufferEverythingPolicy::drain_for_handoff() {
+  std::vector<MessageId> ids;
+  ids.reserve(entries().size());
+  for (const auto& [id, e] : entries()) ids.push_back(id);
+  std::vector<proto::Data> out;
+  out.reserve(ids.size());
+  for (const MessageId& id : ids) {
+    out.push_back(std::move(find(id)->data));
+    discard(id, BufferEvent::kHandedOff);
+  }
+  return out;
+}
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,22 @@
+// RMTP-style repair-server policy (paper §1): buffer every message for the
+// whole session. "Feasible only if the size of data transmitted in the
+// current session has a reasonable limit" — the benchmark harness shows its
+// buffer occupancy growing without bound on long-lived streams.
+#pragma once
+
+#include "buffer/policy.h"
+
+namespace rrmp::buffer {
+
+class BufferEverythingPolicy final : public BufferPolicy {
+ public:
+  const char* name() const override { return "buffer-everything"; }
+
+  /// A leaving repair server hands its entire archive over.
+  std::vector<proto::Data> drain_for_handoff() override;
+
+ protected:
+  void on_stored(Entry&) override {}  // never discards
+};
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,35 @@
+#include "buffer/factory.h"
+
+#include <stdexcept>
+
+namespace rrmp::buffer {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kTwoPhase: return "two-phase";
+    case PolicyKind::kFixedTime: return "fixed-time";
+    case PolicyKind::kBufferEverything: return "buffer-everything";
+    case PolicyKind::kHashBased: return "hash-based";
+    case PolicyKind::kStability: return "stability";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<BufferPolicy> make_policy(PolicyKind kind,
+                                          const PolicyParams& params) {
+  switch (kind) {
+    case PolicyKind::kTwoPhase:
+      return std::make_unique<TwoPhasePolicy>(params.two_phase);
+    case PolicyKind::kFixedTime:
+      return std::make_unique<FixedTimePolicy>(params.fixed_ttl);
+    case PolicyKind::kBufferEverything:
+      return std::make_unique<BufferEverythingPolicy>();
+    case PolicyKind::kHashBased:
+      return std::make_unique<HashBasedPolicy>(params.hash);
+    case PolicyKind::kStability:
+      return std::make_unique<StabilityPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,37 @@
+// Construction of buffer policies by kind, used by the harness, benches and
+// examples to sweep all five schemes through identical scenarios.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "buffer/buffer_everything.h"
+#include "buffer/fixed_time.h"
+#include "buffer/hash_based.h"
+#include "buffer/policy.h"
+#include "buffer/stability.h"
+#include "buffer/two_phase.h"
+
+namespace rrmp::buffer {
+
+enum class PolicyKind {
+  kTwoPhase,
+  kFixedTime,
+  kBufferEverything,
+  kHashBased,
+  kStability,
+};
+
+const char* to_string(PolicyKind kind);
+
+/// Union of the per-policy knobs; each policy reads only its own fields.
+struct PolicyParams {
+  TwoPhaseParams two_phase;
+  Duration fixed_ttl = Duration::millis(100);
+  HashBasedParams hash;
+};
+
+std::unique_ptr<BufferPolicy> make_policy(PolicyKind kind,
+                                          const PolicyParams& params = {});
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,10 @@
+#include "buffer/fixed_time.h"
+
+namespace rrmp::buffer {
+
+void FixedTimePolicy::on_stored(Entry& e) {
+  MessageId id = e.data.id;
+  e.timer = env().schedule(ttl_, [this, id] { discard(id); });
+}
+
+}  // namespace rrmp::buffer

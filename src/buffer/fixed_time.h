@@ -1,0 +1,24 @@
+// Bimodal Multicast's simple buffering policy (paper §2, [3]): every member
+// buffers every message for a fixed amount of time, regardless of how the
+// initial multicast went. The baseline the two-phase scheme improves on.
+#pragma once
+
+#include "buffer/policy.h"
+
+namespace rrmp::buffer {
+
+class FixedTimePolicy final : public BufferPolicy {
+ public:
+  explicit FixedTimePolicy(Duration ttl) : ttl_(ttl) {}
+
+  const char* name() const override { return "fixed-time"; }
+  Duration ttl() const { return ttl_; }
+
+ protected:
+  void on_stored(Entry& e) override;
+
+ private:
+  Duration ttl_;
+};
+
+}  // namespace rrmp::buffer

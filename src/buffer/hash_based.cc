@@ -1,0 +1,55 @@
+#include "buffer/hash_based.h"
+
+#include <algorithm>
+
+namespace rrmp::buffer {
+
+std::uint64_t hash_score(const MessageId& id, MemberId member) {
+  // Mix the three words through splitmix64-style finalization.
+  std::uint64_t x = (static_cast<std::uint64_t>(id.source) << 32) ^ id.seq;
+  x ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(member) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::vector<MemberId> hash_bufferers(const MessageId& id,
+                                     const std::vector<MemberId>& members,
+                                     std::size_t k) {
+  if (k == 0 || members.empty()) return {};
+  std::vector<std::pair<std::uint64_t, MemberId>> scored;
+  scored.reserve(members.size());
+  for (MemberId m : members) scored.emplace_back(hash_score(id, m), m);
+  k = std::min(k, scored.size());
+  std::nth_element(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scored.end());
+  scored.resize(k);
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::vector<MemberId> out;
+  out.reserve(k);
+  for (const auto& [score, m] : scored) out.push_back(m);
+  return out;
+}
+
+void HashBasedPolicy::on_stored(Entry& e) {
+  const std::vector<MemberId>& members = env().region_members();
+  hash_evaluations_ += members.size();
+  std::vector<MemberId> selected = hash_bufferers(e.data.id, members, params_.k);
+  bool mine = std::find(selected.begin(), selected.end(), env().self()) !=
+              selected.end();
+  MessageId id = e.data.id;
+  if (mine) {
+    promote_long_term(e);
+    if (!params_.bufferer_ttl.is_infinite()) {
+      e.timer = env().schedule(params_.bufferer_ttl, [this, id] { discard(id); });
+    }
+  } else {
+    e.timer = env().schedule(params_.grace, [this, id] { discard(id); });
+  }
+}
+
+}  // namespace rrmp::buffer

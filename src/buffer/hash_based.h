@@ -1,0 +1,59 @@
+// The authors' earlier *deterministic* buffering scheme (paper §1, §3.4;
+// Ozkasap et al. [11]): a hash of (member address, message id) selects which
+// members buffer a message. Any member can recompute the bufferer set and
+// request retransmissions from it directly — no search needed — at the cost
+// of hashing the whole membership per message and of awkward behaviour under
+// membership dynamics (§3.4: "it is not clear how [handoff] can be done with
+// a deterministic algorithm").
+//
+// Selection is rendezvous (highest-random-weight) hashing: the k members
+// with the smallest hash(member, id) buffer the message. Every member of a
+// region computes the same set from the same view.
+#pragma once
+
+#include <vector>
+
+#include "buffer/policy.h"
+
+namespace rrmp::buffer {
+
+/// The k members of `members` with the smallest hash(member, id); the common
+/// lookup used by both the policy (should *I* buffer?) and requesters (who
+/// buffers?). Deterministic in (id, members, k); independent of member order.
+std::vector<MemberId> hash_bufferers(const MessageId& id,
+                                     const std::vector<MemberId>& members,
+                                     std::size_t k);
+
+/// The score function behind hash_bufferers, exposed for tests.
+std::uint64_t hash_score(const MessageId& id, MemberId member);
+
+struct HashBasedParams {
+  /// Bufferers per region per message.
+  std::size_t k = 6;
+  /// How long non-selected members keep a message to serve the initial wave
+  /// of recovery traffic before the hashed set takes over.
+  Duration grace = Duration::millis(40);
+  /// Eventual discard at the selected bufferers; infinite() disables.
+  Duration bufferer_ttl = Duration::infinite();
+};
+
+class HashBasedPolicy final : public BufferPolicy {
+ public:
+  explicit HashBasedPolicy(HashBasedParams params) : params_(params) {}
+
+  const char* name() const override { return "hash-based"; }
+  const HashBasedParams& params() const { return params_; }
+
+  /// Number of score evaluations performed so far (the "computation
+  /// overhead" of §3.4; reported by the baseline benchmark).
+  std::uint64_t hash_evaluations() const { return hash_evaluations_; }
+
+ protected:
+  void on_stored(Entry& e) override;
+
+ private:
+  HashBasedParams params_;
+  std::uint64_t hash_evaluations_ = 0;
+};
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,126 @@
+#include "buffer/policy.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rrmp::buffer {
+
+BufferPolicy::~BufferPolicy() = default;
+
+void BufferPolicy::bind(PolicyEnv* env) {
+  if (env == nullptr) throw std::invalid_argument("BufferPolicy::bind: null env");
+  if (env_ != nullptr) throw std::logic_error("BufferPolicy::bind: already bound");
+  env_ = env;
+  on_bound();
+}
+
+void BufferPolicy::store(const proto::Data& msg) {
+  insert(msg, /*via_handoff=*/false);
+}
+
+void BufferPolicy::accept_handoff(const proto::Data& msg) {
+  insert(msg, /*via_handoff=*/true);
+}
+
+void BufferPolicy::insert(const proto::Data& msg, bool via_handoff) {
+  assert(bound());
+  auto [it, inserted] = entries_.try_emplace(msg.id);
+  if (!inserted) {
+    if (via_handoff && !it->second.long_term) {
+      // A handed-off copy upgrades a short-term entry: the leaver was a
+      // long-term bufferer, so the responsibility transfers to us.
+      promote_long_term(it->second);
+    }
+    return;
+  }
+  Entry& e = it->second;
+  e.data = msg;
+  e.stored_at = env_->now();
+  e.last_activity = e.stored_at;
+  bytes_ += msg.payload.size();
+  ++stats_.stored;
+  stats_.peak_count = std::max(stats_.peak_count, entries_.size());
+  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
+  notify(msg.id, BufferEvent::kStored, /*long_term=*/false);
+  if (via_handoff) {
+    on_handoff_accepted(e);
+  } else {
+    on_stored(e);
+  }
+}
+
+void BufferPolicy::on_request_seen(const MessageId& id) {
+  Entry* e = find(id);
+  if (e == nullptr) return;
+  e->last_activity = env_->now();
+}
+
+std::vector<proto::Data> BufferPolicy::drain_for_handoff() {
+  // Default: transfer only long-term entries (paper §3.2 — "transfers each
+  // message in its long-term buffer"). Short-term copies are redundant by
+  // definition: requests for them are still being answered region-wide.
+  std::vector<MessageId> ids;
+  for (const auto& [id, e] : entries_) {
+    if (e.long_term) ids.push_back(id);
+  }
+  std::vector<proto::Data> out;
+  out.reserve(ids.size());
+  for (const MessageId& id : ids) {
+    Entry* e = find(id);
+    out.push_back(std::move(e->data));
+    discard(id, BufferEvent::kHandedOff);
+  }
+  return out;
+}
+
+std::optional<proto::Data> BufferPolicy::get(const MessageId& id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.data;
+}
+
+bool BufferPolicy::is_long_term(const MessageId& id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.long_term;
+}
+
+void BufferPolicy::force_discard(const MessageId& id) { discard(id); }
+
+BufferPolicy::Entry* BufferPolicy::find(const MessageId& id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void BufferPolicy::discard(const MessageId& id, BufferEvent reason) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.timer != 0) {
+    env_->cancel(e.timer);
+    e.timer = 0;
+  }
+  bytes_ -= e.data.payload.size();
+  stats_.total_buffer_time += env_->now() - e.stored_at;
+  bool was_long_term = e.long_term;
+  if (reason == BufferEvent::kHandedOff) {
+    ++stats_.handed_off;
+  } else {
+    ++stats_.discarded;
+  }
+  entries_.erase(it);
+  notify(id, reason, was_long_term);
+}
+
+void BufferPolicy::promote_long_term(Entry& e) {
+  if (e.long_term) return;
+  e.long_term = true;
+  ++stats_.promoted_long_term;
+  notify(e.data.id, BufferEvent::kPromotedLongTerm, /*long_term=*/true);
+}
+
+void BufferPolicy::notify(const MessageId& id, BufferEvent ev,
+                          bool long_term) {
+  if (observer_) observer_(id, ev, long_term);
+}
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,150 @@
+// Buffer-management policy framework.
+//
+// Every RRMP member owns one BufferPolicy. The endpoint stores each received
+// message into the policy and reports retransmission-request *feedback*; the
+// policy alone decides how long messages stay buffered. Concrete policies:
+//
+//   TwoPhasePolicy       — the paper's contribution (§3.1–§3.2): feedback-
+//                          based short-term buffering + randomized long-term
+//                          buffering with expected C bufferers per region.
+//   FixedTimePolicy      — Bimodal Multicast's simple policy: every message
+//                          buffered for a fixed time (§2, [3]).
+//   BufferEverythingPolicy — RMTP-style repair server: keep everything (§1).
+//   HashBasedPolicy      — the authors' earlier deterministic scheme [11]:
+//                          hash(member, message) selects k bufferers.
+//   StabilityPolicy      — stability-detection baseline [8]: discard when
+//                          the whole region is known to have the message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "proto/messages.h"
+
+namespace rrmp::buffer {
+
+/// Host services a policy may use; implemented by the protocol endpoint.
+class PolicyEnv {
+ public:
+  virtual ~PolicyEnv() = default;
+  virtual TimePoint now() const = 0;
+  /// One-shot timer; returns a handle for cancel(). Handle 0 is invalid.
+  virtual std::uint64_t schedule(Duration d, std::function<void()> fn) = 0;
+  virtual void cancel(std::uint64_t timer) = 0;
+  virtual RandomEngine& rng() = 0;
+  /// Current size of the member's region (alive members, including self).
+  virtual std::size_t region_size() const = 0;
+  /// Alive members of the region, including self (for hash-based selection).
+  virtual const std::vector<MemberId>& region_members() const = 0;
+  virtual MemberId self() const = 0;
+};
+
+enum class BufferEvent {
+  kStored,             // message entered the buffer
+  kPromotedLongTerm,   // survived the idle decision (two-phase) or handoff
+  kDiscarded,          // message left the buffer
+  kHandedOff,          // message left via handoff to another member
+};
+
+struct BufferStats {
+  std::uint64_t stored = 0;
+  std::uint64_t discarded = 0;
+  std::uint64_t promoted_long_term = 0;
+  std::uint64_t handed_off = 0;
+  std::size_t peak_count = 0;
+  std::size_t peak_bytes = 0;
+  /// Sum over all departed messages of (departure - store) time.
+  Duration total_buffer_time = Duration::zero();
+};
+
+class BufferPolicy {
+ public:
+  virtual ~BufferPolicy();
+
+  /// Must be called exactly once before any other method.
+  void bind(PolicyEnv* env);
+
+  /// Observer for store/discard/promotion events (wired to metrics).
+  /// `long_term` reflects the entry's phase at event time.
+  using Observer =
+      std::function<void(const MessageId&, BufferEvent, bool long_term)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  /// A message was received; buffer it (policy decides for how long).
+  /// Duplicate stores of an id already present are ignored.
+  void store(const proto::Data& msg);
+
+  /// Feedback: a retransmission request for `id` was observed (paper §3.1).
+  /// No-op when `id` is not currently buffered.
+  virtual void on_request_seen(const MessageId& id);
+
+  /// Receive a long-term buffer transfer from a leaving member (§3.2).
+  void accept_handoff(const proto::Data& msg);
+
+  /// Remove and return the messages to transfer when this member leaves
+  /// (two-phase: long-term entries; buffer-everything/hash: all entries).
+  virtual std::vector<proto::Data> drain_for_handoff();
+
+  bool has(const MessageId& id) const { return entries_.count(id) > 0; }
+  std::optional<proto::Data> get(const MessageId& id) const;
+  bool is_long_term(const MessageId& id) const;
+
+  std::size_t count() const { return entries_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  const BufferStats& stats() const { return stats_; }
+
+  /// Test/harness hook: drop `id` immediately (as if idle-discarded).
+  void force_discard(const MessageId& id);
+
+  virtual const char* name() const = 0;
+
+  /// True if this policy needs the endpoint to run the history-exchange
+  /// protocol (stability baseline only).
+  virtual bool needs_history_exchange() const { return false; }
+
+ protected:
+  struct Entry {
+    proto::Data data;
+    TimePoint stored_at;
+    TimePoint last_activity;
+    bool long_term = false;
+    std::uint64_t timer = 0;  // pending policy timer for this entry, if any
+  };
+
+  /// Policy hook: a new entry was inserted; arm whatever timers apply.
+  virtual void on_stored(Entry& e) = 0;
+  /// Policy hook: entry arrived via handoff (default: same as stored, but
+  /// two-phase keeps it long-term immediately).
+  virtual void on_handoff_accepted(Entry& e) { on_stored(e); }
+  /// Policy hook: called after bind() so policies can arm global timers.
+  virtual void on_bound() {}
+
+  Entry* find(const MessageId& id);
+  /// Remove an entry, run accounting, notify observer. Safe if absent.
+  void discard(const MessageId& id, BufferEvent reason = BufferEvent::kDiscarded);
+  void promote_long_term(Entry& e);
+
+  PolicyEnv& env() { return *env_; }
+  const PolicyEnv& env() const { return *env_; }
+  bool bound() const { return env_ != nullptr; }
+
+  std::map<MessageId, Entry>& entries() { return entries_; }
+
+ private:
+  void insert(const proto::Data& msg, bool via_handoff);
+  void notify(const MessageId& id, BufferEvent ev, bool long_term);
+
+  PolicyEnv* env_ = nullptr;
+  Observer observer_;
+  std::map<MessageId, Entry> entries_;  // ordered: deterministic iteration
+  std::size_t bytes_ = 0;
+  BufferStats stats_;
+};
+
+}  // namespace rrmp::buffer

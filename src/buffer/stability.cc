@@ -1,0 +1,59 @@
+#include "buffer/stability.h"
+
+#include <algorithm>
+
+namespace rrmp::buffer {
+
+void StabilityPolicy::mark_stable_below(MemberId source,
+                                        std::uint64_t stable_below) {
+  std::vector<MessageId> victims;
+  for (const auto& [id, e] : entries()) {
+    if (id.source == source && id.seq < stable_below) victims.push_back(id);
+  }
+  for (const MessageId& id : victims) discard(id);
+}
+
+void StabilityTracker::update(MemberId m, const proto::SourceHistory& h) {
+  // Extend next_expected through the contiguous prefix of the bitmap: if the
+  // bits for next_expected, next_expected+1, ... are set, the member's
+  // received prefix is actually longer than the scalar field says.
+  std::uint64_t prefix = h.next_expected;
+  for (std::size_t w = 0; w < h.bitmap.size(); ++w) {
+    std::uint64_t word = h.bitmap[w];
+    if (word == ~0ULL) {
+      prefix += 64;
+      continue;
+    }
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        ++prefix;
+      } else {
+        w = h.bitmap.size();  // stop outer loop
+        break;
+      }
+    }
+    break;
+  }
+  std::uint64_t& cur = frontier_[h.source][m];
+  cur = std::max(cur, prefix);
+}
+
+void StabilityTracker::forget_member(MemberId m) {
+  for (auto& [source, members] : frontier_) members.erase(m);
+}
+
+std::uint64_t StabilityTracker::stable_below(
+    MemberId source, const std::vector<MemberId>& expected) const {
+  auto it = frontier_.find(source);
+  if (it == frontier_.end()) return 0;
+  const auto& members = it->second;
+  std::uint64_t lo = ~0ULL;
+  for (MemberId m : expected) {
+    auto mit = members.find(m);
+    if (mit == members.end()) return 0;  // member never reported
+    lo = std::min(lo, mit->second);
+  }
+  return expected.empty() ? 0 : lo;
+}
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,76 @@
+#include "buffer/two_phase.h"
+
+namespace rrmp::buffer {
+
+void TwoPhasePolicy::on_stored(Entry& e) { arm_idle_check(e); }
+
+void TwoPhasePolicy::on_handoff_accepted(Entry& e) {
+  // Responsibility transferred from a leaving long-term bufferer: skip the
+  // idle phase and the random draw; we are a long-term bufferer now.
+  promote_long_term(e);
+  arm_long_term_ttl(e);
+}
+
+void TwoPhasePolicy::on_request_seen(const MessageId& id) {
+  Entry* e = find(id);
+  if (e == nullptr) return;
+  e->last_activity = env().now();
+  // Short-term: the pending idle check re-arms itself off last_activity.
+  // Long-term: refresh the eventual-discard clock.
+  if (e->long_term && !params_.long_term_ttl.is_infinite()) {
+    if (e->timer != 0) env().cancel(e->timer);
+    e->timer = 0;
+    arm_long_term_ttl(*e);
+  }
+}
+
+void TwoPhasePolicy::arm_idle_check(Entry& e) {
+  TimePoint due = e.last_activity + params_.idle_threshold;
+  MessageId id = e.data.id;
+  e.timer = env().schedule(due - env().now(), [this, id] { idle_check(id); });
+}
+
+void TwoPhasePolicy::idle_check(const MessageId& id) {
+  Entry* e = find(id);
+  if (e == nullptr || e->long_term) return;
+  e->timer = 0;
+  TimePoint idle_at = e->last_activity + params_.idle_threshold;
+  if (env().now() < idle_at) {
+    // A request arrived since this check was armed; try again later.
+    arm_idle_check(*e);
+    return;
+  }
+  // The message is idle (§3.1). Random long-term decision (§3.2): keep with
+  // probability P = C/n so the expected bufferer count per region is C.
+  std::size_t n = std::max<std::size_t>(env().region_size(), 1);
+  double p = params_.C / static_cast<double>(n);
+  if (env().rng().bernoulli(p)) {
+    promote_long_term(*e);
+    arm_long_term_ttl(*e);
+  } else {
+    discard(id);
+  }
+}
+
+void TwoPhasePolicy::arm_long_term_ttl(Entry& e) {
+  if (params_.long_term_ttl.is_infinite()) return;
+  MessageId id = e.data.id;
+  e.timer = env().schedule(params_.long_term_ttl,
+                           [this, id] { long_term_check(id); });
+}
+
+void TwoPhasePolicy::long_term_check(const MessageId& id) {
+  Entry* e = find(id);
+  if (e == nullptr) return;
+  e->timer = 0;
+  TimePoint due = e->last_activity + params_.long_term_ttl;
+  if (env().now() < due) {
+    // Used since the timer was armed; keep it around for another period.
+    e->timer = env().schedule(due - env().now(),
+                              [this, id] { long_term_check(id); });
+    return;
+  }
+  discard(id);
+}
+
+}  // namespace rrmp::buffer

@@ -1,0 +1,67 @@
+#include "common/bytes.h"
+
+namespace rrmp {
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> data) {
+  put_varint(data.size());
+  put_raw(data);
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t ByteReader::get_u8() {
+  if (!require(1)) return 0;
+  return data_[pos_++];
+}
+
+double ByteReader::get_f64() {
+  std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!require(1)) return 0;
+    std::uint8_t b = data_[pos_++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+  }
+  ok_ = false;  // varint longer than 10 bytes is malformed
+  return 0;
+}
+
+std::vector<std::uint8_t> ByteReader::get_bytes() {
+  std::uint64_t n = get_varint();
+  if (!require(n)) return {};
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::get_string() {
+  std::uint64_t n = get_varint();
+  if (!require(n)) return {};
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace rrmp

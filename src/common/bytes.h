@@ -1,0 +1,103 @@
+// Bounds-checked binary serialization primitives.
+//
+// ByteWriter appends little-endian fixed-width integers, length-prefixed
+// blobs, and varints to a growable buffer. ByteReader consumes the same
+// formats and *never* reads out of bounds: any overrun marks the reader
+// failed and all subsequent reads return zero values. Callers check ok()
+// once at the end of decoding instead of after every field.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrmp {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  /// LEB128-style unsigned varint (1..10 bytes).
+  void put_varint(std::uint64_t v);
+
+  /// Varint length prefix followed by raw bytes.
+  void put_bytes(std::span<const std::uint8_t> data);
+  void put_string(std::string_view s);
+
+  void put_raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_le<std::uint64_t>(); }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_f64();
+  std::uint64_t get_varint();
+  std::vector<std::uint8_t> get_bytes();
+  std::string get_string();
+
+  /// True iff no read has overrun the buffer so far.
+  bool ok() const { return ok_; }
+  /// True iff the whole buffer was consumed and no read failed.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  template <typename T>
+  T get_le() {
+    if (!require(sizeof(T))) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  bool require(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rrmp

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// Protocol code logs at kTrace/kDebug (off by default so simulations stay
+// fast); examples raise the level to narrate runs. Thread-safe: the UDP host
+// logs from several threads.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace rrmp::log {
+
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+namespace detail {
+void emit(Level level, std::string_view msg);
+
+template <typename... Args>
+void logf(Level lvl, const Args&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  emit(lvl, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void trace(const Args&... args) {
+  detail::logf(Level::kTrace, args...);
+}
+template <typename... Args>
+void debug(const Args&... args) {
+  detail::logf(Level::kDebug, args...);
+}
+template <typename... Args>
+void info(const Args&... args) {
+  detail::logf(Level::kInfo, args...);
+}
+template <typename... Args>
+void warn(const Args&... args) {
+  detail::logf(Level::kWarn, args...);
+}
+template <typename... Args>
+void error(const Args&... args) {
+  detail::logf(Level::kError, args...);
+}
+
+}  // namespace rrmp::log

@@ -1,0 +1,88 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rrmp {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RandomEngine::RandomEngine(std::uint64_t seed) : seed_(seed) {
+  // Expand the seed through splitmix64 before feeding mt19937_64; raw small
+  // seeds (0, 1, 2, ...) otherwise produce correlated early output.
+  std::uint64_t s = seed;
+  rng_.seed(splitmix64(s));
+}
+
+RandomEngine RandomEngine::fork(std::uint64_t stream) const {
+  std::uint64_t s = seed_ ^ (0xa0761d6478bd642fULL * (stream + 1));
+  return RandomEngine(splitmix64(s));
+}
+
+std::uint32_t RandomEngine::next_u32() {
+  return static_cast<std::uint32_t>(rng_() >> 32);
+}
+
+std::uint64_t RandomEngine::next_u64() { return rng_(); }
+
+std::int64_t RandomEngine::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng_);
+}
+
+double RandomEngine::uniform_real(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng_);
+}
+
+bool RandomEngine::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(rng_);
+}
+
+double RandomEngine::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(rng_);
+}
+
+std::vector<std::size_t> RandomEngine::sample_indices(std::size_t n,
+                                                      std::size_t k) {
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0 || n == 0) return out;
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    shuffle(out);
+    return out;
+  }
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher–Yates over the full index range.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = static_cast<std::size_t>(
+          uniform_int(static_cast<std::int64_t>(i),
+                      static_cast<std::int64_t>(n) - 1));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    auto v = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace rrmp

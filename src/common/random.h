@@ -1,0 +1,77 @@
+// Deterministic randomness for protocol endpoints and experiments.
+//
+// Every source of randomness in the system is a RandomEngine derived from a
+// single master seed via fork(), so whole-cluster simulations replay
+// bit-identically for a given seed regardless of container iteration order.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace rrmp {
+
+class RandomEngine {
+ public:
+  explicit RandomEngine(std::uint64_t seed);
+
+  /// Derive an independent child engine. Deterministic in (seed, stream):
+  /// fork(k) on engines with equal seeds yields equal children, and children
+  /// with different stream ids are statistically independent.
+  RandomEngine fork(std::uint64_t stream) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial; p clamped to [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// k distinct indices sampled uniformly from [0, n). Requires k <= n.
+  /// Order of the returned indices is randomized.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Access to the underlying URBG for <random> distributions.
+  std::mt19937_64& urbg() { return rng_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+/// splitmix64 step: the seed-mixing primitive used by RandomEngine::fork.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace rrmp

@@ -1,0 +1,113 @@
+// Strong simulated-time types.
+//
+// All protocol code measures time in integer microseconds through these two
+// wrappers; they cannot be mixed up with plain integers or with each other.
+// The simulator advances a TimePoint; the UDP host maps it onto
+// std::chrono::steady_clock.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace rrmp {
+
+/// A span of simulated time, in microseconds. Value type, totally ordered.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1000000); }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration infinite() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1000.0; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool is_infinite() const {
+    return us_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.us_ + b.us_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.us_ - b.us_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.us_ * k);
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  /// Scale by a real factor (named, to avoid int/double overload ambiguity).
+  constexpr Duration scaled(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.us_ / k);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant of simulated time (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint from_us(std::int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint zero() { return TimePoint(0); }
+  static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1000.0; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    // Saturate instead of overflowing when adding to "never".
+    if (t.us_ == std::numeric_limits<std::int64_t>::max() || d.is_infinite()) {
+      return TimePoint::max();
+    }
+    return TimePoint(t.us_ + d.us());
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.us_ - d.us());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.us() << "us";
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t+" << t.us() << "us";
+}
+
+}  // namespace rrmp

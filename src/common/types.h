@@ -1,0 +1,58 @@
+// Core identifier types shared by every RRMP subsystem.
+//
+// Members are addressed by dense 32-bit ids assigned by the membership
+// directory; a multicast message is identified, as in the paper (footnote 2),
+// by [source address, sequence number].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace rrmp {
+
+/// Dense identifier for a group member ("network address" in the paper).
+using MemberId = std::uint32_t;
+
+/// Identifier for a local region in the error-recovery hierarchy.
+using RegionId = std::uint32_t;
+
+/// Sentinel for "no member".
+inline constexpr MemberId kInvalidMember = 0xFFFFFFFFu;
+
+/// Sentinel for "no region" (e.g. the root region has no parent).
+inline constexpr RegionId kInvalidRegion = 0xFFFFFFFFu;
+
+/// Identifier of a multicast message: [source address, sequence number].
+struct MessageId {
+  MemberId source = kInvalidMember;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const MessageId&, const MessageId&) = default;
+  friend auto operator<=>(const MessageId&, const MessageId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const MessageId& id) {
+  return os << id.source << ":" << id.seq;
+}
+
+inline std::string to_string(const MessageId& id) {
+  return std::to_string(id.source) + ":" + std::to_string(id.seq);
+}
+
+}  // namespace rrmp
+
+template <>
+struct std::hash<rrmp::MessageId> {
+  std::size_t operator()(const rrmp::MessageId& id) const noexcept {
+    // splitmix-style mix of the two fields; good avalanche for hash tables.
+    std::uint64_t x = (static_cast<std::uint64_t>(id.source) << 48) ^ id.seq;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

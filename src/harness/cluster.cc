@@ -1,0 +1,182 @@
+#include "harness/cluster.h"
+
+#include <stdexcept>
+
+namespace rrmp::harness {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      topology_(net::make_hierarchy(
+          config_.region_sizes, config_.intra_rtt, config_.inter_one_way,
+          config_.parents.empty() ? nullptr : &config_.parents)),
+      directory_(topology_),
+      master_rng_(config_.seed) {
+  network_ = std::make_unique<net::SimNetwork>(sim_, topology_,
+                                               master_rng_.fork(0xD00D));
+  network_->set_control_loss(net::make_bernoulli(config_.control_loss));
+  network_->set_latency_jitter(config_.jitter);
+  network_->set_codec_roundtrip(config_.codec_roundtrip);
+
+  std::size_t n = topology_.member_count();
+  hosts_.resize(n);
+  endpoints_.resize(n);
+  removed_.assign(n, false);
+  for (MemberId m = 0; m < n; ++m) spawn_member(m);
+}
+
+Cluster::~Cluster() {
+  // Halt endpoints before the simulator dies so no timer callback can touch
+  // a destroyed endpoint during teardown.
+  for (auto& ep : endpoints_) {
+    if (ep) ep->halt();
+  }
+}
+
+void Cluster::spawn_member(MemberId m) {
+  hosts_[m] = std::make_unique<SimHost>(m, *network_, directory_,
+                                        master_rng_.fork(m + 1),
+                                        config_.data_loss);
+  auto policy = buffer::make_policy(config_.policy, config_.policy_params);
+  endpoints_[m] = std::make_unique<Endpoint>(*hosts_[m], config_.protocol,
+                                             std::move(policy), &metrics_);
+  Endpoint* ep = endpoints_[m].get();
+  hosts_[m]->set_receiver(
+      [ep](const proto::Message& msg, MemberId from) {
+        ep->handle_message(msg, from);
+      });
+  network_->attach(m, hosts_[m].get());
+}
+
+void Cluster::run_until_quiet(Duration cap) {
+  TimePoint horizon = sim_.now() + cap;
+  while (sim_.pending_count() > 0 && sim_.now() <= horizon) {
+    sim_.step();
+  }
+}
+
+MessageId Cluster::inject(MemberId source, std::uint64_t seq,
+                          std::span<const MemberId> holders,
+                          std::size_t payload_bytes) {
+  MessageId id{source, seq};
+  proto::Data data{id, std::vector<std::uint8_t>(payload_bytes, 0xAB)};
+  std::vector<bool> is_holder(size(), false);
+  for (MemberId h : holders) is_holder.at(h) = true;
+  proto::Session session{source, seq};
+  for (MemberId m = 0; m < size(); ++m) {
+    if (removed_[m]) continue;
+    if (is_holder[m]) {
+      endpoints_[m]->handle_message(proto::Message{data}, source);
+    } else {
+      endpoints_[m]->handle_message(proto::Message{session}, source);
+    }
+  }
+  return id;
+}
+
+MessageId Cluster::inject_data_to(MemberId source, std::uint64_t seq,
+                                  std::span<const MemberId> holders,
+                                  std::size_t payload_bytes) {
+  MessageId id{source, seq};
+  proto::Data data{id, std::vector<std::uint8_t>(payload_bytes, 0xAB)};
+  for (MemberId m : holders) {
+    if (!removed_.at(m)) {
+      endpoints_[m]->handle_message(proto::Message{data}, source);
+    }
+  }
+  return id;
+}
+
+void Cluster::inject_session_to(MemberId source, std::uint64_t seq,
+                                std::span<const MemberId> members) {
+  proto::Session session{source, seq};
+  for (MemberId m : members) {
+    if (!removed_.at(m)) {
+      endpoints_[m]->handle_message(proto::Message{session}, source);
+    }
+  }
+}
+
+void Cluster::inject_remote_request(MemberId target, const MessageId& id,
+                                    MemberId requester) {
+  endpoints_.at(target)->handle_message(
+      proto::Message{proto::RemoteRequest{id, requester}}, requester);
+}
+
+void Cluster::force_long_term(MemberId member, const MessageId& id) {
+  Endpoint& ep = *endpoints_.at(member);
+  std::optional<proto::Data> d = ep.buffer().get(id);
+  if (!d) throw std::logic_error("force_long_term: message not buffered");
+  ep.buffer().accept_handoff(*d);  // upgrades an existing entry to long-term
+}
+
+void Cluster::force_discard(MemberId member, const MessageId& id) {
+  endpoints_.at(member)->buffer().force_discard(id);
+}
+
+void Cluster::leave(MemberId m) {
+  if (removed_.at(m)) return;
+  endpoints_[m]->leave();
+  network_->detach(m);
+  directory_.mark_left(m);
+  removed_[m] = true;
+}
+
+void Cluster::crash(MemberId m) {
+  if (removed_.at(m)) return;
+  endpoints_[m]->halt();
+  network_->detach(m);
+  directory_.mark_failed(m);
+  removed_[m] = true;
+}
+
+void Cluster::rejoin(MemberId m) {
+  if (!removed_.at(m)) return;
+  directory_.mark_joined(m);
+  removed_[m] = false;
+  spawn_member(m);
+}
+
+std::size_t Cluster::count_received(const MessageId& id) const {
+  std::size_t n = 0;
+  for (MemberId m = 0; m < size(); ++m) {
+    if (!removed_[m] && endpoints_[m]->has_received(id)) ++n;
+  }
+  return n;
+}
+
+std::size_t Cluster::count_buffered(const MessageId& id) const {
+  std::size_t n = 0;
+  for (MemberId m = 0; m < size(); ++m) {
+    if (!removed_[m] && endpoints_[m]->buffer().has(id)) ++n;
+  }
+  return n;
+}
+
+std::size_t Cluster::count_long_term(const MessageId& id) const {
+  std::size_t n = 0;
+  for (MemberId m = 0; m < size(); ++m) {
+    if (!removed_[m] && endpoints_[m]->buffer().is_long_term(id)) ++n;
+  }
+  return n;
+}
+
+bool Cluster::all_received(const MessageId& id) const {
+  for (MemberId m = 0; m < size(); ++m) {
+    if (!removed_[m] && !endpoints_[m]->has_received(id)) return false;
+  }
+  return true;
+}
+
+std::vector<MemberId> Cluster::region_members(RegionId r) const {
+  return topology_.members_of(r);
+}
+
+std::size_t Cluster::total_buffered() const {
+  std::size_t n = 0;
+  for (MemberId m = 0; m < size(); ++m) {
+    if (!removed_[m]) n += endpoints_[m]->buffer().count();
+  }
+  return n;
+}
+
+}  // namespace rrmp::harness

@@ -1,0 +1,132 @@
+// Cluster: a full RRMP deployment on the discrete-event simulator — the
+// scenario surface shared by tests, benches and examples.
+//
+// Builds topology, directory, network, one SimHost + Endpoint per member,
+// wires every endpoint to a shared RecordingSink, and offers scenario
+// controls: scripted initial-multicast outcomes (who holds a message at
+// t=0, as in Figures 6/7), graceful leaves, crashes, rejoins, and buffer
+// state preparation for the search experiments (Figures 8/9).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "buffer/factory.h"
+#include "harness/sim_host.h"
+#include "membership/directory.h"
+#include "net/sim_network.h"
+#include "rrmp/endpoint.h"
+#include "rrmp/metrics.h"
+#include "sim/simulator.h"
+
+namespace rrmp::harness {
+
+struct ClusterConfig {
+  /// region_sizes[i] members in region i; region 0 is the root, others
+  /// parent on `parents` (default: all on region 0).
+  std::vector<std::size_t> region_sizes = {16};
+  std::vector<RegionId> parents;
+
+  Duration intra_rtt = Duration::millis(10);
+  Duration inter_one_way = Duration::millis(50);
+
+  Config protocol;
+  buffer::PolicyKind policy = buffer::PolicyKind::kTwoPhase;
+  buffer::PolicyParams policy_params;
+
+  std::uint64_t seed = 1;
+  /// Per-receiver loss of the sender's initial IP multicast.
+  double data_loss = 0.0;
+  /// Loss applied to unicast + regional multicast (0 in the paper's runs).
+  double control_loss = 0.0;
+  /// Latency jitter fraction (latency *= U(1, 1+jitter)).
+  double jitter = 0.0;
+  /// Encode+decode every in-flight message (wire-format fidelity).
+  bool codec_roundtrip = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  net::SimNetwork& network() { return *network_; }
+  const net::Topology& topology() const { return topology_; }
+  membership::Directory& directory() { return directory_; }
+  Endpoint& endpoint(MemberId m) { return *endpoints_.at(m); }
+  const Endpoint& endpoint(MemberId m) const { return *endpoints_.at(m); }
+  SimHost& host(MemberId m) { return *hosts_.at(m); }
+  RecordingSink& metrics() { return metrics_; }
+  std::size_t size() const { return endpoints_.size(); }
+  const ClusterConfig& config() const { return config_; }
+
+  // ---- time control ----------------------------------------------------
+
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+  /// Run until the event queue drains or `cap` of simulated time elapses.
+  void run_until_quiet(Duration cap);
+
+  // ---- scenario control --------------------------------------------------
+
+  /// Scripted initial-multicast outcome: `holders` receive Data{source,seq}
+  /// now; every other alive member of `notified` regions receives a Session
+  /// announcing seq, so they detect the loss immediately (Figures 6/7).
+  /// Returns the message id.
+  MessageId inject(MemberId source, std::uint64_t seq,
+                   std::span<const MemberId> holders,
+                   std::size_t payload_bytes = 64);
+
+  /// Deliver Data{source,seq} to exactly `holders`, notifying nobody else.
+  MessageId inject_data_to(MemberId source, std::uint64_t seq,
+                           std::span<const MemberId> holders,
+                           std::size_t payload_bytes = 64);
+
+  /// Deliver Session{source,seq} to exactly `members` (loss notification).
+  void inject_session_to(MemberId source, std::uint64_t seq,
+                         std::span<const MemberId> members);
+
+  /// Deliver a remote request for `id` (from `requester`) to `target` now.
+  void inject_remote_request(MemberId target, const MessageId& id,
+                             MemberId requester);
+
+  /// Force `member`'s buffered copy of `id` into the long-term phase.
+  void force_long_term(MemberId member, const MessageId& id);
+  /// Force-discard `member`'s buffered copy of `id`.
+  void force_discard(MemberId member, const MessageId& id);
+
+  void leave(MemberId m);   // graceful: handoff, then detach
+  void crash(MemberId m);   // no handoff
+  void rejoin(MemberId m);  // fresh endpoint for a previously-removed member
+
+  // ---- queries -----------------------------------------------------------
+
+  std::size_t count_received(const MessageId& id) const;
+  std::size_t count_buffered(const MessageId& id) const;
+  std::size_t count_long_term(const MessageId& id) const;
+  /// True iff every *alive* member has received `id`.
+  bool all_received(const MessageId& id) const;
+  std::vector<MemberId> region_members(RegionId r) const;
+  /// Sum of buffered message counts over alive members.
+  std::size_t total_buffered() const;
+
+ private:
+  void spawn_member(MemberId m);
+
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  net::Topology topology_;
+  membership::Directory directory_;
+  std::unique_ptr<net::SimNetwork> network_;
+  RecordingSink metrics_;
+  RandomEngine master_rng_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<bool> removed_;
+};
+
+}  // namespace rrmp::harness

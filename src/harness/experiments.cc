@@ -1,0 +1,450 @@
+#include "harness/experiments.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "analysis/stats.h"
+#include "harness/cluster.h"
+
+namespace rrmp::harness {
+namespace {
+
+ClusterConfig base_config(const ExperimentDefaults& d) {
+  ClusterConfig cc;
+  cc.intra_rtt = d.intra_rtt;
+  cc.policy_params.two_phase.idle_threshold = d.idle_threshold;
+  cc.policy_params.two_phase.C = d.C;
+  return cc;
+}
+
+std::vector<MemberId> pick_members(const std::vector<MemberId>& pool,
+                                   std::size_t k, RandomEngine& rng) {
+  std::vector<std::size_t> idx = rng.sample_indices(pool.size(), k);
+  std::vector<MemberId> out;
+  out.reserve(k);
+  for (std::size_t i : idx) out.push_back(pool[i]);
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Figure 6 ----
+
+Fig6Result run_fig6_point(std::size_t initial_holders, std::size_t region_size,
+                          std::size_t trials, std::uint64_t seed,
+                          const ExperimentDefaults& defaults) {
+  std::vector<double> samples;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    ClusterConfig cc = base_config(defaults);
+    cc.region_sizes = {region_size};
+    cc.seed = seed + trial * 7919;
+    Cluster cluster(cc);
+
+    RandomEngine pick_rng(seed ^ (trial * 0x9E3779B97F4A7C15ULL));
+    std::vector<MemberId> holders =
+        pick_members(cluster.region_members(0), initial_holders, pick_rng);
+    MessageId id = cluster.inject(holders[0], 1, holders);
+    cluster.run_until_quiet(Duration::seconds(2));
+
+    // A holder's buffering time ends at its idle decision: either the
+    // discard or the promotion to long-term (both happen at
+    // last_activity + T).
+    std::map<MemberId, TimePoint> closed;
+    for (const auto& ev : cluster.metrics().discards()) {
+      if (ev.id == id) closed.try_emplace(ev.member, ev.at);
+    }
+    for (const auto& ev : cluster.metrics().promotions()) {
+      if (ev.id == id) {
+        auto [it, inserted] = closed.try_emplace(ev.member, ev.at);
+        if (!inserted && ev.at < it->second) it->second = ev.at;
+      }
+    }
+    for (MemberId h : holders) {
+      auto it = closed.find(h);
+      if (it != closed.end()) samples.push_back(it->second.ms());
+    }
+  }
+  Fig6Result r;
+  r.initial_holders = initial_holders;
+  r.mean_buffer_ms = analysis::mean(samples);
+  r.samples = samples.size();
+  return r;
+}
+
+// ------------------------------------------------------------- Figure 7 ----
+
+Fig7Series run_fig7(std::size_t region_size, std::uint64_t seed,
+                    Duration horizon, Duration sample_every,
+                    const ExperimentDefaults& defaults) {
+  ClusterConfig cc = base_config(defaults);
+  cc.region_sizes = {region_size};
+  cc.seed = seed;
+  Cluster cluster(cc);
+
+  std::vector<MemberId> holders = {cluster.region_members(0)[0]};
+  MessageId id = cluster.inject(holders[0], 1, holders);
+  cluster.run_for(horizon);
+
+  Fig7Series s;
+  const auto& m = cluster.metrics();
+  for (TimePoint t = TimePoint::zero(); t <= TimePoint::zero() + horizon;
+       t = t + sample_every) {
+    std::size_t received = 0, stored = 0, discarded = 0;
+    for (const auto& ev : m.deliveries()) {
+      if (ev.id == id && ev.at <= t) ++received;
+    }
+    for (const auto& ev : m.stores()) {
+      if (ev.id == id && ev.at <= t) ++stored;
+    }
+    for (const auto& ev : m.discards()) {
+      if (ev.id == id && ev.at <= t) ++discarded;
+    }
+    s.t_ms.push_back(t.ms());
+    s.received.push_back(received);
+    s.buffered.push_back(stored - discarded);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------- Figures 8/9 ----
+
+SearchResult run_search_once(std::size_t region_size, std::size_t bufferers,
+                             std::uint64_t seed,
+                             const ExperimentDefaults& defaults) {
+  ClusterConfig cc = base_config(defaults);
+  cc.region_sizes = {region_size, 1};  // region 1: the downstream requester
+  cc.seed = seed;
+  Cluster cluster(cc);
+
+  std::vector<MemberId> region0 = cluster.region_members(0);
+  MemberId requester = cluster.region_members(1)[0];
+  MessageId id =
+      cluster.inject_data_to(region0[0], 1, region0);  // everyone received it
+
+  RandomEngine rng(seed ^ 0xFEEDFACEULL);
+  std::unordered_set<MemberId> keep;
+  for (MemberId b : pick_members(region0, bufferers, rng)) keep.insert(b);
+  for (MemberId m : region0) {
+    if (keep.count(m)) {
+      cluster.force_long_term(m, id);
+    } else {
+      cluster.force_discard(m, id);
+    }
+  }
+
+  MemberId target = region0[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(region0.size()) - 1))];
+  TimePoint t0 = cluster.sim().now();
+  cluster.inject_remote_request(target, id, requester);
+  cluster.run_until_quiet(Duration::seconds(2));
+
+  SearchResult r;
+  TimePoint repaired = cluster.metrics().first_remote_repair(id);
+  r.found = repaired != TimePoint::max();
+  r.search_ms = r.found ? (repaired - t0).ms() : -1.0;
+  return r;
+}
+
+double mean_search_ms(std::size_t region_size, std::size_t bufferers,
+                      std::size_t trials, std::uint64_t seed,
+                      const ExperimentDefaults& defaults) {
+  std::vector<double> xs;
+  for (std::size_t t = 0; t < trials; ++t) {
+    SearchResult r =
+        run_search_once(region_size, bufferers, seed + t * 104729, defaults);
+    if (r.found) xs.push_back(r.search_ms);
+  }
+  return analysis::mean(xs);
+}
+
+// --------------------------------------------------------- Figures 3/4 ----
+
+LongTermDistribution simulate_longterm_distribution(std::size_t region_size,
+                                                    double C,
+                                                    std::size_t trials,
+                                                    std::uint64_t seed,
+                                                    std::size_t max_k) {
+  LongTermDistribution out;
+  out.pmf.assign(max_k + 1, 0.0);
+  RandomEngine rng(seed);
+  double p = C / static_cast<double>(region_size);
+  std::uint64_t none = 0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t k = 0;
+    for (std::size_t m = 0; m < region_size; ++m) {
+      if (rng.bernoulli(p)) ++k;
+    }
+    if (k == 0) ++none;
+    if (k <= max_k) out.pmf[k] += 1.0;
+    total += static_cast<double>(k);
+  }
+  for (double& v : out.pmf) v /= static_cast<double>(trials);
+  out.p_none = static_cast<double>(none) / static_cast<double>(trials);
+  out.mean = total / static_cast<double>(trials);
+  return out;
+}
+
+// ----------------------------------------------------------- Ablation A3 ----
+
+LambdaResult run_lambda_experiment(double lambda, std::size_t region_size,
+                                   std::size_t parent_size, std::size_t trials,
+                                   std::uint64_t seed,
+                                   const ExperimentDefaults& defaults) {
+  std::vector<double> first_round;
+  std::vector<double> completion_ms;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    ClusterConfig cc = base_config(defaults);
+    cc.region_sizes = {parent_size, region_size};
+    cc.protocol.lambda = lambda;
+    cc.seed = seed + trial * 6151;
+    Cluster cluster(cc);
+
+    std::vector<MemberId> parent = cluster.region_members(0);
+    std::vector<MemberId> child = cluster.region_members(1);
+    MessageId id = cluster.inject_data_to(parent[0], 1, parent);
+    cluster.inject_session_to(parent[0], 1, child);
+    // Loss detection and first-round requests are synchronous at t=0.
+    first_round.push_back(
+        static_cast<double>(cluster.metrics().remote_requests_for(id)));
+
+    cluster.run_until_quiet(Duration::seconds(3));
+    TimePoint done = TimePoint::zero();
+    for (const auto& ev : cluster.metrics().deliveries()) {
+      if (ev.id == id && ev.at > done) done = ev.at;
+    }
+    if (cluster.all_received(id)) completion_ms.push_back(done.ms());
+  }
+  LambdaResult r;
+  r.mean_first_round = analysis::mean(first_round);
+  r.mean_recovery_ms = analysis::mean(completion_ms);
+  return r;
+}
+
+// ----------------------------------------------------------- Ablation A2 ----
+
+SearchStrategyOutcome run_search_strategy(Config::SearchStrategy strategy,
+                                          std::size_t region_size,
+                                          std::size_t holders,
+                                          std::size_t trials,
+                                          std::uint64_t seed,
+                                          const ExperimentDefaults& defaults) {
+  std::vector<double> replies;
+  std::vector<double> times;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    ClusterConfig cc = base_config(defaults);
+    cc.region_sizes = {region_size, 1};
+    cc.protocol.search_strategy = strategy;
+    cc.protocol.query_backoff_c = defaults.C;
+    cc.seed = seed + trial * 3571;
+    Cluster cluster(cc);
+
+    std::vector<MemberId> region0 = cluster.region_members(0);
+    MemberId requester = cluster.region_members(1)[0];
+    MessageId id = cluster.inject_data_to(region0[0], 1, region0);
+
+    RandomEngine rng(seed ^ (trial * 0xABCDEFULL) ^ 0x5555);
+    std::unordered_set<MemberId> keep;
+    for (MemberId b : pick_members(region0, holders, rng)) keep.insert(b);
+    std::vector<MemberId> discarded;
+    for (MemberId m : region0) {
+      if (!keep.count(m)) {
+        cluster.force_discard(m, id);
+        discarded.push_back(m);
+      }
+    }
+    if (discarded.empty()) continue;  // need a premature-idle entry point
+    MemberId entry = discarded[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(discarded.size()) - 1))];
+    cluster.inject_remote_request(entry, id, requester);
+    cluster.run_until_quiet(Duration::seconds(1));
+
+    // "Replies" = SearchFound announce multicasts: the paper's implosion
+    // unit (one per member that answered the query before suppression).
+    replies.push_back(
+        static_cast<double>(cluster.metrics().counters().searches_completed));
+    TimePoint t = cluster.metrics().first_remote_repair(id);
+    if (t != TimePoint::max()) times.push_back(t.ms());
+  }
+  SearchStrategyOutcome out;
+  out.strategy = strategy == Config::SearchStrategy::kRandomSearch
+                     ? "random-search"
+                     : "multicast-query";
+  out.mean_replies = analysis::mean(replies);
+  out.mean_search_ms = analysis::mean(times);
+  return out;
+}
+
+// ----------------------------------------------------------- Ablation A4 ----
+
+PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
+                                  const StreamScenario& scenario,
+                                  const ExperimentDefaults& defaults) {
+  ClusterConfig cc = base_config(defaults);
+  cc.region_sizes = {scenario.region_size};
+  cc.policy = kind;
+  cc.policy_params.fixed_ttl = Duration::millis(100);
+  cc.policy_params.hash.k = static_cast<std::size_t>(defaults.C);
+  cc.policy_params.hash.grace = defaults.idle_threshold;
+  cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
+                           ? BuffererLookup::kHashDirect
+                           : BuffererLookup::kRandomized;
+  cc.protocol.history_interval = Duration::millis(20);
+  cc.data_loss = scenario.data_loss;
+  cc.seed = scenario.seed;
+  Cluster cluster(cc);
+
+  MemberId sender = 0;
+  for (std::size_t i = 0; i < scenario.messages; ++i) {
+    cluster.sim().schedule_at(
+        TimePoint::zero() + scenario.send_interval * static_cast<std::int64_t>(i),
+        [&cluster, sender, bytes = scenario.payload_bytes] {
+          cluster.endpoint(sender).multicast(
+              std::vector<std::uint8_t>(bytes, 0x5A));
+        });
+  }
+
+  TimePoint end = TimePoint::zero() +
+                  scenario.send_interval *
+                      static_cast<std::int64_t>(scenario.messages) +
+                  scenario.drain;
+  std::vector<double> occupancy;
+  std::function<void()> sampler = [&] {
+    occupancy.push_back(static_cast<double>(cluster.total_buffered()));
+    if (cluster.sim().now() + Duration::millis(5) <= end) {
+      cluster.sim().schedule_after(Duration::millis(5), sampler);
+    }
+  };
+  cluster.sim().schedule_after(Duration::millis(5), sampler);
+  cluster.run_for(end - TimePoint::zero());
+
+  PolicyOutcome out;
+  out.policy = buffer::to_string(kind);
+  out.all_delivered = true;
+  for (std::uint64_t seq = 1; seq <= scenario.messages; ++seq) {
+    if (!cluster.all_received(MessageId{sender, seq})) {
+      out.all_delivered = false;
+    }
+  }
+  std::size_t peak = 0;
+  std::uint64_t open = 0;
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    peak = std::max(peak, cluster.endpoint(m).buffer().stats().peak_count);
+    open += cluster.endpoint(m).active_recoveries();
+  }
+  out.unrecovered = open;
+  out.peak_buffer_per_member = static_cast<double>(peak);
+  out.mean_occupancy_per_member =
+      analysis::mean(occupancy) / static_cast<double>(scenario.region_size);
+  out.final_buffered_total = static_cast<double>(cluster.total_buffered());
+  std::vector<double> rec_ms;
+  for (Duration d : cluster.metrics().recovery_latencies()) {
+    rec_ms.push_back(d.ms());
+  }
+  out.mean_recovery_ms = analysis::mean(rec_ms);
+
+  const net::TrafficStats& ts = cluster.network().stats();
+  auto by_type = [&ts](proto::MessageType t) {
+    return ts.sends_by_type[static_cast<std::size_t>(t)];
+  };
+  auto bytes_by_type = [&ts](proto::MessageType t) {
+    return ts.bytes_by_type[static_cast<std::size_t>(t)];
+  };
+  using MT = proto::MessageType;
+  for (MT t : {MT::kSession, MT::kLocalRequest, MT::kRemoteRequest,
+               MT::kSearchRequest, MT::kSearchFound, MT::kGossip, MT::kHistory,
+               MT::kHandoff}) {
+    out.control_msgs += by_type(t);
+    out.control_bytes += bytes_by_type(t);
+  }
+  out.repair_msgs = by_type(MT::kRepair) + by_type(MT::kRegionalRepair);
+  return out;
+}
+
+// ----------------------------------------------------------- Ablation A5 ----
+
+ChurnOutcome run_churn_handoff(bool with_handoff, std::size_t region_size,
+                               std::size_t trials, std::uint64_t seed,
+                               const ExperimentDefaults& defaults) {
+  ChurnOutcome out;
+  out.trials = trials;
+  std::vector<double> latencies;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    ClusterConfig cc = base_config(defaults);
+    cc.region_sizes = {region_size, 1};
+    cc.seed = seed + trial * 2477;
+    Cluster cluster(cc);
+
+    std::vector<MemberId> region0 = cluster.region_members(0);
+    MemberId requester = cluster.region_members(1)[0];
+    MessageId id = cluster.inject_data_to(region0[0], 1, region0);
+    // Let the idle threshold pass: only the random long-term set remains.
+    cluster.run_for(Duration::millis(100));
+
+    std::vector<MemberId> bufferers;
+    for (MemberId m : region0) {
+      if (cluster.endpoint(m).buffer().is_long_term(id)) bufferers.push_back(m);
+    }
+    if (bufferers.empty()) continue;  // P = e^-C; counts as not recovered
+
+    // Every long-term bufferer departs.
+    for (MemberId b : bufferers) {
+      if (with_handoff) {
+        cluster.leave(b);
+      } else {
+        cluster.crash(b);
+      }
+    }
+    cluster.run_for(Duration::millis(50));  // handoffs propagate
+
+    // A downstream member now asks for the message.
+    RandomEngine rng(seed ^ (trial * 0x1234567ULL));
+    std::vector<MemberId> survivors;
+    for (MemberId m : region0) {
+      if (cluster.directory().alive(m)) survivors.push_back(m);
+    }
+    MemberId target = survivors[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(survivors.size()) - 1))];
+    TimePoint t0 = cluster.sim().now();
+    cluster.inject_remote_request(target, id, requester);
+    cluster.run_for(Duration::millis(500));
+
+    if (cluster.endpoint(requester).has_received(id)) {
+      ++out.recovered;
+      TimePoint t = cluster.metrics().first_remote_repair(id);
+      if (t != TimePoint::max() && t >= t0) latencies.push_back((t - t0).ms());
+    }
+  }
+  out.mean_recovery_ms = analysis::mean(latencies);
+  return out;
+}
+
+// ----------------------------------------------------------- Ablation A1 ----
+
+double simulate_no_request_probability(std::size_t region_size, double p,
+                                       std::size_t trials,
+                                       std::uint64_t seed) {
+  RandomEngine rng(seed);
+  auto missing = static_cast<std::size_t>(
+      static_cast<double>(region_size) * p + 0.5);
+  std::uint64_t quiet = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Member 0 holds the message; `missing` other members each send one
+    // request to a uniformly random member other than themselves.
+    bool hit = false;
+    for (std::size_t m = 1; m <= missing && m < region_size; ++m) {
+      auto target = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(region_size) - 2));
+      if (target >= m) ++target;  // skip self
+      if (target == 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) ++quiet;
+  }
+  return static_cast<double>(quiet) / static_cast<double>(trials);
+}
+
+}  // namespace rrmp::harness

@@ -1,0 +1,170 @@
+// Experiment drivers: one function per figure/ablation of the paper,
+// shared by the bench binaries and the property tests.
+//
+// Every driver is deterministic in its seed. Times are reported in
+// milliseconds, matching the paper's axes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "buffer/factory.h"
+#include "rrmp/config.h"
+
+namespace rrmp::harness {
+
+// Paper defaults used throughout §4: region RTT 10 ms, T = 40 ms, C = 6.
+struct ExperimentDefaults {
+  Duration intra_rtt = Duration::millis(10);
+  Duration idle_threshold = Duration::millis(40);
+  double C = 6.0;
+};
+
+// ---- Figure 6: feedback-based short-term buffering ----------------------
+
+struct Fig6Result {
+  std::size_t initial_holders = 0;
+  /// Mean time the *initial* holders kept the message buffered before the
+  /// idle decision (discard or long-term promotion), ms.
+  double mean_buffer_ms = 0.0;
+  std::size_t samples = 0;
+};
+
+Fig6Result run_fig6_point(std::size_t initial_holders, std::size_t region_size,
+                          std::size_t trials, std::uint64_t seed,
+                          const ExperimentDefaults& defaults = {});
+
+// ---- Figure 7: #received vs #buffered over time --------------------------
+
+struct Fig7Series {
+  std::vector<double> t_ms;
+  std::vector<std::size_t> received;
+  std::vector<std::size_t> buffered;
+};
+
+Fig7Series run_fig7(std::size_t region_size, std::uint64_t seed,
+                    Duration horizon, Duration sample_every,
+                    const ExperimentDefaults& defaults = {});
+
+// ---- Figures 8/9: search for bufferers -----------------------------------
+
+struct SearchResult {
+  double search_ms = 0.0;  // 0 when the request lands on a bufferer
+  bool found = false;
+};
+
+/// One search trial: a region of `region_size` members where everyone
+/// received and discarded the message except `bufferers` randomly chosen
+/// long-term holders; a remote request from a downstream member arrives at
+/// a random region member; returns the time until a bufferer repairs the
+/// requester (§3.3, Figures 8/9).
+SearchResult run_search_once(std::size_t region_size, std::size_t bufferers,
+                             std::uint64_t seed,
+                             const ExperimentDefaults& defaults = {});
+
+double mean_search_ms(std::size_t region_size, std::size_t bufferers,
+                      std::size_t trials, std::uint64_t seed,
+                      const ExperimentDefaults& defaults = {});
+
+// ---- Figures 3/4: long-term bufferer distribution -------------------------
+
+struct LongTermDistribution {
+  std::vector<double> pmf;  // pmf[k] = P(k long-term bufferers), k <= max_k
+  double p_none = 0.0;      // probability of zero bufferers
+  double mean = 0.0;
+};
+
+/// Monte Carlo of the §3.2 randomized long-term decision across a region
+/// (each member keeps an idle message with probability C/n). The policy-level
+/// equivalent is validated in the integration tests; this samples the same
+/// rule directly so the benches can afford millions of trials.
+LongTermDistribution simulate_longterm_distribution(std::size_t region_size,
+                                                    double C,
+                                                    std::size_t trials,
+                                                    std::uint64_t seed,
+                                                    std::size_t max_k);
+
+// ---- Ablation A3: expected remote requests == lambda ----------------------
+
+struct LambdaResult {
+  double mean_first_round = 0.0;  // remote requests in the first round
+  double mean_recovery_ms = 0.0;  // until the region is fully repaired
+};
+
+LambdaResult run_lambda_experiment(double lambda, std::size_t region_size,
+                                   std::size_t parent_size, std::size_t trials,
+                                   std::uint64_t seed,
+                                   const ExperimentDefaults& defaults = {});
+
+// ---- Ablation A2: random search vs multicast query ------------------------
+
+struct SearchStrategyOutcome {
+  std::string strategy;
+  double mean_replies = 0.0;    // repairs sent to the requester per search
+  double mean_search_ms = 0.0;  // time to the first repair
+};
+
+/// `holders` of `region_size` members still buffer the message when the
+/// query arrives at a member that discarded it prematurely. With many
+/// holders the back-off window (proportional to C) is far too short and the
+/// multicast query implodes (§3.3).
+SearchStrategyOutcome run_search_strategy(Config::SearchStrategy strategy,
+                                          std::size_t region_size,
+                                          std::size_t holders,
+                                          std::size_t trials,
+                                          std::uint64_t seed,
+                                          const ExperimentDefaults& defaults = {});
+
+// ---- Ablation A4: buffer policy comparison on a lossy stream --------------
+
+struct StreamScenario {
+  std::size_t region_size = 60;
+  std::size_t messages = 80;
+  Duration send_interval = Duration::millis(5);
+  double data_loss = 0.05;
+  std::size_t payload_bytes = 256;
+  Duration drain = Duration::millis(600);
+  std::uint64_t seed = 1;
+};
+
+struct PolicyOutcome {
+  std::string policy;
+  bool all_delivered = false;
+  std::uint64_t unrecovered = 0;        // open recoveries at the end
+  double peak_buffer_per_member = 0.0;  // max_m peak buffered msg count
+  double mean_occupancy_per_member = 0.0;  // time-avg buffered msgs/member
+  double final_buffered_total = 0.0;    // msgs still buffered at the end
+  double mean_recovery_ms = 0.0;
+  std::uint64_t control_msgs = 0;   // requests/search/session/history/gossip
+  std::uint64_t control_bytes = 0;
+  std::uint64_t repair_msgs = 0;
+};
+
+PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
+                                  const StreamScenario& scenario,
+                                  const ExperimentDefaults& defaults = {});
+
+// ---- Ablation A5: handoff under churn --------------------------------------
+
+struct ChurnOutcome {
+  std::size_t trials = 0;
+  std::size_t recovered = 0;  // late request answered despite bufferer churn
+  double mean_recovery_ms = 0.0;
+};
+
+/// All long-term bufferers of a message depart; `with_handoff` uses graceful
+/// leaves (buffers transfer, §3.2), otherwise crashes. A downstream request
+/// then probes whether the message survived.
+ChurnOutcome run_churn_handoff(bool with_handoff, std::size_t region_size,
+                               std::size_t trials, std::uint64_t seed,
+                               const ExperimentDefaults& defaults = {});
+
+// ---- Ablation A1: feedback formula -----------------------------------------
+
+/// Monte Carlo of §3.1: fraction of members receiving zero requests when
+/// n*p members each send one request to a uniformly random other member.
+double simulate_no_request_probability(std::size_t region_size, double p,
+                                       std::size_t trials, std::uint64_t seed);
+
+}  // namespace rrmp::harness

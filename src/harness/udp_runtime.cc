@@ -1,0 +1,126 @@
+#include "harness/udp_runtime.h"
+
+#include "common/logging.h"
+#include "proto/codec.h"
+
+namespace rrmp::harness {
+
+class UdpRuntime::MemberHost final : public IHost {
+ public:
+  MemberHost(MemberId self, UdpRuntime& rt, RandomEngine rng)
+      : self_(self),
+        region_(rt.topology_.region_of(self)),
+        rt_(rt),
+        rng_(std::move(rng)),
+        local_view_(rt.directory_.region_view(region_)),
+        parent_view_(rt.directory_.parent_view(region_)) {}
+
+  MemberId self() const override { return self_; }
+  RegionId region() const override { return region_; }
+  TimePoint now() const override { return rt_.bus_->now(); }
+
+  TimerHandle schedule(Duration d, std::function<void()> fn) override {
+    return rt_.bus_->schedule_after(d, std::move(fn));
+  }
+  void cancel(TimerHandle timer) override { rt_.bus_->cancel(timer); }
+
+  void send(MemberId to, proto::Message msg) override {
+    rt_.bus_->send(self_, to, proto::encode(msg));
+  }
+
+  void multicast_region(proto::Message msg) override {
+    std::vector<std::uint8_t> bytes = proto::encode(msg);
+    for (MemberId m : rt_.topology_.members_of(region_)) {
+      if (m != self_) rt_.bus_->send(self_, m, bytes);
+    }
+  }
+
+  void ip_multicast(proto::Message msg) override {
+    std::vector<std::uint8_t> bytes = proto::encode(msg);
+    for (MemberId m = 0; m < rt_.topology_.member_count(); ++m) {
+      if (m == self_) continue;
+      if (rng_.bernoulli(rt_.config_.data_loss)) continue;
+      rt_.bus_->send(self_, m, bytes);
+    }
+  }
+
+  RandomEngine& rng() override { return rng_; }
+
+  const membership::RegionView& local_view() const override {
+    return local_view_;
+  }
+  const membership::RegionView& parent_view() const override {
+    return parent_view_;
+  }
+
+  Duration rtt_estimate(MemberId peer) const override {
+    if (rt_.config_.emulate_latency) return rt_.topology_.rtt(self_, peer);
+    // Raw loopback: sub-millisecond; a small floor keeps retries sane.
+    return Duration::millis(2);
+  }
+
+ private:
+  MemberId self_;
+  RegionId region_;
+  UdpRuntime& rt_;
+  RandomEngine rng_;
+  membership::RegionView local_view_;
+  membership::RegionView parent_view_;
+};
+
+UdpRuntime::UdpRuntime(const net::Topology& topology, UdpRuntimeConfig config)
+    : topology_(topology), config_(std::move(config)), directory_(topology) {
+  bus_ = std::make_unique<net::UdpBus>(topology.member_count(),
+                                       config_.base_port);
+  if (config_.emulate_latency) {
+    bus_->set_delay_fn([this](MemberId from, MemberId to) {
+      return topology_.one_way_latency(from, to);
+    });
+  }
+  RandomEngine master(config_.seed);
+  hosts_.reserve(topology.member_count());
+  endpoints_.reserve(topology.member_count());
+  for (MemberId m = 0; m < topology.member_count(); ++m) {
+    hosts_.push_back(
+        std::make_unique<MemberHost>(m, *this, master.fork(m + 1)));
+    auto policy = buffer::make_policy(config_.policy, config_.policy_params);
+    endpoints_.push_back(std::make_unique<Endpoint>(
+        *hosts_.back(), config_.protocol, std::move(policy), &metrics_));
+  }
+  bus_->set_receive_callback([this](MemberId to, MemberId from,
+                                    std::span<const std::uint8_t> bytes) {
+    std::optional<proto::Message> msg = proto::decode(bytes);
+    if (!msg) {
+      log::warn("UdpRuntime: dropping undecodable datagram (", bytes.size(),
+                " bytes)");
+      return;
+    }
+    endpoints_.at(to)->handle_message(*msg, from);
+  });
+}
+
+UdpRuntime::~UdpRuntime() {
+  // Halt endpoints first so no timer callback outlives them.
+  for (auto& ep : endpoints_) {
+    if (ep) ep->halt();
+  }
+}
+
+void UdpRuntime::run_for(Duration d) { bus_->run_until(bus_->now() + d); }
+
+bool UdpRuntime::all_received(const MessageId& id) const {
+  for (const auto& ep : endpoints_) {
+    if (!ep->has_received(id)) return false;
+  }
+  return true;
+}
+
+std::size_t UdpRuntime::count_received(const MessageId& id) const {
+  std::size_t n = 0;
+  for (const auto& ep : endpoints_) {
+    if (ep->has_received(id)) ++n;
+  }
+  return n;
+}
+
+}  // namespace rrmp::harness

@@ -1,0 +1,69 @@
+// UdpRuntime: runs unmodified RRMP endpoints over real loopback UDP sockets
+// (net::UdpBus) — the "same socket APIs" deployment of the protocol.
+//
+// One UdpBus carries all members; each member gets a UdpMemberHost that
+// implements IHost by encoding messages through the wire codec and sending
+// real datagrams. Topology latency is reproduced with the bus's delayed
+// sends, so WAN timing holds on loopback. Membership is static (the
+// directory's initial state); all endpoints run on the caller's thread via
+// run_for().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "buffer/factory.h"
+#include "membership/directory.h"
+#include "net/topology.h"
+#include "net/udp_host.h"
+#include "rrmp/endpoint.h"
+#include "rrmp/metrics.h"
+
+namespace rrmp::harness {
+
+struct UdpRuntimeConfig {
+  std::uint16_t base_port = 37100;
+  Config protocol;
+  buffer::PolicyKind policy = buffer::PolicyKind::kTwoPhase;
+  buffer::PolicyParams policy_params;
+  std::uint64_t seed = 1;
+  /// Per-receiver loss applied to ip_multicast fan-out (initial
+  /// dissemination), as in the simulator.
+  double data_loss = 0.0;
+  /// Reproduce topology latencies with delayed sends (false = raw loopback).
+  bool emulate_latency = true;
+};
+
+class UdpRuntime {
+ public:
+  /// Throws std::runtime_error if sockets cannot be bound.
+  UdpRuntime(const net::Topology& topology, UdpRuntimeConfig config);
+  ~UdpRuntime();
+
+  UdpRuntime(const UdpRuntime&) = delete;
+  UdpRuntime& operator=(const UdpRuntime&) = delete;
+
+  Endpoint& endpoint(MemberId m) { return *endpoints_.at(m); }
+  RecordingSink& metrics() { return metrics_; }
+  net::UdpBus& bus() { return *bus_; }
+  std::size_t size() const { return endpoints_.size(); }
+
+  /// Service sockets and timers for `d` of wall-clock time.
+  void run_for(Duration d);
+
+  bool all_received(const MessageId& id) const;
+  std::size_t count_received(const MessageId& id) const;
+
+ private:
+  class MemberHost;
+
+  const net::Topology& topology_;
+  UdpRuntimeConfig config_;
+  membership::Directory directory_;
+  std::unique_ptr<net::UdpBus> bus_;
+  RecordingSink metrics_;
+  std::vector<std::unique_ptr<MemberHost>> hosts_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace rrmp::harness

@@ -1,0 +1,12 @@
+#include "net/loss_model.h"
+
+namespace rrmp::net {
+
+std::unique_ptr<LossModel> make_no_loss() { return std::make_unique<NoLoss>(); }
+
+std::unique_ptr<LossModel> make_bernoulli(double p) {
+  if (p <= 0.0) return make_no_loss();
+  return std::make_unique<BernoulliLoss>(p);
+}
+
+}  // namespace rrmp::net

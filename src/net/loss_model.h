@@ -1,0 +1,68 @@
+// Packet-loss models for the simulated network.
+//
+// The paper's figure experiments assume lossless requests/repairs and drive
+// the *initial multicast* outcome explicitly (a chosen subset of members
+// holds the message); these models cover the general scenarios the protocol
+// must survive: independent (Bernoulli) loss and bursty (Gilbert–Elliott)
+// loss.
+#pragma once
+
+#include <memory>
+
+#include "common/random.h"
+
+namespace rrmp::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Returns true if the packet should be dropped.
+  virtual bool drop(RandomEngine& rng) = 0;
+};
+
+/// Never drops.
+class NoLoss final : public LossModel {
+ public:
+  bool drop(RandomEngine&) override { return false; }
+};
+
+/// Drops each packet independently with probability p.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool drop(RandomEngine& rng) override { return rng.bernoulli(p_); }
+  double rate() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Two-state Markov (Gilbert–Elliott) burst-loss model. In the good state
+/// packets drop with `loss_good`, in the bad state with `loss_bad`; the
+/// chain moves good->bad with `p_gb` and bad->good with `p_bg` per packet.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_gb, double p_bg, double loss_good,
+                     double loss_bad)
+      : p_gb_(p_gb), p_bg_(p_bg), loss_good_(loss_good), loss_bad_(loss_bad) {}
+
+  bool drop(RandomEngine& rng) override {
+    if (bad_) {
+      if (rng.bernoulli(p_bg_)) bad_ = false;
+    } else {
+      if (rng.bernoulli(p_gb_)) bad_ = true;
+    }
+    return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+  }
+
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+std::unique_ptr<LossModel> make_no_loss();
+std::unique_ptr<LossModel> make_bernoulli(double p);
+
+}  // namespace rrmp::net

@@ -1,0 +1,119 @@
+#include "net/sim_network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "proto/codec.h"
+
+namespace rrmp::net {
+
+SimNetwork::SimNetwork(sim::Simulator& simulator, const Topology& topology,
+                       RandomEngine rng)
+    : sim_(simulator),
+      topology_(topology),
+      rng_(std::move(rng)),
+      control_loss_(make_no_loss()) {}
+
+void SimNetwork::attach(MemberId m, MessageHandler* handler) {
+  if (handler == nullptr) {
+    throw std::invalid_argument("SimNetwork::attach: null handler");
+  }
+  handlers_[m] = handler;
+}
+
+void SimNetwork::detach(MemberId m) { handlers_.erase(m); }
+
+bool SimNetwork::attached(MemberId m) const {
+  return handlers_.find(m) != handlers_.end();
+}
+
+void SimNetwork::set_control_loss(std::unique_ptr<LossModel> model) {
+  control_loss_ = model ? std::move(model) : make_no_loss();
+}
+
+Duration SimNetwork::delay(MemberId from, MemberId to) {
+  Duration d = topology_.one_way_latency(from, to);
+  if (jitter_fraction_ > 0.0) {
+    d = d.scaled(rng_.uniform_real(1.0, 1.0 + jitter_fraction_));
+  }
+  return d;
+}
+
+void SimNetwork::deliver(MemberId to, const proto::Message& msg,
+                         MemberId from) {
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) return;  // crashed or left: packet vanishes
+  ++stats_.delivered;
+  it->second->on_message(msg, from);
+}
+
+void SimNetwork::transmit(MemberId from, MemberId to,
+                          const proto::Message& msg, bool apply_loss) {
+  ++stats_.sends;
+  std::size_t wire_bytes = proto::encoded_size(msg);
+  stats_.bytes_sent += wire_bytes;
+  auto type_idx = static_cast<std::size_t>(proto::type_of(msg));
+  if (type_idx < stats_.sends_by_type.size()) {
+    ++stats_.sends_by_type[type_idx];
+    stats_.bytes_by_type[type_idx] += wire_bytes;
+  }
+  if (apply_loss && control_loss_->drop(rng_)) {
+    ++stats_.dropped;
+    return;
+  }
+  proto::Message in_flight = msg;
+  if (codec_roundtrip_) {
+    auto decoded = proto::decode(proto::encode(msg));
+    if (!decoded) {
+      log::error("SimNetwork: codec round-trip failed for ",
+                 proto::type_name(msg));
+      return;
+    }
+    in_flight = std::move(*decoded);
+  }
+  sim_.schedule_after(delay(from, to),
+                      [this, to, m = std::move(in_flight), from]() {
+                        deliver(to, m, from);
+                      });
+}
+
+void SimNetwork::unicast(MemberId from, MemberId to, proto::Message msg) {
+  transmit(from, to, msg, /*apply_loss=*/true);
+}
+
+void SimNetwork::multicast_region(MemberId from, proto::Message msg) {
+  RegionId r = topology_.region_of(from);
+  for (MemberId m : topology_.members_of(r)) {
+    if (m == from) continue;
+    transmit(from, m, msg, /*apply_loss=*/true);
+  }
+}
+
+void SimNetwork::ip_multicast(MemberId from, const proto::Message& msg,
+                              double per_receiver_loss) {
+  for (std::size_t m = 0; m < topology_.member_count(); ++m) {
+    auto member = static_cast<MemberId>(m);
+    if (member == from) continue;
+    ++stats_.sends;
+    if (rng_.bernoulli(per_receiver_loss)) {
+      ++stats_.dropped;
+      continue;
+    }
+    proto::Message copy = msg;
+    sim_.schedule_after(delay(from, member),
+                        [this, member, mm = std::move(copy), from]() {
+                          deliver(member, mm, from);
+                        });
+  }
+}
+
+void SimNetwork::ip_multicast_to(MemberId from, const proto::Message& msg,
+                                 std::span<const MemberId> receivers) {
+  for (MemberId member : receivers) {
+    if (member == from) continue;
+    transmit(from, member, msg, /*apply_loss=*/false);
+  }
+}
+
+}  // namespace rrmp::net

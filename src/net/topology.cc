@@ -1,0 +1,82 @@
+#include "net/topology.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rrmp::net {
+
+RegionId Topology::add_region(std::string name, std::optional<RegionId> parent,
+                              Duration intra_rtt) {
+  if (parent && *parent >= regions_.size()) {
+    throw std::out_of_range("Topology::add_region: unknown parent region");
+  }
+  regions_.push_back(Region{std::move(name), parent, intra_rtt, {}});
+  return static_cast<RegionId>(regions_.size() - 1);
+}
+
+MemberId Topology::add_member(RegionId region) {
+  if (region >= regions_.size()) {
+    throw std::out_of_range("Topology::add_member: unknown region");
+  }
+  auto id = static_cast<MemberId>(member_region_.size());
+  member_region_.push_back(region);
+  regions_[region].members.push_back(id);
+  return id;
+}
+
+std::vector<MemberId> Topology::add_members(RegionId region,
+                                            std::size_t count) {
+  std::vector<MemberId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(add_member(region));
+  return out;
+}
+
+void Topology::set_inter_latency(RegionId a, RegionId b, Duration one_way) {
+  auto key = std::make_pair(std::min(a, b), std::max(a, b));
+  for (auto& [k, v] : inter_overrides_) {
+    if (k == key) {
+      v = one_way;
+      return;
+    }
+  }
+  inter_overrides_.emplace_back(key, one_way);
+}
+
+std::optional<RegionId> Topology::parent_of(RegionId r) const {
+  return regions_.at(r).parent;
+}
+
+Duration Topology::inter_one_way(RegionId a, RegionId b) const {
+  auto key = std::make_pair(std::min(a, b), std::max(a, b));
+  for (const auto& [k, v] : inter_overrides_) {
+    if (k == key) return v;
+  }
+  return default_inter_one_way_;
+}
+
+Duration Topology::one_way_latency(MemberId from, MemberId to) const {
+  RegionId ra = region_of(from);
+  RegionId rb = region_of(to);
+  if (ra == rb) return regions_[ra].intra_rtt / 2;
+  return inter_one_way(ra, rb);
+}
+
+Topology make_hierarchy(const std::vector<std::size_t>& region_sizes,
+                        Duration intra_rtt, Duration inter_one_way,
+                        const std::vector<RegionId>* parents) {
+  Topology topo;
+  topo.set_default_inter_latency(inter_one_way);
+  for (std::size_t i = 0; i < region_sizes.size(); ++i) {
+    std::optional<RegionId> parent;
+    if (i > 0) {
+      parent = parents ? (*parents)[i] : RegionId{0};
+    }
+    RegionId r = topo.add_region("region" + std::to_string(i), parent, intra_rtt);
+    assert(r == i);
+    topo.add_members(r, region_sizes[i]);
+  }
+  return topo;
+}
+
+}  // namespace rrmp::net

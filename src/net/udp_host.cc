@@ -1,0 +1,184 @@
+#include "net/udp_host.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace rrmp::net {
+namespace {
+
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpBus::UdpBus(std::size_t member_count, std::uint16_t base_port)
+    : base_port_(base_port) {
+  epoch_ns_ = monotonic_ns();
+  fds_.reserve(member_count);
+  for (std::size_t i = 0; i < member_count; ++i) {
+    int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("UdpBus: socket() failed: ") +
+                               std::strerror(errno));
+    }
+    // No SO_REUSEADDR: each member's port must be exclusive, and a
+    // collision with another process should fail loudly at startup.
+    sockaddr_in addr =
+        loopback_addr(static_cast<std::uint16_t>(base_port + i));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      int saved = errno;
+      ::close(fd);
+      for (int f : fds_) ::close(f);
+      fds_.clear();
+      throw std::runtime_error(std::string("UdpBus: bind() failed: ") +
+                               std::strerror(saved));
+    }
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    fds_.push_back(fd);
+  }
+}
+
+UdpBus::~UdpBus() {
+  for (int fd : fds_) ::close(fd);
+}
+
+TimePoint UdpBus::now() const {
+  return TimePoint::from_us((monotonic_ns() - epoch_ns_) / 1000);
+}
+
+void UdpBus::write_datagram(MemberId from, MemberId to,
+                            const std::vector<std::uint8_t>& bytes) {
+  if (from >= fds_.size() || to >= fds_.size()) return;
+  sockaddr_in dst =
+      loopback_addr(static_cast<std::uint16_t>(base_port_ + to));
+  ssize_t n = ::sendto(fds_[from], bytes.data(), bytes.size(), 0,
+                       reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
+  if (n < 0) {
+    log::warn("UdpBus: sendto failed: ", std::strerror(errno));
+    return;
+  }
+  ++datagrams_sent_;
+}
+
+void UdpBus::send(MemberId from, MemberId to,
+                  std::vector<std::uint8_t> bytes) {
+  Duration d = delay_fn_ ? delay_fn_(from, to) : Duration::zero();
+  if (d <= Duration::zero()) {
+    write_datagram(from, to, bytes);
+    return;
+  }
+  schedule_after(d, [this, from, to, b = std::move(bytes)]() {
+    write_datagram(from, to, b);
+  });
+}
+
+std::uint64_t UdpBus::schedule_after(Duration d, std::function<void()> fn) {
+  std::uint64_t id = next_timer_id_++;
+  timer_heap_.push(PendingTimer{now() + d, next_timer_seq_++, id});
+  timer_fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+void UdpBus::cancel(std::uint64_t timer_id) { timer_fns_.erase(timer_id); }
+
+bool UdpBus::fire_due_timers() {
+  bool fired = false;
+  TimePoint t = now();
+  while (!timer_heap_.empty() && timer_heap_.top().when <= t) {
+    PendingTimer e = timer_heap_.top();
+    timer_heap_.pop();
+    auto it = timer_fns_.find(e.id);
+    if (it == timer_fns_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+    fired = true;
+  }
+  return fired;
+}
+
+TimePoint UdpBus::next_deadline(TimePoint hard_deadline) const {
+  TimePoint d = hard_deadline;
+  // Skip cancelled heads conservatively: the top entry may be cancelled, in
+  // which case we wake up slightly early and re-evaluate — harmless.
+  if (!timer_heap_.empty() && timer_heap_.top().when < d) {
+    d = timer_heap_.top().when;
+  }
+  return d;
+}
+
+void UdpBus::drain_sockets() {
+  std::uint8_t buf[65536];
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    for (;;) {
+      sockaddr_in src{};
+      socklen_t srclen = sizeof(src);
+      ssize_t n = ::recvfrom(fds_[i], buf, sizeof(buf), 0,
+                             reinterpret_cast<sockaddr*>(&src), &srclen);
+      if (n < 0) break;  // EAGAIN or error: next socket
+      ++datagrams_received_;
+      std::uint16_t src_port = ntohs(src.sin_port);
+      if (src_port < base_port_ ||
+          src_port >= base_port_ + fds_.size()) {
+        continue;  // stray datagram from an unrelated sender
+      }
+      auto from = static_cast<MemberId>(src_port - base_port_);
+      if (on_receive_) {
+        on_receive_(static_cast<MemberId>(i), from,
+                    std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      }
+    }
+  }
+}
+
+std::size_t UdpBus::run_until(TimePoint deadline) {
+  stopped_ = false;
+  std::uint64_t received_before = datagrams_received_;
+  std::vector<pollfd> pfds(fds_.size());
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    pfds[i] = pollfd{fds_[i], POLLIN, 0};
+  }
+  while (!stopped_ && now() < deadline) {
+    fire_due_timers();
+    TimePoint wake = next_deadline(deadline);
+    Duration until_wake = wake - now();
+    int timeout_ms = 0;
+    if (until_wake > Duration::zero()) {
+      timeout_ms = static_cast<int>(until_wake.us() / 1000) + 1;
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      log::error("UdpBus: poll failed: ", std::strerror(errno));
+      break;
+    }
+    if (rc > 0) drain_sockets();
+  }
+  fire_due_timers();
+  drain_sockets();
+  return static_cast<std::size_t>(datagrams_received_ - received_before);
+}
+
+}  // namespace rrmp::net

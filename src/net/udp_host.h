@@ -1,0 +1,101 @@
+// Loopback-UDP datagram bus: runs the same protocol endpoints on real
+// sockets.
+//
+// Each member is a UDP socket bound to 127.0.0.1:(base_port + member). All
+// sockets are serviced by one poll() loop on the caller's thread, so
+// endpoint code needs no locking. IP multicast is emulated by unicast
+// fan-out (documented substitution: the sandbox offers no multicast routing;
+// the protocol above only observes per-receiver delivery, which is
+// identical).
+//
+// An optional delay function injects the topology's latency before a
+// datagram is handed to the socket, so WAN timing can be reproduced on
+// loopback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace rrmp::net {
+
+class UdpBus {
+ public:
+  /// Binds one socket per member. Throws std::runtime_error if any bind
+  /// fails (e.g. ports in use or sockets unavailable).
+  UdpBus(std::size_t member_count, std::uint16_t base_port);
+  ~UdpBus();
+
+  UdpBus(const UdpBus&) = delete;
+  UdpBus& operator=(const UdpBus&) = delete;
+
+  using ReceiveFn =
+      std::function<void(MemberId to, MemberId from,
+                         std::span<const std::uint8_t> bytes)>;
+  void set_receive_callback(ReceiveFn fn) { on_receive_ = std::move(fn); }
+
+  /// Artificial one-way delay applied before a datagram is written to the
+  /// socket; nullptr means send immediately.
+  using DelayFn = std::function<Duration(MemberId from, MemberId to)>;
+  void set_delay_fn(DelayFn fn) { delay_fn_ = std::move(fn); }
+
+  /// Monotonic time since construction, as a simulated-time TimePoint.
+  TimePoint now() const;
+
+  void send(MemberId from, MemberId to, std::vector<std::uint8_t> bytes);
+
+  /// Timers fire on the loop thread, interleaved with receives.
+  std::uint64_t schedule_after(Duration d, std::function<void()> fn);
+  void cancel(std::uint64_t timer_id);
+
+  /// Service sockets and timers until `deadline` (bus time) passes or
+  /// stop() is called. Returns the number of datagrams delivered.
+  std::size_t run_until(TimePoint deadline);
+  void stop() { stopped_ = true; }
+
+  std::size_t member_count() const { return fds_.size(); }
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t datagrams_received() const { return datagrams_received_; }
+
+ private:
+  struct PendingTimer {
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    friend bool operator>(const PendingTimer& a, const PendingTimer& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void write_datagram(MemberId from, MemberId to,
+                      const std::vector<std::uint8_t>& bytes);
+  void drain_sockets();
+  bool fire_due_timers();
+  TimePoint next_deadline(TimePoint hard_deadline) const;
+
+  std::uint16_t base_port_;
+  std::vector<int> fds_;
+  ReceiveFn on_receive_;
+  DelayFn delay_fn_;
+  std::int64_t epoch_ns_ = 0;
+  bool stopped_ = false;
+
+  std::uint64_t next_timer_id_ = 1;
+  std::uint64_t next_timer_seq_ = 1;
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>,
+                      std::greater<PendingTimer>>
+      timer_heap_;
+  std::unordered_map<std::uint64_t, std::function<void()>> timer_fns_;
+
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_received_ = 0;
+};
+
+}  // namespace rrmp::net

@@ -1,0 +1,234 @@
+#include "proto/codec.h"
+
+#include "common/bytes.h"
+
+namespace rrmp::proto {
+namespace {
+
+void put_message_id(ByteWriter& w, const MessageId& id) {
+  w.put_u32(id.source);
+  w.put_u64(id.seq);
+}
+
+MessageId get_message_id(ByteReader& r) {
+  MessageId id;
+  id.source = r.get_u32();
+  id.seq = r.get_u64();
+  return id;
+}
+
+void encode_body(ByteWriter& w, const Data& m) {
+  put_message_id(w, m.id);
+  w.put_bytes(m.payload);
+}
+void encode_body(ByteWriter& w, const Session& m) {
+  w.put_u32(m.source);
+  w.put_u64(m.highest_seq);
+}
+void encode_body(ByteWriter& w, const LocalRequest& m) {
+  put_message_id(w, m.id);
+  w.put_u32(m.requester);
+}
+void encode_body(ByteWriter& w, const RemoteRequest& m) {
+  put_message_id(w, m.id);
+  w.put_u32(m.requester);
+}
+void encode_body(ByteWriter& w, const Repair& m) {
+  put_message_id(w, m.id);
+  w.put_bytes(m.payload);
+  w.put_u8(m.remote ? 1 : 0);
+}
+void encode_body(ByteWriter& w, const RegionalRepair& m) {
+  put_message_id(w, m.id);
+  w.put_bytes(m.payload);
+  w.put_u32(m.relayer);
+}
+void encode_body(ByteWriter& w, const SearchRequest& m) {
+  put_message_id(w, m.id);
+  w.put_u32(m.remote_requester);
+}
+void encode_body(ByteWriter& w, const SearchFound& m) {
+  put_message_id(w, m.id);
+  w.put_u32(m.holder);
+}
+void encode_body(ByteWriter& w, const Handoff& m) {
+  w.put_varint(m.messages.size());
+  for (const Data& d : m.messages) encode_body(w, d);
+}
+void encode_body(ByteWriter& w, const Gossip& m) {
+  w.put_u32(m.from);
+  w.put_varint(m.beats.size());
+  for (const Heartbeat& h : m.beats) {
+    w.put_u32(h.member);
+    w.put_u64(h.counter);
+  }
+}
+void encode_body(ByteWriter& w, const History& m) {
+  w.put_u32(m.member);
+  w.put_varint(m.sources.size());
+  for (const SourceHistory& s : m.sources) {
+    w.put_u32(s.source);
+    w.put_u64(s.next_expected);
+    w.put_varint(s.bitmap.size());
+    for (std::uint64_t word : s.bitmap) w.put_u64(word);
+  }
+}
+
+bool decode_body(ByteReader& r, Data& m) {
+  m.id = get_message_id(r);
+  m.payload = r.get_bytes();
+  return r.ok();
+}
+bool decode_body(ByteReader& r, Session& m) {
+  m.source = r.get_u32();
+  m.highest_seq = r.get_u64();
+  return r.ok();
+}
+bool decode_body(ByteReader& r, LocalRequest& m) {
+  m.id = get_message_id(r);
+  m.requester = r.get_u32();
+  return r.ok();
+}
+bool decode_body(ByteReader& r, RemoteRequest& m) {
+  m.id = get_message_id(r);
+  m.requester = r.get_u32();
+  return r.ok();
+}
+bool decode_body(ByteReader& r, Repair& m) {
+  m.id = get_message_id(r);
+  m.payload = r.get_bytes();
+  m.remote = r.get_u8() != 0;
+  return r.ok();
+}
+bool decode_body(ByteReader& r, RegionalRepair& m) {
+  m.id = get_message_id(r);
+  m.payload = r.get_bytes();
+  m.relayer = r.get_u32();
+  return r.ok();
+}
+bool decode_body(ByteReader& r, SearchRequest& m) {
+  m.id = get_message_id(r);
+  m.remote_requester = r.get_u32();
+  return r.ok();
+}
+bool decode_body(ByteReader& r, SearchFound& m) {
+  m.id = get_message_id(r);
+  m.holder = r.get_u32();
+  return r.ok();
+}
+bool decode_body(ByteReader& r, Handoff& m) {
+  std::uint64_t n = r.get_varint();
+  if (!r.ok() || n > kMaxRepeated) return false;
+  m.messages.resize(n);
+  for (Data& d : m.messages) {
+    if (!decode_body(r, d)) return false;
+  }
+  return r.ok();
+}
+bool decode_body(ByteReader& r, Gossip& m) {
+  m.from = r.get_u32();
+  std::uint64_t n = r.get_varint();
+  if (!r.ok() || n > kMaxRepeated) return false;
+  m.beats.resize(n);
+  for (Heartbeat& h : m.beats) {
+    h.member = r.get_u32();
+    h.counter = r.get_u64();
+  }
+  return r.ok();
+}
+bool decode_body(ByteReader& r, History& m) {
+  m.member = r.get_u32();
+  std::uint64_t n = r.get_varint();
+  if (!r.ok() || n > kMaxRepeated) return false;
+  m.sources.resize(n);
+  for (SourceHistory& s : m.sources) {
+    s.source = r.get_u32();
+    s.next_expected = r.get_u64();
+    std::uint64_t words = r.get_varint();
+    if (!r.ok() || words > kMaxRepeated) return false;
+    s.bitmap.resize(words);
+    for (std::uint64_t& word : s.bitmap) word = r.get_u64();
+  }
+  return r.ok();
+}
+
+template <typename T>
+std::optional<Message> decode_as(ByteReader& r) {
+  T m;
+  if (!decode_body(r, m) || !r.done()) return std::nullopt;
+  return Message{std::move(m)};
+}
+
+}  // namespace
+
+MessageType type_of(const Message& m) {
+  return std::visit(
+      [](const auto& v) -> MessageType {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Data>) return MessageType::kData;
+        if constexpr (std::is_same_v<T, Session>) return MessageType::kSession;
+        if constexpr (std::is_same_v<T, LocalRequest>)
+          return MessageType::kLocalRequest;
+        if constexpr (std::is_same_v<T, RemoteRequest>)
+          return MessageType::kRemoteRequest;
+        if constexpr (std::is_same_v<T, Repair>) return MessageType::kRepair;
+        if constexpr (std::is_same_v<T, RegionalRepair>)
+          return MessageType::kRegionalRepair;
+        if constexpr (std::is_same_v<T, SearchRequest>)
+          return MessageType::kSearchRequest;
+        if constexpr (std::is_same_v<T, SearchFound>)
+          return MessageType::kSearchFound;
+        if constexpr (std::is_same_v<T, Handoff>) return MessageType::kHandoff;
+        if constexpr (std::is_same_v<T, Gossip>) return MessageType::kGossip;
+        if constexpr (std::is_same_v<T, History>) return MessageType::kHistory;
+      },
+      m);
+}
+
+const char* type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kData: return "DATA";
+    case MessageType::kSession: return "SESSION";
+    case MessageType::kLocalRequest: return "LOCAL_REQ";
+    case MessageType::kRemoteRequest: return "REMOTE_REQ";
+    case MessageType::kRepair: return "REPAIR";
+    case MessageType::kRegionalRepair: return "REGIONAL_REPAIR";
+    case MessageType::kSearchRequest: return "SEARCH_REQ";
+    case MessageType::kSearchFound: return "SEARCH_FOUND";
+    case MessageType::kHandoff: return "HANDOFF";
+    case MessageType::kGossip: return "GOSSIP";
+    case MessageType::kHistory: return "HISTORY";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type_of(m)));
+  std::visit([&w](const auto& v) { encode_body(w, v); }, m);
+  return w.take();
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto tag = static_cast<MessageType>(r.get_u8());
+  if (!r.ok()) return std::nullopt;
+  switch (tag) {
+    case MessageType::kData: return decode_as<Data>(r);
+    case MessageType::kSession: return decode_as<Session>(r);
+    case MessageType::kLocalRequest: return decode_as<LocalRequest>(r);
+    case MessageType::kRemoteRequest: return decode_as<RemoteRequest>(r);
+    case MessageType::kRepair: return decode_as<Repair>(r);
+    case MessageType::kRegionalRepair: return decode_as<RegionalRepair>(r);
+    case MessageType::kSearchRequest: return decode_as<SearchRequest>(r);
+    case MessageType::kSearchFound: return decode_as<SearchFound>(r);
+    case MessageType::kHandoff: return decode_as<Handoff>(r);
+    case MessageType::kGossip: return decode_as<Gossip>(r);
+    case MessageType::kHistory: return decode_as<History>(r);
+  }
+  return std::nullopt;
+}
+
+std::size_t encoded_size(const Message& m) { return encode(m).size(); }
+
+}  // namespace rrmp::proto

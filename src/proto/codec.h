@@ -1,0 +1,29 @@
+// Binary codec for proto::Message.
+//
+// Layout: 1-byte MessageType tag followed by the type-specific body.
+// Integers are little-endian fixed width; blobs and repeated fields are
+// varint-length-prefixed. decode() returns nullopt on any malformed input
+// (unknown tag, truncation, trailing garbage, oversized repeated field) —
+// it never throws and never reads out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "proto/messages.h"
+
+namespace rrmp::proto {
+
+/// Hard cap on elements in any repeated field, so a hostile length prefix
+/// cannot force a huge allocation before the bounds check trips.
+inline constexpr std::uint64_t kMaxRepeated = 1u << 20;
+
+std::vector<std::uint8_t> encode(const Message& m);
+std::optional<Message> decode(std::span<const std::uint8_t> bytes);
+
+/// Encoded size without materializing the buffer (used by traffic metrics).
+std::size_t encoded_size(const Message& m);
+
+}  // namespace rrmp::proto

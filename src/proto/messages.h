@@ -1,0 +1,162 @@
+// Wire messages of the RRMP protocol suite (paper §2–§3) plus the two
+// substrate protocols it builds on: gossip failure detection [13] and the
+// stability-detection baseline's history exchange [8].
+//
+// A Message is a closed variant; the codec (codec.h) maps it to/from bytes.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rrmp::proto {
+
+/// Application data, disseminated by the sender's initial IP multicast and
+/// retransmitted during recovery.
+struct Data {
+  MessageId id;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const Data&, const Data&) = default;
+};
+
+/// Periodic session message from the sender announcing the highest sequence
+/// number sent; lets receivers detect loss of the last message in a burst
+/// (paper §2.1).
+struct Session {
+  MemberId source = kInvalidMember;
+  std::uint64_t highest_seq = 0;
+
+  friend bool operator==(const Session&, const Session&) = default;
+};
+
+/// Local-recovery retransmission request to a randomly selected neighbor in
+/// the requester's own region (paper §2.2). Also the feedback signal for
+/// short-term buffering (paper §3.1).
+struct LocalRequest {
+  MessageId id;
+  MemberId requester = kInvalidMember;
+
+  friend bool operator==(const LocalRequest&, const LocalRequest&) = default;
+};
+
+/// Remote-recovery request to a randomly selected member of the parent
+/// region, sent with probability lambda/|region| per attempt (paper §2.2).
+struct RemoteRequest {
+  MessageId id;
+  MemberId requester = kInvalidMember;
+
+  friend bool operator==(const RemoteRequest&, const RemoteRequest&) = default;
+};
+
+/// Unicast retransmission of a message to a requester. `remote` is true when
+/// the repair crosses regions (parent -> child); the receiver of a remote
+/// repair multicasts it in its own region (paper §2.2).
+struct Repair {
+  MessageId id;
+  std::vector<std::uint8_t> payload;
+  bool remote = false;
+
+  friend bool operator==(const Repair&, const Repair&) = default;
+};
+
+/// Intra-region multicast of a repair, sent by the member that obtained the
+/// message from the parent region (paper §2.2).
+struct RegionalRepair {
+  MessageId id;
+  std::vector<std::uint8_t> payload;
+  MemberId relayer = kInvalidMember;
+
+  friend bool operator==(const RegionalRepair&, const RegionalRepair&) = default;
+};
+
+/// Random-search probe for a bufferer of a discarded message (paper §3.3):
+/// forwarded from member to member until it reaches someone who still
+/// buffers `id`, who then repairs `remote_requester` directly.
+struct SearchRequest {
+  MessageId id;
+  MemberId remote_requester = kInvalidMember;
+
+  friend bool operator==(const SearchRequest&, const SearchRequest&) = default;
+};
+
+/// Intra-region multicast "I have the message" that terminates a search
+/// (paper §3.3).
+struct SearchFound {
+  MessageId id;
+  MemberId holder = kInvalidMember;
+
+  friend bool operator==(const SearchFound&, const SearchFound&) = default;
+};
+
+/// Long-term buffer transfer from a member leaving the group to a randomly
+/// selected member of its region (paper §3.2).
+struct Handoff {
+  std::vector<Data> messages;
+
+  friend bool operator==(const Handoff&, const Handoff&) = default;
+};
+
+/// One member's heartbeat counter, as disseminated by the gossip failure
+/// detector (van Renesse et al. [13]).
+struct Heartbeat {
+  MemberId member = kInvalidMember;
+  std::uint64_t counter = 0;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// Gossip round payload: the sender's current view of heartbeat counters.
+struct Gossip {
+  MemberId from = kInvalidMember;
+  std::vector<Heartbeat> beats;
+
+  friend bool operator==(const Gossip&, const Gossip&) = default;
+};
+
+/// Per-source reception state: everything below `next_expected` was
+/// received; `bitmap` covers [next_expected, next_expected + 64*len).
+struct SourceHistory {
+  MemberId source = kInvalidMember;
+  std::uint64_t next_expected = 0;
+  std::vector<std::uint64_t> bitmap;
+
+  friend bool operator==(const SourceHistory&, const SourceHistory&) = default;
+};
+
+/// Periodic message-history exchange used by the stability-detection
+/// baseline (Guo & Rhee [8]); RRMP itself never sends these.
+struct History {
+  MemberId member = kInvalidMember;
+  std::vector<SourceHistory> sources;
+
+  friend bool operator==(const History&, const History&) = default;
+};
+
+using Message =
+    std::variant<Data, Session, LocalRequest, RemoteRequest, Repair,
+                 RegionalRepair, SearchRequest, SearchFound, Handoff, Gossip,
+                 History>;
+
+/// Stable wire tags; never renumber.
+enum class MessageType : std::uint8_t {
+  kData = 1,
+  kSession = 2,
+  kLocalRequest = 3,
+  kRemoteRequest = 4,
+  kRepair = 5,
+  kRegionalRepair = 6,
+  kSearchRequest = 7,
+  kSearchFound = 8,
+  kHandoff = 9,
+  kGossip = 10,
+  kHistory = 11,
+};
+
+MessageType type_of(const Message& m);
+const char* type_name(MessageType t);
+inline const char* type_name(const Message& m) { return type_name(type_of(m)); }
+
+}  // namespace rrmp::proto

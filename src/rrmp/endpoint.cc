@@ -1,0 +1,811 @@
+#include "rrmp/endpoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "buffer/hash_based.h"
+#include "common/logging.h"
+
+namespace rrmp {
+namespace {
+
+constexpr std::size_t kHistoryBitmapWords = 16;
+
+bool contains(const std::vector<MemberId>& v, MemberId m) {
+  return std::find(v.begin(), v.end(), m) != v.end();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Env ----
+
+TimePoint Endpoint::Env::now() const { return ep_.host_.now(); }
+
+std::uint64_t Endpoint::Env::schedule(Duration d, std::function<void()> fn) {
+  return ep_.schedule(d, std::move(fn));
+}
+
+void Endpoint::Env::cancel(std::uint64_t timer) { ep_.host_.cancel(timer); }
+
+RandomEngine& Endpoint::Env::rng() { return ep_.host_.rng(); }
+
+std::size_t Endpoint::Env::region_size() const {
+  return ep_.host_.local_view().size();
+}
+
+const std::vector<MemberId>& Endpoint::Env::region_members() const {
+  return ep_.host_.local_view().members();
+}
+
+MemberId Endpoint::Env::self() const { return ep_.host_.self(); }
+
+// ----------------------------------------------------------- lifecycle ----
+
+Endpoint::Endpoint(IHost& host, Config config,
+                   std::unique_ptr<buffer::BufferPolicy> policy,
+                   MetricsSink* metrics)
+    : host_(host),
+      cfg_(config),
+      env_(*this),
+      policy_(std::move(policy)),
+      metrics_(metrics != nullptr ? metrics : &null_sink_) {
+  assert(policy_ != nullptr);
+  policy_->bind(&env_);
+  policy_->set_observer(
+      [this](const MessageId& id, buffer::BufferEvent ev, bool long_term) {
+        switch (ev) {
+          case buffer::BufferEvent::kStored:
+            this->metrics().on_buffer_stored(self(), id, host_.now());
+            break;
+          case buffer::BufferEvent::kPromotedLongTerm:
+            this->metrics().on_promoted_long_term(self(), id, host_.now());
+            break;
+          case buffer::BufferEvent::kDiscarded:
+          case buffer::BufferEvent::kHandedOff:
+            this->metrics().on_buffer_discarded(self(), id, host_.now(), long_term);
+            break;
+        }
+      });
+  if (policy_->needs_history_exchange()) cfg_.history_exchange = true;
+  if (cfg_.history_exchange) {
+    history_enabled_ = true;
+    history_timer_ =
+        schedule(cfg_.history_interval, [this] { history_tick(); });
+  }
+  if (cfg_.anti_entropy) {
+    anti_entropy_timer_ =
+        schedule(cfg_.anti_entropy_interval, [this] { anti_entropy_tick(); });
+  }
+}
+
+Endpoint::~Endpoint() {
+  halt();
+  *alive_token_ = false;  // defuse any timer guard still in a queue
+}
+
+void Endpoint::halt() {
+  if (!active_) return;
+  active_ = false;
+  cancel(session_timer_);
+  cancel(history_timer_);
+  cancel(anti_entropy_timer_);
+  for (auto& [id, task] : recoveries_) {
+    cancel(task.local_timer);
+    cancel(task.remote_timer);
+  }
+  recoveries_.clear();
+  for (auto& [id, task] : searches_) cancel(task.timer);
+  searches_.clear();
+  for (auto& [id, relay] : pending_relays_) cancel(relay.timer);
+  pending_relays_.clear();
+  for (auto& [id, reply] : pending_replies_) cancel(reply.timer);
+  pending_replies_.clear();
+  waiters_.clear();
+  if (gossip_fd_) gossip_fd_->stop();
+}
+
+void Endpoint::leave() {
+  if (!active_) return;
+  // Transfer each long-term message to a randomly selected region member
+  // (§3.2), batching per target into Handoff messages.
+  std::vector<proto::Data> drained = policy_->drain_for_handoff();
+  std::map<MemberId, proto::Handoff> batches;
+  for (proto::Data& d : drained) {
+    MemberId target = host_.local_view().pick_random(host_.rng(), self());
+    if (target == kInvalidMember) break;  // nobody left to inherit
+    batches[target].messages.push_back(std::move(d));
+  }
+  for (auto& [target, handoff] : batches) {
+    metrics().on_handoff_sent(self(), target, handoff.messages.size(),
+                              host_.now());
+    host_.send(target, proto::Message{std::move(handoff)});
+  }
+  halt();
+}
+
+void Endpoint::enable_gossip_fd(GossipConfig config,
+                                std::function<void(MemberId, bool)> on_suspect) {
+  gossip_fd_ = std::make_unique<GossipFailureDetector>(host_, config,
+                                                       std::move(on_suspect));
+  gossip_fd_->start();
+}
+
+// ----------------------------------------------------------- app API ----
+
+MessageId Endpoint::multicast(std::vector<std::uint8_t> payload) {
+  MessageId id{self(), ++send_seq_};
+  proto::Data d{id, std::move(payload)};
+  accept(d, /*from_remote_region=*/false);
+  host_.ip_multicast(proto::Message{d});
+  if (session_timer_ == kNoTimer) {
+    session_timer_ =
+        schedule(cfg_.session_interval, [this] { session_tick(); });
+  }
+  return id;
+}
+
+void Endpoint::session_tick() {
+  session_timer_ = kNoTimer;
+  if (send_seq_ == 0) return;
+  host_.ip_multicast(proto::Message{proto::Session{self(), send_seq_}});
+  session_timer_ = schedule(cfg_.session_interval, [this] { session_tick(); });
+}
+
+// ------------------------------------------------------------ dispatch ----
+
+void Endpoint::handle_message(const proto::Message& msg, MemberId from) {
+  if (!active_) return;
+  std::visit(
+      [this, from](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::Data>) handle_data(m, from);
+        if constexpr (std::is_same_v<T, proto::Session>) handle_session(m, from);
+        if constexpr (std::is_same_v<T, proto::LocalRequest>)
+          handle_local_request(m, from);
+        if constexpr (std::is_same_v<T, proto::RemoteRequest>)
+          handle_remote_request(m, from);
+        if constexpr (std::is_same_v<T, proto::Repair>) handle_repair(m, from);
+        if constexpr (std::is_same_v<T, proto::RegionalRepair>)
+          handle_regional_repair(m, from);
+        if constexpr (std::is_same_v<T, proto::SearchRequest>)
+          handle_search_request(m, from);
+        if constexpr (std::is_same_v<T, proto::SearchFound>)
+          handle_search_found(m, from);
+        if constexpr (std::is_same_v<T, proto::Handoff>) handle_handoff(m, from);
+        if constexpr (std::is_same_v<T, proto::Gossip>) handle_gossip(m, from);
+        if constexpr (std::is_same_v<T, proto::History>) handle_history(m, from);
+      },
+      msg);
+}
+
+// ------------------------------------------------------------ reception ----
+
+bool Endpoint::accept(const proto::Data& d, bool from_remote_region) {
+  SequenceTracker& tr = tracker(d.id.source);
+  if (tr.has(d.id.seq)) return false;
+
+  SequenceTracker::Observation obs = tr.observe_data(d.id.seq);
+  assert(obs.is_new);
+  for (std::uint64_t gap : obs.new_gaps) {
+    start_recovery(MessageId{d.id.source, gap});
+  }
+
+  // If we were recovering this message, the recovery just succeeded.
+  auto rec = recoveries_.find(d.id);
+  if (rec != recoveries_.end()) {
+    metrics().on_recovered(self(), d.id, host_.now(),
+                           host_.now() - rec->second.started);
+    finish_recovery(d.id);
+  }
+
+  policy_->store(d);
+  search_given_up_.erase(d.id);  // we can answer future searches again
+  metrics().on_delivered(self(), d.id, host_.now());
+  if (delivery_handler_) delivery_handler_(d);
+
+  serve_waiters(d);
+  satisfy_searches(d);
+  (void)from_remote_region;  // relaying decisions are made by handle_repair
+  return true;
+}
+
+void Endpoint::serve_waiters(const proto::Data& d) {
+  auto it = waiters_.find(d.id);
+  if (it == waiters_.end()) return;
+  for (MemberId w : it->second) {
+    metrics().on_repair_sent(self(), d.id, /*remote=*/true, host_.now());
+    host_.send(w, proto::Message{proto::Repair{d.id, d.payload, true}});
+  }
+  waiters_.erase(it);
+}
+
+void Endpoint::satisfy_searches(const proto::Data& d) {
+  auto it = searches_.find(d.id);
+  if (it == searches_.end()) return;
+  SearchTask& task = it->second;
+  std::vector<MemberId> all = task.carry;
+  for (MemberId m : task.own) {
+    if (!contains(all, m)) all.push_back(m);
+  }
+  for (MemberId rr : all) {
+    metrics().on_repair_sent(self(), d.id, /*remote=*/true, host_.now());
+    host_.send(rr, proto::Message{proto::Repair{d.id, d.payload, true}});
+  }
+  cancel(task.timer);
+  searches_.erase(it);
+  // Stop everyone else still searching on our behalf.
+  announce_found(d.id);
+}
+
+// ------------------------------------------------------------- handlers ----
+
+void Endpoint::handle_data(const proto::Data& d, MemberId from) {
+  (void)from;
+  accept(d, /*from_remote_region=*/false);
+}
+
+void Endpoint::handle_session(const proto::Session& s, MemberId from) {
+  (void)from;
+  if (s.source == self()) return;
+  for (std::uint64_t gap : tracker(s.source).observe_session(s.highest_seq)) {
+    start_recovery(MessageId{s.source, gap});
+  }
+}
+
+void Endpoint::handle_local_request(const proto::LocalRequest& r,
+                                    MemberId from) {
+  (void)from;
+  metrics().on_request_received(self(), r.id, /*remote=*/false, host_.now());
+  policy_->on_request_seen(r.id);  // feedback for short-term buffering (§3.1)
+  if (std::optional<proto::Data> d = policy_->get(r.id)) {
+    metrics().on_repair_sent(self(), r.id, /*remote=*/false, host_.now());
+    host_.send(r.requester,
+               proto::Message{proto::Repair{r.id, std::move(d->payload), false}});
+    return;
+  }
+  // "Otherwise it ignores the request" (§2.2). Starting a recovery here
+  // would let one request cascade into region-wide probing for a message
+  // that may exist nowhere; the requester's own retries handle it.
+}
+
+void Endpoint::handle_remote_request(const proto::RemoteRequest& r,
+                                     MemberId from) {
+  (void)from;
+  metrics().on_request_received(self(), r.id, /*remote=*/true, host_.now());
+  policy_->on_request_seen(r.id);
+  // Case 1 (§3.3): still buffered — answer immediately.
+  if (std::optional<proto::Data> d = policy_->get(r.id)) {
+    metrics().on_repair_sent(self(), r.id, /*remote=*/true, host_.now());
+    host_.send(r.requester,
+               proto::Message{proto::Repair{r.id, std::move(d->payload), true}});
+    return;
+  }
+  SequenceTracker& tr = tracker(r.id.source);
+  // Case 2: never received — record the waiter and relay once we have it.
+  if (!tr.has(r.id.seq)) {
+    std::vector<MemberId>& w = waiters_[r.id];
+    if (!contains(w, r.requester)) w.push_back(r.requester);
+    for (std::uint64_t gap : tr.observe_hint(r.id.seq)) {
+      start_recovery(MessageId{r.id.source, gap});
+    }
+    return;
+  }
+  // Case 3: received but discarded — find a bufferer.
+  if (MemberId holder = cached_holder(r.id); holder != kInvalidMember) {
+    // A recent search already located a bufferer; point it at the requester.
+    host_.send(holder, proto::Message{proto::RemoteRequest{r.id, r.requester}});
+    return;
+  }
+  if (cfg_.search_strategy == Config::SearchStrategy::kMulticastQuery) {
+    // Rejected alternative (§3.3): multicast the request; bufferers answer
+    // after a randomized back-off.
+    metrics().on_search_started(self(), r.id, host_.now());
+    host_.multicast_region(
+        proto::Message{proto::SearchRequest{r.id, r.requester}});
+    return;
+  }
+  if (cfg_.lookup == BuffererLookup::kHashDirect) {
+    // Deterministic scheme [11]: recompute the bufferer set and forward.
+    std::vector<MemberId> set = buffer::hash_bufferers(
+        r.id, host_.local_view().members(), cfg_.hash_k);
+    for (MemberId b : set) {
+      if (b != self()) {
+        host_.send(b, proto::Message{proto::RemoteRequest{r.id, r.requester}});
+        return;
+      }
+    }
+    // Fall through to random search if the set is just us (we discarded).
+  }
+  start_search(r.id, r.requester);
+}
+
+void Endpoint::handle_repair(const proto::Repair& r, MemberId from) {
+  // Close the RTT sample if this repair answers one of our probes.
+  if (cfg_.measure_rtt) {
+    auto probe = probes_.find(r.id);
+    if (probe != probes_.end()) {
+      auto target = probe->second.find(from);
+      if (target != probe->second.end()) {
+        rtt_.add_sample(from, host_.now() - target->second);
+        probes_.erase(probe);
+      }
+    }
+  }
+  // Duplicate check first (§2.2): only the first copy triggers a regional
+  // relay.
+  if (tracker(r.id.source).has(r.id.seq)) return;
+  proto::Data d{r.id, r.payload};
+  accept(d, r.remote);
+  if (r.remote) schedule_regional_relay(d);
+}
+
+void Endpoint::handle_regional_repair(const proto::RegionalRepair& r,
+                                      MemberId from) {
+  (void)from;
+  // Another member relayed this message: our own pending relay (if any) is a
+  // duplicate — suppress it (§2.2's randomized back-off scheme).
+  auto pr = pending_relays_.find(r.id);
+  if (pr != pending_relays_.end()) {
+    cancel(pr->second.timer);
+    pending_relays_.erase(pr);
+    metrics().on_relay_suppressed(self(), r.id, host_.now());
+  }
+  if (tracker(r.id.source).has(r.id.seq)) return;
+  accept(proto::Data{r.id, r.payload}, /*from_remote_region=*/false);
+}
+
+void Endpoint::handle_search_request(const proto::SearchRequest& r,
+                                     MemberId from) {
+  (void)from;
+  policy_->on_request_seen(r.id);
+  if (cfg_.search_strategy == Config::SearchStrategy::kMulticastQuery) {
+    // Back-off reply: answer only if still buffering, after U(0, unit*C).
+    if (policy_->has(r.id)) schedule_query_reply(r.id, r.remote_requester);
+    return;
+  }
+  // Bufferer found: repair the remote requester and stop the search (§3.3).
+  if (std::optional<proto::Data> d = policy_->get(r.id)) {
+    metrics().on_repair_sent(self(), r.id, /*remote=*/true, host_.now());
+    host_.send(r.remote_requester,
+               proto::Message{proto::Repair{r.id, std::move(d->payload), true}});
+    announce_found(r.id);
+    return;
+  }
+  SequenceTracker& tr = tracker(r.id.source);
+  // A completed search may have located the holder already; redirect.
+  if (tr.has(r.id.seq)) {
+    if (MemberId holder = cached_holder(r.id); holder != kInvalidMember) {
+      host_.send(holder,
+                 proto::Message{proto::RemoteRequest{r.id, r.remote_requester}});
+      return;
+    }
+  }
+  if (!tr.has(r.id.seq)) {
+    // Footnote 4: never received it — recover it ourselves, and remember the
+    // remote requester so it is served on receipt.
+    std::vector<MemberId>& w = waiters_[r.id];
+    if (!contains(w, r.remote_requester)) w.push_back(r.remote_requester);
+    for (std::uint64_t gap : tr.observe_hint(r.id.seq)) {
+      start_recovery(MessageId{r.id.source, gap});
+    }
+    return;
+  }
+  // Discarded here too: join the search.
+  if (search_abandoned(r.id)) return;  // we already exhausted our attempts
+  auto it = searches_.find(r.id);
+  if (it != searches_.end()) {
+    if (!contains(it->second.carry, r.remote_requester)) {
+      it->second.carry.push_back(r.remote_requester);
+    }
+    return;  // already probing; our retry timer is running
+  }
+  SearchTask task;
+  task.started = host_.now();
+  task.carry.push_back(r.remote_requester);
+  searches_.emplace(r.id, std::move(task));
+  metrics().on_search_started(self(), r.id, host_.now());
+  search_attempt(r.id);
+}
+
+void Endpoint::handle_search_found(const proto::SearchFound& f,
+                                   MemberId from) {
+  (void)from;
+  remember_holder(f.id, f.holder);
+  // Suppress our own pending back-off reply (kMulticastQuery).
+  auto pr = pending_replies_.find(f.id);
+  if (pr != pending_replies_.end()) {
+    cancel(pr->second.timer);
+    pending_replies_.erase(pr);
+    metrics().on_relay_suppressed(self(), f.id, host_.now());
+  }
+  end_search(f.id, f.holder);
+}
+
+void Endpoint::handle_handoff(const proto::Handoff& h, MemberId from) {
+  (void)from;
+  for (const proto::Data& d : h.messages) {
+    if (!tracker(d.id.source).has(d.id.seq)) {
+      // We never had this message: deliver it, then upgrade to long-term.
+      accept(d, /*from_remote_region=*/false);
+    }
+    policy_->accept_handoff(d);
+  }
+}
+
+void Endpoint::handle_gossip(const proto::Gossip& g, MemberId from) {
+  (void)from;
+  if (gossip_fd_) gossip_fd_->handle_gossip(g);
+}
+
+void Endpoint::handle_history(const proto::History& h, MemberId from) {
+  if (cfg_.anti_entropy) pull_from_digest(h, from);
+  if (!history_enabled_) return;
+  for (const proto::SourceHistory& sh : h.sources) {
+    stability_.update(h.member, sh);
+  }
+  recompute_stability();
+}
+
+// ------------------------------------------------------------- recovery ----
+
+void Endpoint::start_recovery(const MessageId& id) {
+  if (!active_ || !cfg_.gap_driven_recovery) return;
+  if (tracker(id.source).has(id.seq)) return;
+  if (recoveries_.count(id)) return;
+  RecoveryTask task;
+  task.started = host_.now();
+  recoveries_.emplace(id, task);
+  metrics().on_loss_detected(self(), id, host_.now());
+  // The two phases run concurrently (§2.2).
+  local_attempt(id);
+  remote_attempt(id);
+}
+
+void Endpoint::finish_recovery(const MessageId& id) {
+  auto it = recoveries_.find(id);
+  if (it == recoveries_.end()) return;
+  cancel(it->second.local_timer);
+  cancel(it->second.remote_timer);
+  recoveries_.erase(it);
+  probes_.erase(id);
+}
+
+MemberId Endpoint::pick_request_target(const MessageId& id) {
+  if (cfg_.lookup == BuffererLookup::kHashDirect) {
+    // Deterministic scheme [11]: ask the hash-selected bufferers directly,
+    // round-robin over the set across attempts.
+    std::vector<MemberId> set = buffer::hash_bufferers(
+        id, host_.local_view().members(), cfg_.hash_k);
+    std::erase(set, self());
+    if (!set.empty()) {
+      auto& task = recoveries_[id];
+      return set[task.local_attempts % set.size()];
+    }
+  }
+  return host_.local_view().pick_random(host_.rng(), self());
+}
+
+void Endpoint::local_attempt(const MessageId& id) {
+  auto it = recoveries_.find(id);
+  if (it == recoveries_.end()) return;
+  RecoveryTask& task = it->second;
+  task.local_timer = kNoTimer;
+  if (cfg_.max_attempts != 0 && task.local_attempts >= cfg_.max_attempts) {
+    return;  // give up on the local phase; remote phase may still succeed
+  }
+  MemberId q = pick_request_target(id);
+  if (q == kInvalidMember) {
+    // Alone in the region: retry later in case the view grows.
+    task.local_timer = schedule(host_.rtt_estimate(self()),
+                                [this, id] { local_attempt(id); });
+    return;
+  }
+  ++task.local_attempts;
+  metrics().on_request_sent(self(), id, /*remote=*/false, host_.now());
+  if (cfg_.measure_rtt) probes_[id].try_emplace(q, host_.now());
+  host_.send(q, proto::Message{proto::LocalRequest{id, self()}});
+  task.local_timer =
+      schedule(request_timeout(q), [this, id] { local_attempt(id); });
+}
+
+void Endpoint::remote_attempt(const MessageId& id) {
+  auto it = recoveries_.find(id);
+  if (it == recoveries_.end()) return;
+  RecoveryTask& task = it->second;
+  task.remote_timer = kNoTimer;
+  const membership::RegionView& parent = host_.parent_view();
+  if (parent.empty()) return;  // root region: no remote phase (§2.2)
+  if (cfg_.max_attempts != 0 && task.remote_attempts >= cfg_.max_attempts) {
+    return;
+  }
+  ++task.remote_attempts;
+  MemberId r = parent.pick_random(host_.rng());
+  if (r == kInvalidMember) return;
+  // Send with probability lambda/n so that, region-wide, the expected number
+  // of remote requests per recovery round is lambda (§2.2). The retry timer
+  // is armed whether or not a request was actually sent.
+  std::size_t n = std::max<std::size_t>(host_.local_view().size(), 1);
+  if (host_.rng().bernoulli(cfg_.lambda / static_cast<double>(n))) {
+    if (cfg_.lookup == BuffererLookup::kHashDirect) {
+      std::vector<MemberId> set =
+          buffer::hash_bufferers(id, parent.members(), cfg_.hash_k);
+      if (!set.empty()) r = set[task.remote_attempts % set.size()];
+    }
+    metrics().on_request_sent(self(), id, /*remote=*/true, host_.now());
+    host_.send(r, proto::Message{proto::RemoteRequest{id, self()}});
+  }
+  task.remote_timer =
+      schedule(request_timeout(r), [this, id] { remote_attempt(id); });
+}
+
+// --------------------------------------------------------------- search ----
+
+bool Endpoint::search_abandoned(const MessageId& id) {
+  auto it = search_given_up_.find(id);
+  if (it == search_given_up_.end()) return false;
+  if (host_.now() - it->second > cfg_.search_cache_ttl) {
+    search_given_up_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void Endpoint::start_search(const MessageId& id, MemberId requester) {
+  if (search_abandoned(id)) return;  // recently exhausted max_attempts
+  auto it = searches_.find(id);
+  if (it != searches_.end()) {
+    if (!contains(it->second.carry, requester)) {
+      it->second.carry.push_back(requester);
+    }
+    if (!contains(it->second.own, requester)) {
+      it->second.own.push_back(requester);
+    }
+    return;
+  }
+  SearchTask task;
+  task.started = host_.now();
+  task.carry.push_back(requester);
+  task.own.push_back(requester);
+  searches_.emplace(id, std::move(task));
+  metrics().on_search_started(self(), id, host_.now());
+  search_attempt(id);
+}
+
+void Endpoint::search_attempt(const MessageId& id) {
+  auto it = searches_.find(id);
+  if (it == searches_.end()) return;
+  SearchTask& task = it->second;
+  task.timer = kNoTimer;
+  if (cfg_.max_attempts != 0 && task.attempts >= cfg_.max_attempts) {
+    search_given_up_[id] = host_.now();
+    searches_.erase(it);
+    return;
+  }
+  MemberId q = host_.local_view().pick_random(host_.rng(), self());
+  if (q == kInvalidMember) {
+    searches_.erase(it);  // nobody to search: the message is gone from here
+    return;
+  }
+  ++task.attempts;
+  metrics().on_search_hop(self(), q, id, host_.now());
+  host_.send(q, proto::Message{proto::SearchRequest{id, task.carry.front()}});
+  task.timer = schedule(request_timeout(q), [this, id] { search_attempt(id); });
+}
+
+void Endpoint::end_search(const MessageId& id, MemberId holder) {
+  auto it = searches_.find(id);
+  if (it == searches_.end()) return;
+  SearchTask& task = it->second;
+  cancel(task.timer);
+  // The chain that reached the holder served the requester it carried; any
+  // requester that contacted us directly might not have been on that chain,
+  // so point the holder at them (it answers RemoteRequests from its buffer).
+  for (MemberId rr : task.own) {
+    host_.send(holder, proto::Message{proto::RemoteRequest{id, rr}});
+  }
+  searches_.erase(it);
+}
+
+void Endpoint::schedule_query_reply(const MessageId& id, MemberId requester) {
+  if (pending_replies_.count(id)) return;  // one reply per query round
+  double window_us =
+      static_cast<double>(cfg_.query_backoff_unit.us()) * cfg_.query_backoff_c;
+  Duration delay = Duration::micros(
+      static_cast<std::int64_t>(host_.rng().uniform_real(0.0, window_us)));
+  PendingReply reply;
+  reply.requester = requester;
+  reply.timer = schedule(delay, [this, id] { fire_query_reply(id); });
+  pending_replies_.emplace(id, std::move(reply));
+}
+
+void Endpoint::fire_query_reply(const MessageId& id) {
+  auto it = pending_replies_.find(id);
+  if (it == pending_replies_.end()) return;
+  MemberId requester = it->second.requester;
+  pending_replies_.erase(it);
+  std::optional<proto::Data> d = policy_->get(id);
+  if (!d) return;  // discarded while backing off
+  metrics().on_repair_sent(self(), id, /*remote=*/true, host_.now());
+  host_.send(requester,
+             proto::Message{proto::Repair{id, std::move(d->payload), true}});
+  // Count every fired back-off reply as a completed-search announcement;
+  // duplicates that the window failed to suppress are the "implosion".
+  metrics().on_search_completed(self(), id, host_.now());
+  host_.multicast_region(proto::Message{proto::SearchFound{id, self()}});
+}
+
+void Endpoint::announce_found(const MessageId& id) {
+  TimePoint now = host_.now();
+  auto it = last_announce_.find(id);
+  if (it != last_announce_.end() &&
+      now - it->second < host_.rtt_estimate(self())) {
+    return;  // straggler probe; the region heard the announcement already
+  }
+  last_announce_[id] = now;
+  remember_holder(id, self());
+  metrics().on_search_completed(self(), id, now);
+  host_.multicast_region(proto::Message{proto::SearchFound{id, self()}});
+}
+
+MemberId Endpoint::cached_holder(const MessageId& id) {
+  auto it = found_cache_.find(id);
+  if (it == found_cache_.end()) return kInvalidMember;
+  if (host_.now() - it->second.second > cfg_.search_cache_ttl) {
+    found_cache_.erase(it);
+    return kInvalidMember;
+  }
+  return it->second.first;
+}
+
+void Endpoint::remember_holder(const MessageId& id, MemberId holder) {
+  found_cache_[id] = {holder, host_.now()};
+  search_given_up_.erase(id);  // a holder exists after all
+}
+
+// ------------------------------------------------------- regional relay ----
+
+void Endpoint::schedule_regional_relay(const proto::Data& d) {
+  if (host_.local_view().size() <= 1) return;
+  if (pending_relays_.count(d.id)) return;
+  if (cfg_.regional_backoff <= Duration::zero()) {
+    metrics().on_regional_multicast(self(), d.id, host_.now());
+    host_.multicast_region(
+        proto::Message{proto::RegionalRepair{d.id, d.payload, self()}});
+    return;
+  }
+  // Randomized back-off (§2.2): wait U(0, backoff); another member's relay
+  // of the same message suppresses ours.
+  Duration delay = Duration::micros(static_cast<std::int64_t>(
+      host_.rng().uniform_real(0.0,
+                               static_cast<double>(cfg_.regional_backoff.us()))));
+  PendingRelay relay;
+  relay.data = d;
+  relay.timer = schedule(delay, [this, id = d.id] { fire_regional_relay(id); });
+  pending_relays_.emplace(d.id, std::move(relay));
+}
+
+void Endpoint::fire_regional_relay(const MessageId& id) {
+  auto it = pending_relays_.find(id);
+  if (it == pending_relays_.end()) return;
+  proto::Data d = std::move(it->second.data);
+  pending_relays_.erase(it);
+  metrics().on_regional_multicast(self(), id, host_.now());
+  host_.multicast_region(
+      proto::Message{proto::RegionalRepair{d.id, std::move(d.payload), self()}});
+}
+
+// ------------------------------------------------------------ stability ----
+
+proto::History Endpoint::build_history() const {
+  proto::History h;
+  h.member = self();
+  for (const auto& [source, tr] : trackers_) {
+    h.sources.push_back(tr.history(source, kHistoryBitmapWords));
+  }
+  return h;
+}
+
+void Endpoint::history_tick() {
+  history_timer_ = kNoTimer;
+  proto::History h = build_history();
+  if (!h.sources.empty()) {
+    // Fold our own report in before multicasting so stable_below counts us.
+    for (const proto::SourceHistory& sh : h.sources) {
+      stability_.update(self(), sh);
+    }
+    recompute_stability();
+    host_.multicast_region(proto::Message{std::move(h)});
+  }
+  history_timer_ = schedule(cfg_.history_interval, [this] { history_tick(); });
+}
+
+void Endpoint::anti_entropy_tick() {
+  anti_entropy_timer_ = kNoTimer;
+  // One digest to one uniformly random neighbor per round ([3]).
+  MemberId q = host_.local_view().pick_random(host_.rng(), self());
+  if (q != kInvalidMember) {
+    proto::History h = build_history();
+    if (!h.sources.empty()) host_.send(q, proto::Message{std::move(h)});
+  }
+  anti_entropy_timer_ =
+      schedule(cfg_.anti_entropy_interval, [this] { anti_entropy_tick(); });
+}
+
+void Endpoint::pull_from_digest(const proto::History& digest, MemberId from) {
+  std::uint32_t pulls = 0;
+  for (const proto::SourceHistory& sh : digest.sources) {
+    SequenceTracker& tr = tracker(sh.source);
+    auto sender_has = [&sh](std::uint64_t seq) {
+      if (seq < sh.next_expected) return true;
+      std::uint64_t off = seq - sh.next_expected;
+      std::size_t w = static_cast<std::size_t>(off / 64);
+      if (w >= sh.bitmap.size()) return false;
+      return ((sh.bitmap[w] >> (off % 64)) & 1) != 0;
+    };
+    std::uint64_t sender_max =
+        sh.next_expected - 1 + 64 * static_cast<std::uint64_t>(sh.bitmap.size());
+    for (std::uint64_t seq = std::max<std::uint64_t>(1, tr.next_expected());
+         seq <= sender_max && pulls < cfg_.anti_entropy_max_pulls; ++seq) {
+      if (tr.has(seq) || !sender_has(seq)) continue;
+      // Record that the sequence exists (no gap-driven task is spawned when
+      // that engine is off) and pull it straight from the digest's sender.
+      (void)tr.observe_hint(seq);
+      ++pulls;
+      MessageId id{sh.source, seq};
+      metrics().on_request_sent(self(), id, /*remote=*/false, host_.now());
+      host_.send(from, proto::Message{proto::LocalRequest{id, self()}});
+    }
+  }
+}
+
+void Endpoint::recompute_stability() {
+  auto* stab = dynamic_cast<buffer::StabilityPolicy*>(policy_.get());
+  if (stab == nullptr) return;
+  const std::vector<MemberId>& expected = host_.local_view().members();
+  for (const auto& [source, tr] : trackers_) {
+    std::uint64_t stable = stability_.stable_below(source, expected);
+    if (stable > 0) stab->mark_stable_below(source, stable);
+  }
+}
+
+// -------------------------------------------------------------- helpers ----
+
+bool Endpoint::has_received(const MessageId& id) const {
+  auto it = trackers_.find(id.source);
+  return it != trackers_.end() && it->second.has(id.seq);
+}
+
+std::uint64_t Endpoint::received_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [source, tr] : trackers_) total += tr.received_count();
+  return total;
+}
+
+std::vector<std::uint64_t> Endpoint::missing_from(MemberId source) const {
+  auto it = trackers_.find(source);
+  if (it == trackers_.end()) return {};
+  return it->second.missing();
+}
+
+TimerHandle Endpoint::schedule(Duration d, std::function<void()> fn) {
+  return host_.schedule(d, [this, token = alive_token_, f = std::move(fn)] {
+    // Check the token before touching any member: the endpoint may have
+    // been destroyed while this callback sat in the timer queue.
+    if (*token && active_) f();
+  });
+}
+
+void Endpoint::cancel(TimerHandle& t) {
+  if (t != kNoTimer) {
+    host_.cancel(t);
+    t = kNoTimer;
+  }
+}
+
+Duration Endpoint::request_timeout(MemberId peer) const {
+  Duration base = host_.rtt_estimate(peer);
+  if (cfg_.measure_rtt) base = rtt_.rto(peer, base);
+  return base.scaled(cfg_.timeout_factor);
+}
+
+}  // namespace rrmp

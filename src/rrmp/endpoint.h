@@ -1,0 +1,265 @@
+// RRMP protocol endpoint: one per group member.
+//
+// Implements the paper end to end:
+//  - loss detection from sequence gaps and session messages (§2.1),
+//  - concurrent local + remote recovery phases (§2.2):
+//      local: request from a uniformly random region neighbor, retry on an
+//             RTT timer;
+//      remote: request from a random parent-region member with probability
+//              lambda/|region| per attempt (timer armed regardless),
+//  - waiter forwarding: a member asked for a message it never received
+//    records the requester and relays on receipt (§2.2),
+//  - regional multicast of remote repairs, with randomized back-off to
+//    suppress duplicates (§2.2),
+//  - buffer management by a pluggable BufferPolicy; retransmission requests
+//    feed the two-phase policy's idle detection (§3.1),
+//  - random search for a bufferer of a discarded message (§3.3), terminated
+//    by an "I have the message" regional multicast,
+//  - long-term buffer handoff on voluntary leave (§3.2),
+//  - optional deterministic hash-direct lookup instead of randomized
+//    search, reproducing the authors' earlier scheme [11] (§3.4),
+//  - optional history exchange driving the stability-detection baseline.
+//
+// The endpoint is transport-agnostic: it talks only to an IHost, so the same
+// code runs on the discrete-event simulator and on loopback UDP sockets.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/policy.h"
+#include "buffer/stability.h"
+#include "rrmp/config.h"
+#include "rrmp/gossip_fd.h"
+#include "rrmp/host.h"
+#include "rrmp/metrics.h"
+#include "rrmp/rtt_estimator.h"
+#include "rrmp/sequence_tracker.h"
+
+namespace rrmp {
+
+class Endpoint {
+ public:
+  /// `metrics` may be nullptr. The policy must be unbound; the endpoint
+  /// binds it to its own PolicyEnv.
+  Endpoint(IHost& host, Config config,
+           std::unique_ptr<buffer::BufferPolicy> policy,
+           MetricsSink* metrics = nullptr);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // --- application interface -----------------------------------------
+
+  /// Multicast a new message to the whole group (this member is the
+  /// sender). Returns the assigned id.
+  MessageId multicast(std::vector<std::uint8_t> payload);
+
+  /// Called once for each distinct message received (any order).
+  void set_delivery_handler(std::function<void(const proto::Data&)> fn) {
+    delivery_handler_ = std::move(fn);
+  }
+
+  /// Gracefully leave the group: hand the long-term buffer to randomly
+  /// selected region members (§3.2) and stop all activity.
+  void leave();
+
+  /// Stop without handoff (crash in tests; also used on shutdown).
+  void halt();
+
+  // --- transport interface --------------------------------------------
+
+  /// Feed an incoming message (the host's receive path calls this).
+  void handle_message(const proto::Message& msg, MemberId from);
+
+  // --- introspection ----------------------------------------------------
+
+  MemberId self() const { return host_.self(); }
+  bool active() const { return active_; }
+  const buffer::BufferPolicy& buffer() const { return *policy_; }
+  buffer::BufferPolicy& buffer() { return *policy_; }
+
+  bool has_received(const MessageId& id) const;
+  std::uint64_t received_count() const;
+  std::size_t active_recoveries() const { return recoveries_.size(); }
+  std::size_t active_searches() const { return searches_.size(); }
+  std::size_t waiter_count() const { return waiters_.size(); }
+  std::uint64_t highest_sent() const { return send_seq_; }
+
+  /// Missing sequence numbers currently known for `source`.
+  std::vector<std::uint64_t> missing_from(MemberId source) const;
+
+  /// Start the gossip failure detector (optional; suspicion is reported to
+  /// on_suspect so the host can filter its views).
+  void enable_gossip_fd(GossipConfig config,
+                        std::function<void(MemberId, bool)> on_suspect);
+
+  /// Measured-RTT state (populated when config.measure_rtt is set).
+  const RttEstimator& rtt_estimator() const { return rtt_; }
+
+ private:
+  // PolicyEnv implementation handed to the buffer policy.
+  class Env final : public buffer::PolicyEnv {
+   public:
+    explicit Env(Endpoint& ep) : ep_(ep) {}
+    TimePoint now() const override;
+    std::uint64_t schedule(Duration d, std::function<void()> fn) override;
+    void cancel(std::uint64_t timer) override;
+    RandomEngine& rng() override;
+    std::size_t region_size() const override;
+    const std::vector<MemberId>& region_members() const override;
+    MemberId self() const override;
+
+   private:
+    Endpoint& ep_;
+  };
+
+  struct RecoveryTask {
+    TimePoint started;
+    TimerHandle local_timer = kNoTimer;
+    TimerHandle remote_timer = kNoTimer;
+    std::uint32_t local_attempts = 0;
+    std::uint32_t remote_attempts = 0;
+  };
+
+  struct SearchTask {
+    TimePoint started;
+    /// Requesters carried in outgoing SearchRequests (front is forwarded).
+    std::vector<MemberId> carry;
+    /// Requesters that contacted *this* member directly (RemoteRequest);
+    /// when another member's chain finds the holder, these are forwarded to
+    /// the holder so they are never left unserved.
+    std::vector<MemberId> own;
+    TimerHandle timer = kNoTimer;
+    std::uint32_t attempts = 0;
+  };
+
+  struct PendingRelay {
+    TimerHandle timer = kNoTimer;
+    proto::Data data;
+  };
+
+  /// kMulticastQuery strategy: a bufferer's delayed "I have it" reply.
+  struct PendingReply {
+    TimerHandle timer = kNoTimer;
+    MemberId requester = kInvalidMember;
+  };
+
+  // Message handlers.
+  void handle_data(const proto::Data& d, MemberId from);
+  void handle_session(const proto::Session& s, MemberId from);
+  void handle_local_request(const proto::LocalRequest& r, MemberId from);
+  void handle_remote_request(const proto::RemoteRequest& r, MemberId from);
+  void handle_repair(const proto::Repair& r, MemberId from);
+  void handle_regional_repair(const proto::RegionalRepair& r, MemberId from);
+  void handle_search_request(const proto::SearchRequest& r, MemberId from);
+  void handle_search_found(const proto::SearchFound& r, MemberId from);
+  void handle_handoff(const proto::Handoff& h, MemberId from);
+  void handle_gossip(const proto::Gossip& g, MemberId from);
+  void handle_history(const proto::History& h, MemberId from);
+
+  // Reception path shared by data/repair/regional-repair/handoff.
+  // Returns true if the message was new.
+  bool accept(const proto::Data& d, bool from_remote_region);
+
+  // Recovery.
+  void start_recovery(const MessageId& id);
+  void finish_recovery(const MessageId& id);
+  void local_attempt(const MessageId& id);
+  void remote_attempt(const MessageId& id);
+  MemberId pick_request_target(const MessageId& id);
+
+  // Search (§3.3).
+  void start_search(const MessageId& id, MemberId requester);
+  void search_attempt(const MessageId& id);
+  void end_search(const MessageId& id, MemberId holder);
+  void schedule_query_reply(const MessageId& id, MemberId requester);
+  void fire_query_reply(const MessageId& id);
+  /// Known holder from a recently completed search, if still fresh.
+  MemberId cached_holder(const MessageId& id);
+  void remember_holder(const MessageId& id, MemberId holder);
+  /// Multicast "I have the message" unless we already announced it within
+  /// the last intra-region RTT (straggler probes must not cause a storm of
+  /// re-announcements).
+  void announce_found(const MessageId& id);
+
+  // Regional relay of remote repairs.
+  void schedule_regional_relay(const proto::Data& d);
+  void fire_regional_relay(const MessageId& id);
+
+  // Stability baseline support.
+  void history_tick();
+  void recompute_stability();
+
+  // Anti-entropy engine (Bimodal Multicast [3]).
+  void anti_entropy_tick();
+  void pull_from_digest(const proto::History& digest, MemberId from);
+  proto::History build_history() const;
+
+  // Session messages (sender only).
+  void session_tick();
+
+  // Helpers.
+  void serve_waiters(const proto::Data& d);
+  void satisfy_searches(const proto::Data& d);
+  TimerHandle schedule(Duration d, std::function<void()> fn);
+  void cancel(TimerHandle& t);
+  Duration request_timeout(MemberId peer) const;
+  MetricsSink& metrics() { return *metrics_; }
+  SequenceTracker& tracker(MemberId source) { return trackers_[source]; }
+
+  IHost& host_;
+  Config cfg_;
+  Env env_;
+  std::unique_ptr<buffer::BufferPolicy> policy_;
+  NullSink null_sink_;
+  MetricsSink* metrics_;
+  std::function<void(const proto::Data&)> delivery_handler_;
+
+  bool active_ = true;
+  // Liveness token captured by every timer guard: halt() cancels the timers
+  // it tracks, but buffer-policy timers it does not — a timer that outlives
+  // this endpoint (e.g. the member was replaced after a rejoin) must find a
+  // dead token instead of dereferencing a freed `this`.
+  std::shared_ptr<bool> alive_token_ = std::make_shared<bool>(true);
+  std::uint64_t send_seq_ = 0;  // last sequence sent (this member as sender)
+  TimerHandle session_timer_ = kNoTimer;
+  TimerHandle history_timer_ = kNoTimer;
+  TimerHandle anti_entropy_timer_ = kNoTimer;
+
+  std::map<MemberId, SequenceTracker> trackers_;
+  std::unordered_map<MessageId, RecoveryTask> recoveries_;
+  // Outstanding local probes per message, for RTT sampling: when we FIRST
+  // probed each target. Attributing a repair to the first probe of its
+  // sender avoids Karn's retransmission ambiguity (a retry to the same
+  // target would otherwise yield a near-zero sample).
+  std::unordered_map<MessageId, std::map<MemberId, TimePoint>> probes_;
+  RttEstimator rtt_;
+  std::unordered_map<MessageId, std::vector<MemberId>> waiters_;
+  std::unordered_map<MessageId, SearchTask> searches_;
+  std::unordered_map<MessageId, PendingRelay> pending_relays_;
+  std::unordered_map<MessageId, PendingReply> pending_replies_;
+  // id -> (holder, recorded_at); entries expire after search_cache_ttl.
+  std::unordered_map<MessageId, std::pair<MemberId, TimePoint>> found_cache_;
+  // id -> when we last multicast SearchFound for it ourselves.
+  std::unordered_map<MessageId, TimePoint> last_announce_;
+  // Negative cache: searches we abandoned after max_attempts. Without it,
+  // probes from other (still-active) searchers would resurrect our task and
+  // a futile search would sustain itself forever. Expires with
+  // search_cache_ttl; cleared if the message or a holder turns up.
+  std::unordered_map<MessageId, TimePoint> search_given_up_;
+  bool search_abandoned(const MessageId& id);
+
+  // Stability baseline state.
+  buffer::StabilityTracker stability_;
+  bool history_enabled_ = false;
+
+  std::unique_ptr<GossipFailureDetector> gossip_fd_;
+};
+
+}  // namespace rrmp

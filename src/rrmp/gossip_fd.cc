@@ -1,0 +1,80 @@
+#include "rrmp/gossip_fd.h"
+
+#include <utility>
+
+namespace rrmp {
+
+GossipFailureDetector::GossipFailureDetector(
+    IHost& host, GossipConfig config,
+    std::function<void(MemberId, bool)> on_change)
+    : host_(host), config_(config), on_change_(std::move(on_change)) {}
+
+GossipFailureDetector::~GossipFailureDetector() { stop(); }
+
+void GossipFailureDetector::start() {
+  if (running_) return;
+  running_ = true;
+  tick_timer_ = host_.schedule(config_.gossip_interval, [this] { tick(); });
+}
+
+void GossipFailureDetector::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (tick_timer_ != kNoTimer) {
+    host_.cancel(tick_timer_);
+    tick_timer_ = kNoTimer;
+  }
+}
+
+void GossipFailureDetector::tick() {
+  if (!running_) return;
+  ++own_counter_;
+
+  // Gossip the full table (own counter included) to one random peer.
+  proto::Gossip g;
+  g.from = host_.self();
+  g.beats.push_back(proto::Heartbeat{host_.self(), own_counter_});
+  for (const auto& [m, st] : peers_) {
+    g.beats.push_back(proto::Heartbeat{m, st.counter});
+  }
+  MemberId target = host_.local_view().pick_random(host_.rng(), host_.self());
+  if (target != kInvalidMember) {
+    host_.send(target, proto::Message{std::move(g)});
+  }
+
+  check_timeouts();
+  tick_timer_ = host_.schedule(config_.gossip_interval, [this] { tick(); });
+}
+
+void GossipFailureDetector::handle_gossip(const proto::Gossip& g) {
+  TimePoint now = host_.now();
+  for (const proto::Heartbeat& hb : g.beats) {
+    if (hb.member == host_.self()) continue;
+    PeerState& st = peers_[hb.member];
+    if (hb.counter > st.counter) {
+      st.counter = hb.counter;
+      st.last_increase = now;
+      auto it = suspected_.find(hb.member);
+      if (it != suspected_.end()) {
+        suspected_.erase(it);
+        if (on_change_) on_change_(hb.member, false);
+      }
+    } else if (st.counter == 0) {
+      // First (possibly zero) sighting still starts the silence clock.
+      st.last_increase = now;
+    }
+  }
+}
+
+void GossipFailureDetector::check_timeouts() {
+  TimePoint now = host_.now();
+  for (const auto& [m, st] : peers_) {
+    if (suspected_.count(m)) continue;
+    if (now - st.last_increase > config_.fail_timeout) {
+      suspected_.emplace(m, 1);
+      if (on_change_) on_change_(m, true);
+    }
+  }
+}
+
+}  // namespace rrmp

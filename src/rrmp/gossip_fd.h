@@ -1,0 +1,64 @@
+// Gossip-style failure detection (van Renesse, Minsky & Hayden [13]), the
+// failure-detection substrate RRMP builds on (paper §2).
+//
+// Each member keeps a heartbeat counter per region peer. Every
+// gossip_interval it increments its own counter and sends its full table to
+// one randomly selected peer; on receipt, tables merge by taking the maximum
+// counter (and noting the local time of each increase). A peer whose counter
+// has not increased for fail_timeout is suspected; if it increases again
+// later (e.g. the member was slow, not dead) the suspicion is lifted.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "rrmp/host.h"
+
+namespace rrmp {
+
+struct GossipConfig {
+  Duration gossip_interval = Duration::millis(10);
+  /// Suspect after this much silence. [13] derives it from group size and
+  /// desired false-positive probability; a multiple of the interval works
+  /// for region-scale groups.
+  Duration fail_timeout = Duration::millis(100);
+};
+
+class GossipFailureDetector {
+ public:
+  /// `on_change(member, suspected)` fires on every suspicion edge.
+  GossipFailureDetector(IHost& host, GossipConfig config,
+                        std::function<void(MemberId, bool)> on_change);
+  ~GossipFailureDetector();
+
+  GossipFailureDetector(const GossipFailureDetector&) = delete;
+  GossipFailureDetector& operator=(const GossipFailureDetector&) = delete;
+
+  void start();
+  void stop();
+
+  void handle_gossip(const proto::Gossip& g);
+
+  bool suspected(MemberId m) const { return suspected_.count(m) > 0; }
+  std::size_t suspected_count() const { return suspected_.size(); }
+  std::uint64_t own_counter() const { return own_counter_; }
+
+ private:
+  void tick();
+  void check_timeouts();
+
+  IHost& host_;
+  GossipConfig config_;
+  std::function<void(MemberId, bool)> on_change_;
+  std::uint64_t own_counter_ = 0;
+  struct PeerState {
+    std::uint64_t counter = 0;
+    TimePoint last_increase;
+  };
+  std::unordered_map<MemberId, PeerState> peers_;
+  std::unordered_map<MemberId, char> suspected_;
+  TimerHandle tick_timer_ = kNoTimer;
+  bool running_ = false;
+};
+
+}  // namespace rrmp

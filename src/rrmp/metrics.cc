@@ -1,0 +1,117 @@
+#include "rrmp/metrics.h"
+
+namespace rrmp {
+
+TimePoint RecordingSink::first_remote_repair(const MessageId& id) const {
+  auto it = first_remote_repair_.find(id);
+  return it == first_remote_repair_.end() ? TimePoint::max() : it->second;
+}
+
+std::uint64_t RecordingSink::remote_requests_for(const MessageId& id) const {
+  auto it = remote_requests_by_id_.find(id);
+  return it == remote_requests_by_id_.end() ? 0 : it->second;
+}
+
+std::uint64_t RecordingSink::remote_repairs_for(const MessageId& id) const {
+  auto it = remote_repairs_by_id_.find(id);
+  return it == remote_repairs_by_id_.end() ? 0 : it->second;
+}
+
+void RecordingSink::clear() { *this = RecordingSink(); }
+
+void RecordingSink::on_delivered(MemberId m, const MessageId& id, TimePoint t) {
+  ++counters_.delivered;
+  deliveries_.push_back(TimedEvent{t, m, id});
+}
+
+void RecordingSink::on_loss_detected(MemberId, const MessageId&, TimePoint) {
+  ++counters_.losses_detected;
+}
+
+void RecordingSink::on_recovered(MemberId, const MessageId&, TimePoint,
+                                 Duration latency) {
+  ++counters_.recoveries;
+  recovery_latencies_.push_back(latency);
+}
+
+void RecordingSink::on_buffer_stored(MemberId m, const MessageId& id,
+                                     TimePoint t) {
+  ++counters_.stores;
+  stores_.push_back(TimedEvent{t, m, id});
+  open_stores_[{m, id}] = t;
+}
+
+void RecordingSink::on_buffer_discarded(MemberId m, const MessageId& id,
+                                        TimePoint t, bool was_long_term) {
+  ++counters_.discards;
+  discards_.push_back(TimedEvent{t, m, id});
+  auto it = open_stores_.find({m, id});
+  if (it != open_stores_.end()) {
+    buffer_intervals_.push_back(
+        BufferInterval{m, id, it->second, t, was_long_term});
+    open_stores_.erase(it);
+  }
+}
+
+void RecordingSink::on_promoted_long_term(MemberId m, const MessageId& id,
+                                          TimePoint t) {
+  ++counters_.long_term_promotions;
+  promotions_.push_back(TimedEvent{t, m, id});
+}
+
+void RecordingSink::on_request_sent(MemberId, const MessageId& id, bool remote,
+                                    TimePoint) {
+  if (remote) {
+    ++counters_.remote_requests_sent;
+    ++remote_requests_by_id_[id];
+  } else {
+    ++counters_.local_requests_sent;
+  }
+}
+
+void RecordingSink::on_request_received(MemberId, const MessageId&, bool,
+                                        TimePoint) {
+  ++counters_.requests_received;
+}
+
+void RecordingSink::on_repair_sent(MemberId, const MessageId& id, bool remote,
+                                   TimePoint t) {
+  ++counters_.repairs_sent;
+  if (remote) {
+    ++counters_.remote_repairs_sent;
+    ++remote_repairs_by_id_[id];
+    auto [it, inserted] = first_remote_repair_.try_emplace(id, t);
+    if (!inserted && t < it->second) it->second = t;
+  }
+}
+
+void RecordingSink::on_search_started(MemberId, const MessageId&, TimePoint) {
+  ++counters_.searches_started;
+}
+
+void RecordingSink::on_search_hop(MemberId, MemberId, const MessageId&,
+                                  TimePoint) {
+  ++counters_.search_hops;
+}
+
+void RecordingSink::on_search_completed(MemberId, const MessageId&,
+                                        TimePoint) {
+  ++counters_.searches_completed;
+}
+
+void RecordingSink::on_regional_multicast(MemberId, const MessageId&,
+                                          TimePoint) {
+  ++counters_.regional_multicasts;
+}
+
+void RecordingSink::on_relay_suppressed(MemberId, const MessageId&,
+                                        TimePoint) {
+  ++counters_.relays_suppressed;
+}
+
+void RecordingSink::on_handoff_sent(MemberId, MemberId, std::size_t,
+                                    TimePoint) {
+  ++counters_.handoffs;
+}
+
+}  // namespace rrmp

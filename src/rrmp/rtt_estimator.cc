@@ -1,0 +1,41 @@
+#include "rrmp/rtt_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrmp {
+
+void RttEstimator::add_sample(MemberId peer, Duration rtt) {
+  if (rtt < Duration::zero()) return;  // clock skew artifact: ignore
+  auto sample_us = static_cast<double>(rtt.us());
+  auto [it, inserted] = peers_.try_emplace(peer);
+  PeerState& st = it->second;
+  if (inserted) {
+    // First sample: classic initialization (rttvar = sample/2).
+    st.srtt_us = sample_us;
+    st.rttvar_us = sample_us / 2.0;
+    return;
+  }
+  double err = std::abs(st.srtt_us - sample_us);
+  st.rttvar_us = (1.0 - config_.beta) * st.rttvar_us + config_.beta * err;
+  st.srtt_us = (1.0 - config_.alpha) * st.srtt_us + config_.alpha * sample_us;
+}
+
+Duration RttEstimator::srtt(MemberId peer, Duration fallback) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return fallback;
+  return Duration::micros(static_cast<std::int64_t>(it->second.srtt_us));
+}
+
+Duration RttEstimator::rto(MemberId peer, Duration fallback) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    return std::clamp(fallback, config_.min_rto, config_.max_rto);
+  }
+  auto rto_us = static_cast<std::int64_t>(it->second.srtt_us +
+                                          4.0 * it->second.rttvar_us);
+  return std::clamp(Duration::micros(rto_us), config_.min_rto,
+                    config_.max_rto);
+}
+
+}  // namespace rrmp

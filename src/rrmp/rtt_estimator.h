@@ -1,0 +1,62 @@
+// Per-peer round-trip-time estimation (Jacobson/Karels smoothing).
+//
+// The paper sets retry timers "according to [the] estimated round trip
+// time" of the probed member (§2.2) without saying where the estimate comes
+// from. On the simulator the topology oracle is available; on real networks
+// it is not. This estimator learns RTTs from request->repair samples:
+//
+//   srtt   <- (1-a) srtt + a sample          (a = 1/8)
+//   rttvar <- (1-b) rttvar + b |srtt-sample| (b = 1/4)
+//   rto    =  srtt + 4 rttvar                (clamped to [floor, ceiling])
+//
+// Until a peer has a sample, the estimator falls back to a configurable
+// prior (e.g. the host's static estimate).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace rrmp {
+
+struct RttEstimatorConfig {
+  double alpha = 0.125;  // srtt gain
+  double beta = 0.25;    // rttvar gain
+  Duration min_rto = Duration::millis(1);
+  Duration max_rto = Duration::seconds(2);
+};
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(RttEstimatorConfig config = {}) : config_(config) {}
+
+  /// Record one measured round trip to `peer`.
+  void add_sample(MemberId peer, Duration rtt);
+
+  /// True once at least one sample for `peer` exists.
+  bool has_estimate(MemberId peer) const { return peers_.count(peer) > 0; }
+
+  /// Smoothed RTT; `fallback` when no sample exists.
+  Duration srtt(MemberId peer, Duration fallback) const;
+
+  /// Retransmission timeout: srtt + 4*rttvar, clamped. `fallback` seeds the
+  /// answer for unmeasured peers.
+  Duration rto(MemberId peer, Duration fallback) const;
+
+  /// Drop state for a departed peer.
+  void forget(MemberId peer) { peers_.erase(peer); }
+
+  std::size_t tracked_peers() const { return peers_.size(); }
+
+ private:
+  struct PeerState {
+    double srtt_us = 0;
+    double rttvar_us = 0;
+  };
+  RttEstimatorConfig config_;
+  std::unordered_map<MemberId, PeerState> peers_;
+};
+
+}  // namespace rrmp

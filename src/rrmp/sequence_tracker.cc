@@ -1,0 +1,90 @@
+#include "rrmp/sequence_tracker.h"
+
+#include <cassert>
+
+namespace rrmp {
+
+SequenceTracker::Observation SequenceTracker::observe_data(std::uint64_t seq) {
+  Observation obs;
+  if (seq == 0) return obs;  // sequences start at 1; 0 is malformed
+  if (has(seq)) return obs;
+  obs.is_new = true;
+  ++received_count_;
+  // Gaps newly opened: everything in (max_known_, seq) was unknown until now
+  // and is not received.
+  if (seq > max_known_) {
+    for (std::uint64_t s = max_known_ + 1; s < seq; ++s) {
+      obs.new_gaps.push_back(s);
+    }
+    max_known_ = seq;
+  }
+  if (seq == next_expected_) {
+    ++next_expected_;
+    compact();
+  } else if (seq > next_expected_) {
+    out_of_order_.insert(seq);
+  }
+  return obs;
+}
+
+std::vector<std::uint64_t> SequenceTracker::observe_session(
+    std::uint64_t highest) {
+  std::vector<std::uint64_t> gaps;
+  if (highest <= max_known_) return gaps;
+  for (std::uint64_t s = max_known_ + 1; s <= highest; ++s) {
+    gaps.push_back(s);
+  }
+  max_known_ = highest;
+  return gaps;
+}
+
+bool SequenceTracker::has(std::uint64_t seq) const {
+  if (seq == 0) return false;
+  if (seq < next_expected_) return true;
+  return out_of_order_.count(seq) > 0;
+}
+
+std::vector<std::uint64_t> SequenceTracker::missing() const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = next_expected_; s <= max_known_; ++s) {
+    if (!out_of_order_.count(s)) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t SequenceTracker::missing_count() const {
+  if (max_known_ < next_expected_) return 0;
+  return static_cast<std::size_t>(max_known_ - next_expected_ + 1) -
+         out_of_order_.size();
+}
+
+proto::SourceHistory SequenceTracker::history(MemberId source,
+                                              std::size_t max_words) const {
+  proto::SourceHistory h;
+  h.source = source;
+  h.next_expected = next_expected_;
+  if (!out_of_order_.empty() && max_words > 0) {
+    std::uint64_t span = *out_of_order_.rbegin() - next_expected_ + 1;
+    std::size_t words =
+        std::min(max_words, static_cast<std::size_t>((span + 63) / 64));
+    h.bitmap.assign(words, 0);
+    for (std::uint64_t s : out_of_order_) {
+      std::uint64_t off = s - next_expected_;
+      std::size_t w = static_cast<std::size_t>(off / 64);
+      if (w >= words) break;
+      h.bitmap[w] |= (1ULL << (off % 64));
+    }
+  }
+  return h;
+}
+
+void SequenceTracker::compact() {
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end() && *it == next_expected_) {
+    ++next_expected_;
+    it = out_of_order_.erase(it);
+  }
+  assert(out_of_order_.empty() || *out_of_order_.begin() > next_expected_);
+}
+
+}  // namespace rrmp

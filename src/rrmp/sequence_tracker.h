@@ -1,0 +1,65 @@
+// Per-source reception tracking and loss detection.
+//
+// A receiver detects a loss by observing a gap in the sequence-number space
+// of a source (paper §2.1); session messages reveal the highest sequence
+// sent, exposing losses at the tail of a burst. Sequences start at 1.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "proto/messages.h"
+
+namespace rrmp {
+
+class SequenceTracker {
+ public:
+  /// Marks `seq` received. Returns the *newly detected* missing sequences —
+  /// the gaps opened by this observation — and whether `seq` itself is new
+  /// (false for duplicates).
+  struct Observation {
+    bool is_new = false;
+    std::vector<std::uint64_t> new_gaps;
+  };
+  Observation observe_data(std::uint64_t seq);
+
+  /// Processes a session announcement "sequences 1..highest exist".
+  /// Returns the newly detected missing sequences.
+  std::vector<std::uint64_t> observe_session(std::uint64_t highest);
+
+  /// A hint that `seq` exists (e.g. a request for it was seen) without us
+  /// receiving it. Equivalent to observe_session(seq).
+  std::vector<std::uint64_t> observe_hint(std::uint64_t seq) {
+    return observe_session(seq);
+  }
+
+  bool has(std::uint64_t seq) const;
+
+  /// Smallest sequence not yet received (1 if nothing received).
+  std::uint64_t next_expected() const { return next_expected_; }
+
+  /// Highest sequence known to exist (received or announced).
+  std::uint64_t max_known() const { return max_known_; }
+
+  /// Sequences in [1, max_known] not yet received.
+  std::vector<std::uint64_t> missing() const;
+  std::size_t missing_count() const;
+
+  std::uint64_t received_count() const { return received_count_; }
+
+  /// Reception state for history exchange: next_expected plus a bitmap of
+  /// at most `max_words`*64 sequences above it.
+  proto::SourceHistory history(MemberId source, std::size_t max_words) const;
+
+ private:
+  void compact();
+
+  std::uint64_t next_expected_ = 1;  // all seqs < this were received
+  std::uint64_t max_known_ = 0;
+  std::uint64_t received_count_ = 0;
+  std::set<std::uint64_t> out_of_order_;  // received, >= next_expected_
+};
+
+}  // namespace rrmp

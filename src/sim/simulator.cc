@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rrmp::sim {
+
+TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // no scheduling into the past
+  std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return TimerId{id};
+}
+
+void Simulator::cancel(TimerId id) { callbacks_.erase(id.value); }
+
+bool Simulator::pending(TimerId id) const {
+  return callbacks_.find(id.value) != callbacks_.end();
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    assert(e.time >= now_);
+    now_ = e.time;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    // Skip dead entries at the top so their (stale) times don't gate us.
+    const Entry& e = heap_.top();
+    if (callbacks_.find(e.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (e.time > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace rrmp::sim

@@ -1,0 +1,83 @@
+// Deterministic discrete-event simulator.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events run
+// FIFO and whole-cluster runs replay bit-identically. Timers are cancellable;
+// cancellation is O(1) (lazy: the heap entry is skipped when popped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace rrmp::sim {
+
+/// Handle for a scheduled event; pass to Simulator::cancel.
+struct TimerId {
+  std::uint64_t value = 0;
+  friend bool operator==(TimerId, TimerId) = default;
+};
+
+inline constexpr TimerId kInvalidTimer{0};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (clamped to now()).
+  TimerId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedule `fn` to run after `d` (>= Duration::zero()).
+  TimerId schedule_after(Duration d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancel a pending event. Safe on already-fired or invalid ids.
+  void cancel(TimerId id);
+
+  /// True if the event is still pending (scheduled, not fired, not cancelled).
+  bool pending(TimerId id) const;
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events fired.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run all events with fire time <= t, then advance the clock to t.
+  std::size_t run_until(TimePoint t);
+
+  std::size_t pending_count() const { return callbacks_.size(); }
+  std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
+    std::uint64_t id;
+    // Ordered for a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // id -> callback; erased on fire or cancel. A heap entry whose id is no
+  // longer present is a cancelled event and is skipped.
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace rrmp::sim

@@ -1,0 +1,183 @@
+// Unit tests: statistics, the paper's closed-form expressions, table output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/analytic.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+
+namespace rrmp::analysis {
+namespace {
+
+// ----------------------------------------------------------------- stats ----
+
+TEST(StatsTest, MeanAndStddev) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 0.001);  // sample stddev (n-1)
+}
+
+TEST(StatsTest, EmptyAndSingletonInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  // Unsorted input is handled (percentile sorts internally).
+  std::vector<double> shuffled = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 50), 25.0);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeQ) {
+  std::vector<double> xs = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200), 3.0);
+}
+
+TEST(StatsTest, SummarizeCoversAllFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.2);
+  EXPECT_NEAR(s.p99, 99.01, 0.2);
+}
+
+TEST(StatsTest, HistogramBucketsAndClamping) {
+  std::vector<double> xs = {-1, 0, 0.5, 1.5, 2.5, 99};
+  auto h = histogram(xs, 0, 3, 3);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 3u);  // -1 (clamped), 0, 0.5
+  EXPECT_EQ(h[1], 1u);  // 1.5
+  EXPECT_EQ(h[2], 2u);  // 2.5, 99 (clamped)
+}
+
+TEST(StatsTest, HistogramDegenerateRange) {
+  EXPECT_TRUE(histogram({1, 2}, 5, 5, 3) ==
+              (std::vector<std::size_t>{0, 0, 0}));
+  EXPECT_TRUE(histogram({1}, 0, 1, 0).empty());
+}
+
+// -------------------------------------------------------------- analytic ----
+
+TEST(AnalyticTest, BinomialPmfSumsToOne) {
+  double total = 0;
+  for (std::uint64_t k = 0; k <= 100; ++k) {
+    total += binomial_pmf(100, 0.06, k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AnalyticTest, BinomialPmfKnownValues) {
+  EXPECT_NEAR(binomial_pmf(10, 0.5, 5), 0.24609375, 1e-8);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.5, 11), 0.0);  // k > n
+}
+
+TEST(AnalyticTest, PoissonPmfKnownValues) {
+  // Paper: "When C = 6 ... the probability is only 0.25%".
+  EXPECT_NEAR(poisson_pmf(6.0, 0), 0.00248, 0.0001);
+  EXPECT_NEAR(poisson_pmf(1.0, 1), std::exp(-1.0), 1e-9);
+  double total = 0;
+  for (std::uint64_t k = 0; k < 60; ++k) total += poisson_pmf(6.0, k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AnalyticTest, PoissonApproximatesBinomialForLargeN) {
+  // The §3.2 approximation: Binomial(n, C/n) -> Poisson(C) as n grows.
+  for (std::uint64_t k = 0; k <= 15; ++k) {
+    EXPECT_NEAR(binomial_pmf(1000, 6.0 / 1000, k), poisson_pmf(6.0, k), 0.005)
+        << "k=" << k;
+  }
+}
+
+TEST(AnalyticTest, ProbNoBuffererIsExponential) {
+  EXPECT_NEAR(prob_no_bufferer(1), 0.3679, 0.0001);
+  EXPECT_NEAR(prob_no_bufferer(6), 0.00248, 0.0001);
+  EXPECT_GT(prob_no_bufferer(2) / prob_no_bufferer(3), 2.6);
+  EXPECT_LT(prob_no_bufferer(2) / prob_no_bufferer(3), 2.8);
+}
+
+TEST(AnalyticTest, ProbNoRequestMatchesApproximation) {
+  // (1 - 1/(n-1))^(np) ~= e^-p for large n (paper §3.1).
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(prob_no_request(1000, p), prob_no_request_approx(p), 0.01)
+        << "p=" << p;
+  }
+  // Degenerate region sizes.
+  EXPECT_DOUBLE_EQ(prob_no_request(1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(prob_no_request(0, 0.5), 1.0);
+}
+
+TEST(AnalyticTest, RequiredCInvertsFigure4) {
+  // Operator-facing inverse of Figure 4: C for a target zero-bufferer risk.
+  EXPECT_NEAR(required_c(0.0025), 6.0, 0.01);  // the paper's C=6 point
+  EXPECT_NEAR(required_c(std::exp(-3.0)), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(required_c(1.0), 0.0);
+  EXPECT_TRUE(std::isinf(required_c(0.0)));
+  // Round trip: e^-required_c(p) == p.
+  for (double p : {0.1, 0.01, 0.001}) {
+    EXPECT_NEAR(prob_no_bufferer(required_c(p)), p, p * 1e-9);
+  }
+}
+
+TEST(AnalyticTest, ProbNoRequestDecreasesInP) {
+  double prev = 1.1;
+  for (double p : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double v = prob_no_request(100, p);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+// ------------------------------------------------------------------ table ----
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells render empty
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesCommas) {
+  Table t({"k", "v"});
+  t.add_row({"a,b", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\",2"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace rrmp::analysis

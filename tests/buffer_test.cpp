@@ -1,0 +1,431 @@
+// Unit tests: all five buffer policies against a fake environment.
+#include <gtest/gtest.h>
+
+#include "buffer/factory.h"
+#include "test_env.h"
+
+namespace rrmp::buffer {
+namespace {
+
+using rrmp::testing::FakePolicyEnv;
+using rrmp::testing::make_data;
+
+// ------------------------------------------------------------ base class ----
+
+TEST(BufferPolicyBase, StoreGetHasAndAccounting) {
+  FakePolicyEnv env;
+  BufferEverythingPolicy p;
+  p.bind(&env);
+  proto::Data d = make_data(1, 1, 100);
+  p.store(d);
+  EXPECT_TRUE(p.has(d.id));
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_EQ(p.bytes(), 100u);
+  auto got = p.get(d.id);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, d.payload);
+  EXPECT_FALSE(p.get(MessageId{9, 9}).has_value());
+}
+
+TEST(BufferPolicyBase, DuplicateStoreIgnored) {
+  FakePolicyEnv env;
+  BufferEverythingPolicy p;
+  p.bind(&env);
+  p.store(make_data(1, 1));
+  p.store(make_data(1, 1));
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_EQ(p.stats().stored, 1u);
+}
+
+TEST(BufferPolicyBase, ForceDiscardRemovesAndCounts) {
+  FakePolicyEnv env;
+  BufferEverythingPolicy p;
+  p.bind(&env);
+  proto::Data d = make_data(1, 1, 64);
+  p.store(d);
+  env.advance(Duration::millis(3));
+  p.force_discard(d.id);
+  EXPECT_FALSE(p.has(d.id));
+  EXPECT_EQ(p.bytes(), 0u);
+  EXPECT_EQ(p.stats().discarded, 1u);
+  EXPECT_EQ(p.stats().total_buffer_time, Duration::millis(3));
+}
+
+TEST(BufferPolicyBase, PeakTracking) {
+  FakePolicyEnv env;
+  BufferEverythingPolicy p;
+  p.bind(&env);
+  for (std::uint64_t s = 1; s <= 5; ++s) p.store(make_data(1, s, 10));
+  p.force_discard(MessageId{1, 1});
+  EXPECT_EQ(p.stats().peak_count, 5u);
+  EXPECT_EQ(p.stats().peak_bytes, 50u);
+  EXPECT_EQ(p.count(), 4u);
+}
+
+TEST(BufferPolicyBase, ObserverSeesLifecycle) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(TwoPhaseParams{Duration::millis(10), 10.0,
+                                  Duration::infinite()});
+  p.bind(&env);
+  std::vector<std::pair<BufferEvent, bool>> events;
+  p.set_observer([&](const MessageId&, BufferEvent ev, bool lt) {
+    events.emplace_back(ev, lt);
+  });
+  p.store(make_data(1, 1));
+  env.advance(Duration::millis(50));  // idle; C/n = 1.0 -> always promoted
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].first, BufferEvent::kStored);
+  EXPECT_EQ(events[1].first, BufferEvent::kPromotedLongTerm);
+  EXPECT_TRUE(events[1].second);
+}
+
+TEST(BufferPolicyBase, BindTwiceThrows) {
+  FakePolicyEnv env;
+  BufferEverythingPolicy p;
+  p.bind(&env);
+  EXPECT_THROW(p.bind(&env), std::logic_error);
+  BufferEverythingPolicy q;
+  EXPECT_THROW(q.bind(nullptr), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- two-phase ----
+
+TwoPhaseParams tp(Duration idle, double c,
+                  Duration ttl = Duration::infinite()) {
+  return TwoPhaseParams{idle, c, ttl};
+}
+
+TEST(TwoPhaseTest, IdleMessageDiscardedAfterThresholdWhenCZero) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
+  p.bind(&env);
+  p.store(make_data(1, 1));
+  env.advance(Duration::millis(39));
+  EXPECT_TRUE(p.has(MessageId{1, 1}));
+  env.advance(Duration::millis(2));
+  EXPECT_FALSE(p.has(MessageId{1, 1}));
+}
+
+TEST(TwoPhaseTest, RequestFeedbackExtendsShortTermBuffering) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
+  p.bind(&env);
+  MessageId id{1, 1};
+  p.store(make_data(1, 1));
+  // Keep poking every 30 ms: the idle threshold never elapses.
+  for (int i = 0; i < 5; ++i) {
+    env.advance(Duration::millis(30));
+    p.on_request_seen(id);
+    EXPECT_TRUE(p.has(id));
+  }
+  // Silence for T: now it goes.
+  env.advance(Duration::millis(41));
+  EXPECT_FALSE(p.has(id));
+}
+
+TEST(TwoPhaseTest, AlwaysPromotedWhenCEqualsRegionSize) {
+  FakePolicyEnv env(/*region_size=*/10);
+  TwoPhasePolicy p(tp(Duration::millis(10), 10.0));  // C/n = 1
+  p.bind(&env);
+  p.store(make_data(1, 1));
+  env.advance(Duration::millis(20));
+  EXPECT_TRUE(p.has(MessageId{1, 1}));
+  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+}
+
+TEST(TwoPhaseTest, PromotionProbabilityIsCOverN) {
+  FakePolicyEnv env(/*region_size=*/10, /*self=*/0, /*seed=*/99);
+  TwoPhasePolicy p(tp(Duration::millis(5), 3.0));  // P = 0.3
+  p.bind(&env);
+  const int n = 4000;
+  for (std::uint64_t s = 1; s <= n; ++s) p.store(make_data(1, s));
+  env.advance(Duration::millis(10));
+  double kept = static_cast<double>(p.count()) / n;
+  EXPECT_NEAR(kept, 0.3, 0.03);
+  EXPECT_EQ(p.stats().promoted_long_term, p.count());
+}
+
+TEST(TwoPhaseTest, LongTermTtlEventuallyDiscards) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(tp(Duration::millis(10), 10.0, Duration::millis(100)));
+  p.bind(&env);
+  p.store(make_data(1, 1));
+  env.advance(Duration::millis(20));  // promoted at ~10ms
+  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+  env.advance(Duration::millis(200));
+  EXPECT_FALSE(p.has(MessageId{1, 1}));
+}
+
+TEST(TwoPhaseTest, LongTermTtlRefreshedByRequests) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(tp(Duration::millis(10), 10.0, Duration::millis(100)));
+  p.bind(&env);
+  MessageId id{1, 1};
+  p.store(make_data(1, 1));
+  env.advance(Duration::millis(20));
+  ASSERT_TRUE(p.is_long_term(id));
+  // Requests every 80 ms keep it alive past several TTLs.
+  for (int i = 0; i < 4; ++i) {
+    env.advance(Duration::millis(80));
+    p.on_request_seen(id);
+  }
+  EXPECT_TRUE(p.has(id));
+  env.advance(Duration::millis(150));
+  EXPECT_FALSE(p.has(id));
+}
+
+TEST(TwoPhaseTest, HandoffAcceptedAsLongTermImmediately) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(tp(Duration::millis(10), 0.0));  // would never survive idle
+  p.bind(&env);
+  p.accept_handoff(make_data(1, 1));
+  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+  env.advance(Duration::millis(100));
+  EXPECT_TRUE(p.has(MessageId{1, 1}));  // no idle discard for long-term
+}
+
+TEST(TwoPhaseTest, HandoffUpgradesExistingShortTermEntry) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
+  p.bind(&env);
+  p.store(make_data(1, 1));
+  EXPECT_FALSE(p.is_long_term(MessageId{1, 1}));
+  p.accept_handoff(make_data(1, 1));
+  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+  env.advance(Duration::millis(100));
+  EXPECT_TRUE(p.has(MessageId{1, 1}));  // upgraded entries survive idling
+}
+
+TEST(TwoPhaseTest, DrainForHandoffReturnsOnlyLongTerm) {
+  FakePolicyEnv env;
+  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
+  p.bind(&env);
+  p.store(make_data(1, 1));             // short-term
+  p.accept_handoff(make_data(1, 2));    // long-term
+  p.accept_handoff(make_data(1, 3));    // long-term
+  auto drained = p.drain_for_handoff();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_FALSE(p.has(MessageId{1, 2}));
+  EXPECT_FALSE(p.has(MessageId{1, 3}));
+  EXPECT_TRUE(p.has(MessageId{1, 1}));  // short-term entry not transferred
+  EXPECT_EQ(p.stats().handed_off, 2u);
+}
+
+// -------------------------------------------------------------- fixed-time ----
+
+TEST(FixedTimeTest, DiscardsExactlyAfterTtl) {
+  FakePolicyEnv env;
+  FixedTimePolicy p(Duration::millis(100));
+  p.bind(&env);
+  p.store(make_data(1, 1));
+  env.advance(Duration::millis(99));
+  EXPECT_TRUE(p.has(MessageId{1, 1}));
+  env.advance(Duration::millis(2));
+  EXPECT_FALSE(p.has(MessageId{1, 1}));
+}
+
+TEST(FixedTimeTest, RequestsDoNotExtendLifetime) {
+  FakePolicyEnv env;
+  FixedTimePolicy p(Duration::millis(100));
+  p.bind(&env);
+  MessageId id{1, 1};
+  p.store(make_data(1, 1));
+  for (int i = 0; i < 9; ++i) {
+    env.advance(Duration::millis(10));
+    p.on_request_seen(id);
+  }
+  env.advance(Duration::millis(15));
+  EXPECT_FALSE(p.has(id));  // Bimodal's policy ignores demand
+}
+
+TEST(FixedTimeTest, StaggeredStoresExpireIndependently) {
+  FakePolicyEnv env;
+  FixedTimePolicy p(Duration::millis(50));
+  p.bind(&env);
+  p.store(make_data(1, 1));
+  env.advance(Duration::millis(30));
+  p.store(make_data(1, 2));
+  env.advance(Duration::millis(25));  // t=55: first gone, second alive
+  EXPECT_FALSE(p.has(MessageId{1, 1}));
+  EXPECT_TRUE(p.has(MessageId{1, 2}));
+}
+
+// ------------------------------------------------------- buffer-everything ----
+
+TEST(BufferEverythingTest, NeverDiscards) {
+  FakePolicyEnv env;
+  BufferEverythingPolicy p;
+  p.bind(&env);
+  for (std::uint64_t s = 1; s <= 100; ++s) p.store(make_data(1, s));
+  env.advance(Duration::seconds(100));
+  EXPECT_EQ(p.count(), 100u);
+  EXPECT_EQ(p.stats().discarded, 0u);
+}
+
+TEST(BufferEverythingTest, DrainsEverythingOnHandoff) {
+  FakePolicyEnv env;
+  BufferEverythingPolicy p;
+  p.bind(&env);
+  for (std::uint64_t s = 1; s <= 10; ++s) p.store(make_data(1, s));
+  auto drained = p.drain_for_handoff();
+  EXPECT_EQ(drained.size(), 10u);
+  EXPECT_EQ(p.count(), 0u);
+}
+
+// ------------------------------------------------------------- hash-based ----
+
+TEST(HashBasedTest, ScoreIsDeterministic) {
+  MessageId id{1, 7};
+  EXPECT_EQ(hash_score(id, 3), hash_score(id, 3));
+  EXPECT_NE(hash_score(id, 3), hash_score(id, 4));
+  EXPECT_NE(hash_score(id, 3), hash_score(MessageId{1, 8}, 3));
+}
+
+TEST(HashBasedTest, BuffererSetDeterministicAndOrderIndependent) {
+  std::vector<MemberId> a = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<MemberId> b = {7, 3, 5, 1, 6, 0, 2, 4};
+  MessageId id{2, 42};
+  auto sa = hash_bufferers(id, a, 3);
+  auto sb = hash_bufferers(id, b, 3);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa.size(), 3u);
+}
+
+TEST(HashBasedTest, BuffererSetVariesByMessage) {
+  std::vector<MemberId> members(50);
+  for (std::size_t i = 0; i < 50; ++i) members[i] = static_cast<MemberId>(i);
+  std::set<std::vector<MemberId>> sets;
+  for (std::uint64_t s = 1; s <= 30; ++s) {
+    sets.insert(hash_bufferers(MessageId{1, s}, members, 5));
+  }
+  EXPECT_GT(sets.size(), 25u);  // essentially always different
+}
+
+TEST(HashBasedTest, SelectionIsBalancedAcrossMembers) {
+  std::vector<MemberId> members(20);
+  for (std::size_t i = 0; i < 20; ++i) members[i] = static_cast<MemberId>(i);
+  std::map<MemberId, int> load;
+  const int msgs = 5000;
+  for (std::uint64_t s = 1; s <= msgs; ++s) {
+    for (MemberId m : hash_bufferers(MessageId{1, s}, members, 4)) ++load[m];
+  }
+  // Expected load per member: msgs * 4 / 20 = 1000.
+  for (const auto& [m, c] : load) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 120.0);
+  }
+}
+
+TEST(HashBasedTest, KLargerThanMembershipReturnsAll) {
+  std::vector<MemberId> members = {1, 2, 3};
+  EXPECT_EQ(hash_bufferers(MessageId{1, 1}, members, 10).size(), 3u);
+  EXPECT_TRUE(hash_bufferers(MessageId{1, 1}, {}, 3).empty());
+  EXPECT_TRUE(hash_bufferers(MessageId{1, 1}, members, 0).empty());
+}
+
+TEST(HashBasedTest, SelectedMemberKeepsOthersDropAfterGrace) {
+  // Find a message where member 0 is (and one where it is not) selected.
+  std::vector<MemberId> members(10);
+  for (std::size_t i = 0; i < 10; ++i) members[i] = static_cast<MemberId>(i);
+  std::uint64_t selected_seq = 0, unselected_seq = 0;
+  for (std::uint64_t s = 1; s < 100 && (!selected_seq || !unselected_seq); ++s) {
+    auto set = hash_bufferers(MessageId{1, s}, members, 3);
+    bool mine = std::find(set.begin(), set.end(), MemberId{0}) != set.end();
+    if (mine && !selected_seq) selected_seq = s;
+    if (!mine && !unselected_seq) unselected_seq = s;
+  }
+  ASSERT_NE(selected_seq, 0u);
+  ASSERT_NE(unselected_seq, 0u);
+
+  FakePolicyEnv env(/*region_size=*/10, /*self=*/0);
+  HashBasedPolicy p(HashBasedParams{3, Duration::millis(40),
+                                    Duration::infinite()});
+  p.bind(&env);
+  p.store(make_data(1, selected_seq));
+  p.store(make_data(1, unselected_seq));
+  EXPECT_TRUE(p.is_long_term(MessageId{1, selected_seq}));
+  EXPECT_FALSE(p.is_long_term(MessageId{1, unselected_seq}));
+  env.advance(Duration::millis(50));
+  EXPECT_TRUE(p.has(MessageId{1, selected_seq}));
+  EXPECT_FALSE(p.has(MessageId{1, unselected_seq}));  // grace expired
+  EXPECT_GT(p.hash_evaluations(), 0u);
+}
+
+// --------------------------------------------------------------- stability ----
+
+TEST(StabilityPolicyTest, DiscardsOnlyBelowStableFrontier) {
+  FakePolicyEnv env;
+  StabilityPolicy p;
+  p.bind(&env);
+  for (std::uint64_t s = 1; s <= 10; ++s) p.store(make_data(1, s));
+  p.store(make_data(2, 1));  // different source unaffected
+  p.mark_stable_below(1, 6);
+  for (std::uint64_t s = 1; s <= 5; ++s) EXPECT_FALSE(p.has(MessageId{1, s}));
+  for (std::uint64_t s = 6; s <= 10; ++s) EXPECT_TRUE(p.has(MessageId{1, s}));
+  EXPECT_TRUE(p.has(MessageId{2, 1}));
+  EXPECT_TRUE(p.needs_history_exchange());
+}
+
+TEST(StabilityTrackerTest, FrontierIsMinimumOverMembers) {
+  StabilityTracker t;
+  t.update(0, proto::SourceHistory{1, 10, {}});
+  t.update(1, proto::SourceHistory{1, 7, {}});
+  t.update(2, proto::SourceHistory{1, 12, {}});
+  std::vector<MemberId> expected = {0, 1, 2};
+  EXPECT_EQ(t.stable_below(1, expected), 7u);
+}
+
+TEST(StabilityTrackerTest, UnreportedMemberGatesStability) {
+  StabilityTracker t;
+  t.update(0, proto::SourceHistory{1, 10, {}});
+  std::vector<MemberId> expected = {0, 1};
+  EXPECT_EQ(t.stable_below(1, expected), 0u);  // member 1 never reported
+}
+
+TEST(StabilityTrackerTest, ForgettingAMemberUnblocksFrontier) {
+  StabilityTracker t;
+  t.update(0, proto::SourceHistory{1, 10, {}});
+  t.update(1, proto::SourceHistory{1, 2, {}});
+  std::vector<MemberId> both = {0, 1};
+  EXPECT_EQ(t.stable_below(1, both), 2u);
+  t.forget_member(1);
+  std::vector<MemberId> only0 = {0};
+  EXPECT_EQ(t.stable_below(1, only0), 10u);
+}
+
+TEST(StabilityTrackerTest, ReportsOnlyAdvanceForward) {
+  StabilityTracker t;
+  t.update(0, proto::SourceHistory{1, 10, {}});
+  t.update(0, proto::SourceHistory{1, 4, {}});  // stale report ignored
+  std::vector<MemberId> expected = {0};
+  EXPECT_EQ(t.stable_below(1, expected), 10u);
+}
+
+TEST(StabilityTrackerTest, ContiguousBitmapPrefixExtendsFrontier) {
+  StabilityTracker t;
+  // next_expected 5, bitmap covers 5,6,7 (bits 0..2 set) then a hole.
+  t.update(0, proto::SourceHistory{1, 5, {0b0111}});
+  std::vector<MemberId> expected = {0};
+  EXPECT_EQ(t.stable_below(1, expected), 8u);
+}
+
+TEST(StabilityTrackerTest, UnknownSourceIsUnstable) {
+  StabilityTracker t;
+  std::vector<MemberId> expected = {0};
+  EXPECT_EQ(t.stable_below(42, expected), 0u);
+}
+
+// ----------------------------------------------------------------- factory ----
+
+TEST(FactoryTest, MakesEveryKind) {
+  for (PolicyKind kind :
+       {PolicyKind::kTwoPhase, PolicyKind::kFixedTime,
+        PolicyKind::kBufferEverything, PolicyKind::kHashBased,
+        PolicyKind::kStability}) {
+    auto p = make_policy(kind);
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), to_string(kind));
+  }
+}
+
+}  // namespace
+}  // namespace rrmp::buffer

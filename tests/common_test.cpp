@@ -1,0 +1,301 @@
+// Unit tests: strong time types, deterministic RNG, byte codec primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace rrmp {
+namespace {
+
+// ---------------------------------------------------------------- time ----
+
+TEST(DurationTest, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::millis(1).us(), 1000);
+  EXPECT_EQ(Duration::seconds(1).us(), 1000000);
+  EXPECT_EQ(Duration::micros(5).us(), 5);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).ms(), 2.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration a = Duration::millis(10);
+  Duration b = Duration::millis(4);
+  EXPECT_EQ((a + b).us(), 14000);
+  EXPECT_EQ((a - b).us(), 6000);
+  EXPECT_EQ((a * 3).us(), 30000);
+  EXPECT_EQ((3 * a).us(), 30000);
+  EXPECT_EQ((a / 2).us(), 5000);
+  a += b;
+  EXPECT_EQ(a.us(), 14000);
+  a -= b;
+  EXPECT_EQ(a.us(), 10000);
+}
+
+TEST(DurationTest, ScaledByRealFactor) {
+  EXPECT_EQ(Duration::millis(10).scaled(1.5).us(), 15000);
+  EXPECT_EQ(Duration::millis(10).scaled(0.0).us(), 0);
+}
+
+TEST(DurationTest, Ordering) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::zero(), Duration::micros(0));
+  EXPECT_TRUE(Duration::infinite().is_infinite());
+  EXPECT_FALSE(Duration::seconds(100000).is_infinite());
+}
+
+TEST(TimePointTest, ArithmeticAndOrdering) {
+  TimePoint t0 = TimePoint::zero();
+  TimePoint t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0).us(), 5000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - Duration::millis(5)), t0);
+}
+
+TEST(TimePointTest, AddingToMaxSaturates) {
+  TimePoint never = TimePoint::max();
+  EXPECT_EQ(never + Duration::seconds(10), TimePoint::max());
+  EXPECT_EQ(TimePoint::zero() + Duration::infinite(), TimePoint::max());
+}
+
+// ------------------------------------------------------------- MessageId ----
+
+TEST(MessageIdTest, OrderingAndEquality) {
+  MessageId a{1, 5};
+  MessageId b{1, 6};
+  MessageId c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // source dominates
+  EXPECT_EQ(a, (MessageId{1, 5}));
+  EXPECT_NE(a, b);
+}
+
+TEST(MessageIdTest, HashSpreads) {
+  std::set<std::size_t> hashes;
+  std::hash<MessageId> h;
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    for (std::uint64_t q = 0; q < 100; ++q) {
+      hashes.insert(h(MessageId{s, q}));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on this tiny set
+}
+
+// ---------------------------------------------------------------- random ----
+
+TEST(RandomTest, DeterministicForSeed) {
+  RandomEngine a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  RandomEngine a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, ForkIsDeterministicAndIndependent) {
+  RandomEngine a(42), b(42);
+  RandomEngine fa = a.fork(7);
+  RandomEngine fb = b.fork(7);
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  RandomEngine f8 = a.fork(8);
+  EXPECT_NE(a.fork(7).next_u64(), f8.next_u64());
+}
+
+TEST(RandomTest, UniformIntStaysInRangeAndCoversIt) {
+  RandomEngine rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.uniform_int(3, 9);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  RandomEngine rng(4);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomTest, BernoulliEdgeCases) {
+  RandomEngine rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(RandomTest, ExponentialHasRequestedMean) {
+  RandomEngine rng(6);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RandomTest, SampleIndicesDistinctAndInRange) {
+  RandomEngine rng(7);
+  for (std::size_t n : {10u, 100u, 1000u}) {
+    for (std::size_t k : {0u, 1u, 5u, 10u}) {
+      auto idx = rng.sample_indices(n, k);
+      ASSERT_EQ(idx.size(), std::min(n, k));
+      std::set<std::size_t> s(idx.begin(), idx.end());
+      EXPECT_EQ(s.size(), idx.size());  // distinct
+      for (std::size_t v : idx) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RandomTest, SampleIndicesKGreaterThanNReturnsAll) {
+  RandomEngine rng(8);
+  auto idx = rng.sample_indices(4, 10);
+  EXPECT_EQ(idx.size(), 4u);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(RandomTest, SampleIndicesIsUniformish) {
+  RandomEngine rng(9);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t v : rng.sample_indices(10, 3)) ++counts[v];
+  }
+  // Each index expected in 30% of draws.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(RandomTest, PickReturnsElementFromSpan) {
+  RandomEngine rng(10);
+  std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    int v = rng.pick(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  RandomEngine rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// ----------------------------------------------------------------- bytes ----
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_i64(-42);
+  w.put_f64(3.14159);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u16(), 0xBEEF);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BytesTest, VarintRoundTripAcrossMagnitudes) {
+  for (std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
+        0xFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    ByteWriter w;
+    w.put_varint(v);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.get_varint(), v) << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(BytesTest, VarintEncodingIsCompact) {
+  ByteWriter w;
+  w.put_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.put_varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(BytesTest, StringAndBytesRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello multicast");
+  std::vector<std::uint8_t> blob = {0, 1, 2, 255, 254};
+  w.put_bytes(blob);
+  w.put_string("");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.get_string(), "hello multicast");
+  EXPECT_EQ(r.get_bytes(), blob);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BytesTest, TruncatedReadFailsAndStaysFailed) {
+  ByteWriter w;
+  w.put_u32(7);
+  std::vector<std::uint8_t> data = w.take();
+  data.resize(2);  // truncate mid-field
+  ByteReader r(data);
+  (void)r.get_u32();
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads return zero values without touching memory.
+  EXPECT_EQ(r.get_u64(), 0u);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_FALSE(r.done());
+}
+
+TEST(BytesTest, HostileLengthPrefixDoesNotOverread) {
+  ByteWriter w;
+  w.put_varint(1'000'000);  // claims a 1MB blob
+  w.put_u8(1);              // but provides 1 byte
+  ByteReader r(w.data());
+  auto blob = r.get_bytes();
+  EXPECT_TRUE(blob.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BytesTest, OverlongVarintRejected) {
+  std::vector<std::uint8_t> evil(11, 0x80);  // 11 continuation bytes
+  ByteReader r(evil);
+  (void)r.get_varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BytesTest, EmptyReaderIsDone) {
+  ByteReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+  (void)r.get_u8();
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace rrmp

@@ -1,0 +1,136 @@
+// Tests for the gossip-style failure detector substrate ([13], paper §2).
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace rrmp::harness {
+namespace {
+
+// Wire the detector on every member of a single-region cluster so that
+// suspicion updates each member's own view through its SimHost.
+void enable_fd_everywhere(Cluster& cluster, GossipConfig cfg) {
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    SimHost* host = &cluster.host(m);
+    cluster.endpoint(m).enable_gossip_fd(
+        cfg, [host](MemberId peer, bool suspected) {
+          host->set_suspected(peer, suspected);
+        });
+  }
+}
+
+TEST(GossipFd, NoFalsePositivesWhenAllAlive) {
+  ClusterConfig cc;
+  cc.region_sizes = {10};
+  cc.seed = 1;
+  Cluster cluster(cc);
+  GossipConfig g{Duration::millis(10), Duration::millis(100)};
+  enable_fd_everywhere(cluster, g);
+  cluster.run_for(Duration::seconds(2));
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    for (MemberId peer = 0; peer < cluster.size(); ++peer) {
+      EXPECT_FALSE(cluster.host(m).suspects(peer))
+          << m << " wrongly suspects " << peer;
+    }
+  }
+}
+
+TEST(GossipFd, CrashedMemberIsSuspectedByEveryone) {
+  ClusterConfig cc;
+  cc.region_sizes = {10};
+  cc.seed = 2;
+  Cluster cluster(cc);
+  GossipConfig g{Duration::millis(10), Duration::millis(100)};
+  enable_fd_everywhere(cluster, g);
+  cluster.run_for(Duration::millis(300));  // tables converge
+  cluster.crash(4);
+  cluster.run_for(Duration::millis(500));  // > fail_timeout
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    if (m == 4 || !cluster.directory().alive(m)) continue;
+    EXPECT_TRUE(cluster.host(m).suspects(4)) << "member " << m;
+  }
+}
+
+TEST(GossipFd, SuspicionShrinksTheLocalView) {
+  ClusterConfig cc;
+  cc.region_sizes = {6};
+  cc.seed = 3;
+  Cluster cluster(cc);
+  GossipConfig g{Duration::millis(10), Duration::millis(80)};
+  enable_fd_everywhere(cluster, g);
+  cluster.run_for(Duration::millis(200));
+  // Crash WITHOUT telling the directory: only gossip can notice. Halt the
+  // endpoint and detach it from the network.
+  cluster.endpoint(5).halt();
+  cluster.network().detach(5);
+  cluster.run_for(Duration::millis(500));
+  EXPECT_TRUE(cluster.host(0).suspects(5));
+  EXPECT_FALSE(cluster.host(0).local_view().contains(5));
+  EXPECT_EQ(cluster.host(0).local_view().size(), 5u);
+}
+
+TEST(GossipFd, RecoveryStillWorksAfterBuffererCrashDetected) {
+  // A member crashes silently; others suspect it and stop probing it, so a
+  // later recovery converges instead of wasting requests on the corpse.
+  ClusterConfig cc;
+  cc.region_sizes = {8};
+  cc.seed = 4;
+  Cluster cluster(cc);
+  GossipConfig g{Duration::millis(10), Duration::millis(80)};
+  enable_fd_everywhere(cluster, g);
+  cluster.run_for(Duration::millis(200));
+  cluster.endpoint(2).halt();
+  cluster.network().detach(2);
+  cluster.run_for(Duration::millis(500));  // suspicion settles
+
+  // Now a message appears at member 0 only; everyone else must recover it
+  // without ever relying on member 2.
+  MessageId id = cluster.inject_data_to(0, 1, std::vector<MemberId>{0});
+  std::vector<MemberId> alive;
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    if (m != 2) alive.push_back(m);
+  }
+  cluster.inject_session_to(0, 1, alive);
+  cluster.run_for(Duration::seconds(3));
+  for (MemberId m : alive) {
+    EXPECT_TRUE(cluster.endpoint(m).has_received(id)) << "member " << m;
+  }
+}
+
+TEST(GossipFd, HandleGossipMergesByMaximum) {
+  // Direct unit check on the merge rule through a cluster endpoint.
+  ClusterConfig cc;
+  cc.region_sizes = {3};
+  cc.seed = 5;
+  Cluster cluster(cc);
+  bool suspected_event = false;
+  cluster.endpoint(0).enable_gossip_fd(
+      GossipConfig{Duration::millis(10), Duration::millis(50)},
+      [&](MemberId, bool s) { suspected_event = s; });
+  // Feed a heartbeat for member 1, then silence: member 0 suspects it.
+  proto::Gossip g{1, {proto::Heartbeat{1, 5}}};
+  cluster.endpoint(0).handle_message(proto::Message{g}, 1);
+  cluster.run_for(Duration::millis(200));
+  EXPECT_TRUE(suspected_event);
+  // A newer heartbeat lifts the suspicion.
+  proto::Gossip g2{1, {proto::Heartbeat{1, 6}}};
+  cluster.endpoint(0).handle_message(proto::Message{g2}, 1);
+  EXPECT_FALSE(suspected_event);
+}
+
+TEST(GossipFd, GossipTrafficFlowsPeriodically) {
+  ClusterConfig cc;
+  cc.region_sizes = {5};
+  cc.seed = 6;
+  Cluster cluster(cc);
+  enable_fd_everywhere(cluster,
+                       GossipConfig{Duration::millis(10), Duration::millis(100)});
+  cluster.run_for(Duration::millis(205));
+  std::uint64_t gossip_sends = cluster.network().stats().sends_by_type[
+      static_cast<int>(proto::MessageType::kGossip)];
+  // 5 members x ~20 rounds: one gossip per member per round.
+  EXPECT_GE(gossip_sends, 80u);
+  EXPECT_LE(gossip_sends, 120u);
+}
+
+}  // namespace
+}  // namespace rrmp::harness

@@ -1,0 +1,178 @@
+// Tests for the harness itself: Cluster scenario controls, SimHost view
+// filtering, run_until_quiet semantics, experiment drivers' basic sanity.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/experiments.h"
+
+namespace rrmp::harness {
+namespace {
+
+TEST(ClusterTest, InjectDeliversDataToHoldersAndSessionToOthers) {
+  ClusterConfig cc;
+  cc.region_sizes = {6};
+  cc.seed = 1;
+  Cluster cluster(cc);
+  std::vector<MemberId> holders = {0, 2};
+  MessageId id = cluster.inject(0, 1, holders);
+  EXPECT_TRUE(cluster.endpoint(0).has_received(id));
+  EXPECT_TRUE(cluster.endpoint(2).has_received(id));
+  EXPECT_FALSE(cluster.endpoint(1).has_received(id));
+  // Non-holders detected the loss immediately.
+  EXPECT_EQ(cluster.endpoint(1).active_recoveries(), 1u);
+  EXPECT_EQ(cluster.endpoint(3).active_recoveries(), 1u);
+}
+
+TEST(ClusterTest, InjectDataToNotifiesNobodyElse) {
+  ClusterConfig cc;
+  cc.region_sizes = {6};
+  cc.seed = 2;
+  Cluster cluster(cc);
+  std::vector<MemberId> holders = {0};
+  cluster.inject_data_to(0, 1, holders);
+  for (MemberId m = 1; m < 6; ++m) {
+    EXPECT_EQ(cluster.endpoint(m).active_recoveries(), 0u);
+  }
+}
+
+TEST(ClusterTest, ForceLongTermAndDiscardManipulateState) {
+  ClusterConfig cc;
+  cc.region_sizes = {4};
+  cc.seed = 3;
+  Cluster cluster(cc);
+  MessageId id = cluster.inject_data_to(0, 1, cluster.region_members(0));
+  cluster.force_long_term(1, id);
+  EXPECT_TRUE(cluster.endpoint(1).buffer().is_long_term(id));
+  cluster.force_discard(2, id);
+  EXPECT_FALSE(cluster.endpoint(2).buffer().has(id));
+  EXPECT_THROW(cluster.force_long_term(2, id), std::logic_error);
+}
+
+TEST(ClusterTest, RunUntilQuietStopsWhenIdle) {
+  ClusterConfig cc;
+  cc.region_sizes = {8};
+  cc.seed = 4;
+  Cluster cluster(cc);
+  cluster.inject(0, 1, cluster.region_members(0));  // everyone has it
+  cluster.run_until_quiet(Duration::seconds(10));
+  // Far less than the cap: the event queue drained after idle decisions.
+  EXPECT_LT(cluster.sim().now(), TimePoint::zero() + Duration::seconds(1));
+}
+
+TEST(ClusterTest, CrashedMemberExcludedFromQueries) {
+  ClusterConfig cc;
+  cc.region_sizes = {5};
+  cc.seed = 5;
+  Cluster cluster(cc);
+  MessageId id = cluster.inject_data_to(0, 1, cluster.region_members(0));
+  EXPECT_EQ(cluster.count_received(id), 5u);
+  cluster.crash(4);
+  EXPECT_EQ(cluster.count_received(id), 4u);
+  EXPECT_TRUE(cluster.all_received(id));  // only alive members count
+}
+
+TEST(ClusterTest, SimHostViewsFollowDirectory) {
+  ClusterConfig cc;
+  cc.region_sizes = {4, 3};
+  cc.seed = 6;
+  Cluster cluster(cc);
+  EXPECT_EQ(cluster.host(0).local_view().size(), 4u);
+  EXPECT_TRUE(cluster.host(0).parent_view().empty());  // root
+  EXPECT_EQ(cluster.host(5).local_view().size(), 3u);
+  EXPECT_EQ(cluster.host(5).parent_view().size(), 4u);
+  cluster.crash(1);
+  EXPECT_EQ(cluster.host(0).local_view().size(), 3u);
+  EXPECT_EQ(cluster.host(5).parent_view().size(), 3u);
+}
+
+TEST(ClusterTest, SuspicionFiltersViewsPerMember) {
+  ClusterConfig cc;
+  cc.region_sizes = {5};
+  cc.seed = 7;
+  Cluster cluster(cc);
+  cluster.host(0).set_suspected(3, true);
+  EXPECT_FALSE(cluster.host(0).local_view().contains(3));
+  EXPECT_EQ(cluster.host(0).local_view().size(), 4u);
+  // Other members are unaffected: suspicion is local knowledge.
+  EXPECT_TRUE(cluster.host(1).local_view().contains(3));
+  cluster.host(0).set_suspected(3, false);
+  EXPECT_TRUE(cluster.host(0).local_view().contains(3));
+}
+
+TEST(ClusterTest, SelfNeverFilteredFromOwnView) {
+  ClusterConfig cc;
+  cc.region_sizes = {3};
+  cc.seed = 8;
+  Cluster cluster(cc);
+  cluster.host(0).set_suspected(0, true);  // nonsensical, must be ignored
+  EXPECT_TRUE(cluster.host(0).local_view().contains(0));
+}
+
+TEST(ClusterTest, RttEstimateMatchesTopology) {
+  ClusterConfig cc;
+  cc.region_sizes = {3, 2};
+  cc.intra_rtt = Duration::millis(10);
+  cc.inter_one_way = Duration::millis(50);
+  cc.seed = 9;
+  Cluster cluster(cc);
+  EXPECT_EQ(cluster.host(0).rtt_estimate(1), Duration::millis(10));
+  EXPECT_EQ(cluster.host(0).rtt_estimate(4), Duration::millis(100));
+}
+
+// ------------------------------------------------------ experiment drivers ----
+
+TEST(ExperimentsTest, Fig6PointHasSamplesAndSaneRange) {
+  Fig6Result r = run_fig6_point(4, 30, 5, 11);
+  EXPECT_EQ(r.initial_holders, 4u);
+  EXPECT_EQ(r.samples, 20u);  // 4 holders x 5 trials
+  EXPECT_GE(r.mean_buffer_ms, 40.0);   // bounded below by T
+  EXPECT_LE(r.mean_buffer_ms, 400.0);  // and well bounded above
+}
+
+TEST(ExperimentsTest, Fig7SeriesShapes) {
+  Fig7Series s = run_fig7(40, 12, Duration::millis(140), Duration::millis(10));
+  ASSERT_EQ(s.t_ms.size(), s.received.size());
+  ASSERT_EQ(s.t_ms.size(), s.buffered.size());
+  EXPECT_EQ(s.received.front(), 1u);  // the single initial holder
+  EXPECT_EQ(s.received.back(), 40u);  // everyone by the end
+  // Received counts are monotone.
+  for (std::size_t i = 1; i < s.received.size(); ++i) {
+    EXPECT_GE(s.received[i], s.received[i - 1]);
+  }
+}
+
+TEST(ExperimentsTest, SearchZeroWhenRequestLandsOnBufferer) {
+  // With every member a bufferer, search time must always be exactly 0.
+  SearchResult r = run_search_once(10, 10, 13);
+  EXPECT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.search_ms, 0.0);
+}
+
+TEST(ExperimentsTest, LongTermDistributionSumsToOne) {
+  auto d = simulate_longterm_distribution(100, 6.0, 20000, 14, 30);
+  double total = 0;
+  for (double p : d.pmf) total += p;
+  EXPECT_NEAR(total, 1.0, 0.01);
+  EXPECT_NEAR(d.mean, 6.0, 0.15);
+}
+
+TEST(ExperimentsTest, StreamScenarioProducesTraffic) {
+  StreamScenario sc;
+  sc.region_size = 20;
+  sc.messages = 10;
+  sc.data_loss = 0.2;
+  sc.seed = 15;
+  PolicyOutcome o = run_stream_scenario(buffer::PolicyKind::kTwoPhase, sc);
+  EXPECT_TRUE(o.all_delivered);
+  EXPECT_GT(o.peak_buffer_per_member, 0.0);
+  EXPECT_GT(o.control_msgs, 0u);   // session messages at minimum
+  EXPECT_GT(o.repair_msgs, 0u);    // 20% loss needed repairs
+}
+
+TEST(ExperimentsTest, NoRequestProbabilityMatchesFormula) {
+  double mc = simulate_no_request_probability(100, 0.5, 50000, 16);
+  EXPECT_NEAR(mc, 0.605, 0.02);  // (1-1/99)^50
+}
+
+}  // namespace
+}  // namespace rrmp::harness

@@ -1,0 +1,87 @@
+// End-to-end protocol tests on the simulated cluster: dissemination under
+// loss, local and remote recovery, two-phase buffering dynamics, search,
+// handoff under churn.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/experiments.h"
+
+namespace rrmp::harness {
+namespace {
+
+TEST(Integration, SingleRegionFullDeliveryWithScriptedLoss) {
+  ClusterConfig cc;
+  cc.region_sizes = {20};
+  cc.seed = 42;
+  Cluster cluster(cc);
+  // Only 3 of 20 members receive the initial multicast.
+  std::vector<MemberId> holders = {0, 5, 9};
+  MessageId id = cluster.inject(0, 1, holders);
+  EXPECT_EQ(cluster.count_received(id), 3u);
+  cluster.run_until_quiet(Duration::seconds(5));
+  EXPECT_TRUE(cluster.all_received(id));
+}
+
+TEST(Integration, RegionalLossRepairedThroughParentRegion) {
+  ClusterConfig cc;
+  cc.region_sizes = {10, 10};  // region 1 is a child of region 0
+  cc.seed = 7;
+  Cluster cluster(cc);
+  // The entire child region misses the message.
+  std::vector<MemberId> parent = cluster.region_members(0);
+  MessageId id = cluster.inject_data_to(parent[0], 1, parent);
+  cluster.inject_session_to(parent[0], 1, cluster.region_members(1));
+  cluster.run_until_quiet(Duration::seconds(5));
+  EXPECT_TRUE(cluster.all_received(id));
+  // The repair crossed regions and was re-multicast locally.
+  EXPECT_GE(cluster.metrics().counters().remote_repairs_sent, 1u);
+  EXPECT_GE(cluster.metrics().counters().regional_multicasts, 1u);
+}
+
+TEST(Integration, RealMulticastPathDeliversUnderRandomLoss) {
+  ClusterConfig cc;
+  cc.region_sizes = {15, 15};
+  cc.data_loss = 0.3;
+  cc.seed = 99;
+  Cluster cluster(cc);
+  std::vector<MessageId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(cluster.endpoint(0).multicast({1, 2, 3}));
+  }
+  cluster.run_for(Duration::seconds(2));
+  for (const MessageId& id : ids) {
+    EXPECT_TRUE(cluster.all_received(id)) << "message " << id.seq;
+  }
+}
+
+TEST(Integration, TwoPhaseBufferConvergesToFewLongTermBufferers) {
+  ClusterConfig cc;
+  cc.region_sizes = {100};
+  cc.seed = 11;
+  Cluster cluster(cc);
+  std::vector<MemberId> all = cluster.region_members(0);
+  MessageId id = cluster.inject_data_to(all[0], 1, all);  // everyone has it
+  EXPECT_EQ(cluster.count_buffered(id), 100u);
+  cluster.run_for(Duration::millis(200));  // idle threshold passes
+  std::size_t remaining = cluster.count_buffered(id);
+  EXPECT_LT(remaining, 25u);  // ~Poisson(6): far fewer than everyone
+  EXPECT_EQ(cluster.count_long_term(id), remaining);
+}
+
+TEST(Integration, SearchLocatesLongTermBufferer) {
+  SearchResult r = run_search_once(/*region_size=*/100, /*bufferers=*/5,
+                                   /*seed=*/123);
+  EXPECT_TRUE(r.found);
+  EXPECT_GE(r.search_ms, 0.0);
+  EXPECT_LT(r.search_ms, 200.0);
+}
+
+TEST(Integration, HandoffKeepsMessageRecoverableAfterAllBufferersLeave) {
+  ChurnOutcome with = run_churn_handoff(true, 40, /*trials=*/5, /*seed=*/5);
+  EXPECT_EQ(with.recovered, 5u);
+  ChurnOutcome without = run_churn_handoff(false, 40, /*trials=*/5, /*seed=*/5);
+  EXPECT_EQ(without.recovered, 0u);
+}
+
+}  // namespace
+}  // namespace rrmp::harness

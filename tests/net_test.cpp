@@ -1,0 +1,257 @@
+// Unit tests: topology/latency model, loss models, simulated network.
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace rrmp::net {
+namespace {
+
+TEST(TopologyTest, RegionsAndMembers) {
+  Topology topo;
+  RegionId r0 = topo.add_region("root", std::nullopt);
+  RegionId r1 = topo.add_region("child", r0);
+  auto a = topo.add_members(r0, 3);
+  auto b = topo.add_members(r1, 2);
+  EXPECT_EQ(topo.member_count(), 5u);
+  EXPECT_EQ(topo.region_count(), 2u);
+  EXPECT_EQ(topo.members_of(r0), a);
+  EXPECT_EQ(topo.members_of(r1), b);
+  for (MemberId m : a) EXPECT_EQ(topo.region_of(m), r0);
+  for (MemberId m : b) EXPECT_EQ(topo.region_of(m), r1);
+  EXPECT_FALSE(topo.parent_of(r0).has_value());
+  EXPECT_EQ(topo.parent_of(r1), r0);
+  EXPECT_EQ(topo.region_name(r1), "child");
+}
+
+TEST(TopologyTest, UnknownParentThrows) {
+  Topology topo;
+  EXPECT_THROW(topo.add_region("x", RegionId{5}), std::out_of_range);
+  EXPECT_THROW(topo.add_member(RegionId{0}), std::out_of_range);
+}
+
+TEST(TopologyTest, IntraRegionLatencyIsHalfRtt) {
+  Topology topo;
+  RegionId r = topo.add_region("r", std::nullopt, Duration::millis(10));
+  auto ms = topo.add_members(r, 2);
+  EXPECT_EQ(topo.one_way_latency(ms[0], ms[1]), Duration::millis(5));
+  EXPECT_EQ(topo.rtt(ms[0], ms[1]), Duration::millis(10));
+}
+
+TEST(TopologyTest, InterRegionLatencyDefaultAndOverride) {
+  Topology topo;
+  topo.set_default_inter_latency(Duration::millis(50));
+  RegionId r0 = topo.add_region("a", std::nullopt);
+  RegionId r1 = topo.add_region("b", r0);
+  RegionId r2 = topo.add_region("c", r0);
+  MemberId m0 = topo.add_member(r0);
+  MemberId m1 = topo.add_member(r1);
+  MemberId m2 = topo.add_member(r2);
+  EXPECT_EQ(topo.one_way_latency(m0, m1), Duration::millis(50));
+  topo.set_inter_latency(r0, r2, Duration::millis(80));
+  EXPECT_EQ(topo.one_way_latency(m0, m2), Duration::millis(80));
+  EXPECT_EQ(topo.one_way_latency(m2, m0), Duration::millis(80));  // symmetric
+  EXPECT_EQ(topo.rtt(m0, m2), Duration::millis(160));
+}
+
+TEST(TopologyTest, MakeHierarchyBuildsExpectedShape) {
+  Topology topo = make_hierarchy({4, 3, 2});
+  EXPECT_EQ(topo.region_count(), 3u);
+  EXPECT_EQ(topo.member_count(), 9u);
+  EXPECT_EQ(topo.parent_of(1), RegionId{0});
+  EXPECT_EQ(topo.parent_of(2), RegionId{0});
+  std::vector<RegionId> parents = {0, 0, 1};
+  Topology chain = make_hierarchy({2, 2, 2}, Duration::millis(10),
+                                  Duration::millis(50), &parents);
+  EXPECT_EQ(chain.parent_of(2), RegionId{1});
+}
+
+TEST(LossModelTest, NoLossNeverDrops) {
+  RandomEngine rng(1);
+  NoLoss m;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(m.drop(rng));
+}
+
+TEST(LossModelTest, BernoulliDropsAtConfiguredRate) {
+  RandomEngine rng(2);
+  BernoulliLoss m(0.2);
+  int drops = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (m.drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.2, 0.01);
+}
+
+TEST(LossModelTest, MakeBernoulliZeroIsNoLoss) {
+  RandomEngine rng(3);
+  auto m = make_bernoulli(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(m->drop(rng));
+}
+
+TEST(LossModelTest, GilbertElliottBurstsLosses) {
+  RandomEngine rng(4);
+  // Never leaves good->bad transitions: loss 0 in good, 1 in bad.
+  GilbertElliottLoss m(/*p_gb=*/0.01, /*p_bg=*/0.2, /*good=*/0.0, /*bad=*/1.0);
+  // Losses must cluster: count runs of consecutive drops.
+  int drops = 0, runs = 0;
+  bool in_run = false;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    bool d = m.drop(rng);
+    if (d) {
+      ++drops;
+      if (!in_run) {
+        ++runs;
+        in_run = true;
+      }
+    } else {
+      in_run = false;
+    }
+  }
+  ASSERT_GT(drops, 0);
+  ASSERT_GT(runs, 0);
+  double mean_burst = static_cast<double>(drops) / runs;
+  EXPECT_GT(mean_burst, 2.0);  // bursty: average run well above 1
+}
+
+// ------------------------------------------------------------ SimNetwork ----
+
+class CollectingHandler : public MessageHandler {
+ public:
+  struct Received {
+    proto::Message msg;
+    MemberId from;
+  };
+  void on_message(const proto::Message& msg, MemberId from) override {
+    received.push_back({msg, from});
+  }
+  std::vector<Received> received;
+};
+
+struct NetFixture {
+  NetFixture() : topo(make_hierarchy({3, 2})), net(sim, topo, RandomEngine(7)) {
+    handlers.resize(topo.member_count());
+    for (MemberId m = 0; m < topo.member_count(); ++m) {
+      net.attach(m, &handlers[m]);
+    }
+  }
+  sim::Simulator sim;
+  Topology topo;
+  SimNetwork net;
+  std::vector<CollectingHandler> handlers;
+};
+
+TEST(SimNetworkTest, UnicastDeliversAfterOneWayLatency) {
+  NetFixture f;
+  f.net.unicast(0, 1, proto::Message{proto::Session{0, 5}});
+  EXPECT_TRUE(f.handlers[1].received.empty());
+  f.sim.run();
+  ASSERT_EQ(f.handlers[1].received.size(), 1u);
+  EXPECT_EQ(f.handlers[1].received[0].from, 0u);
+  EXPECT_EQ(f.sim.now(), TimePoint::zero() + Duration::millis(5));
+}
+
+TEST(SimNetworkTest, CrossRegionUnicastUsesInterLatency) {
+  NetFixture f;
+  f.net.unicast(0, 3, proto::Message{proto::Session{0, 5}});  // member 3: region 1
+  f.sim.run();
+  EXPECT_EQ(f.sim.now(), TimePoint::zero() + Duration::millis(50));
+}
+
+TEST(SimNetworkTest, RegionalMulticastReachesRegionExceptSender) {
+  NetFixture f;
+  f.net.multicast_region(0, proto::Message{proto::Session{0, 1}});
+  f.sim.run();
+  EXPECT_TRUE(f.handlers[0].received.empty());  // not self
+  EXPECT_EQ(f.handlers[1].received.size(), 1u);
+  EXPECT_EQ(f.handlers[2].received.size(), 1u);
+  EXPECT_TRUE(f.handlers[3].received.empty());  // other region
+  EXPECT_TRUE(f.handlers[4].received.empty());
+}
+
+TEST(SimNetworkTest, IpMulticastToExplicitReceivers) {
+  NetFixture f;
+  std::vector<MemberId> receivers = {1, 4};
+  f.net.ip_multicast_to(0, proto::Message{proto::Session{0, 1}}, receivers);
+  f.sim.run();
+  EXPECT_EQ(f.handlers[1].received.size(), 1u);
+  EXPECT_EQ(f.handlers[4].received.size(), 1u);
+  EXPECT_TRUE(f.handlers[2].received.empty());
+}
+
+TEST(SimNetworkTest, IpMulticastLossRateApplies) {
+  NetFixture f;
+  for (int i = 0; i < 200; ++i) {
+    f.net.ip_multicast(0, proto::Message{proto::Session{0, 1}}, 0.5);
+  }
+  f.sim.run();
+  // 4 receivers x 200 sends x 50% -> ~400.
+  std::size_t delivered = 0;
+  for (const auto& h : f.handlers) delivered += h.received.size();
+  EXPECT_GT(delivered, 300u);
+  EXPECT_LT(delivered, 500u);
+  EXPECT_GT(f.net.stats().dropped, 0u);
+}
+
+TEST(SimNetworkTest, DetachedMemberReceivesNothing) {
+  NetFixture f;
+  f.net.detach(1);
+  EXPECT_FALSE(f.net.attached(1));
+  f.net.unicast(0, 1, proto::Message{proto::Session{0, 1}});
+  f.sim.run();
+  EXPECT_TRUE(f.handlers[1].received.empty());
+}
+
+TEST(SimNetworkTest, ControlLossDropsUnicasts) {
+  NetFixture f;
+  f.net.set_control_loss(std::make_unique<BernoulliLoss>(1.0));
+  f.net.unicast(0, 1, proto::Message{proto::Session{0, 1}});
+  f.sim.run();
+  EXPECT_TRUE(f.handlers[1].received.empty());
+  EXPECT_EQ(f.net.stats().dropped, 1u);
+}
+
+TEST(SimNetworkTest, CodecRoundTripModePreservesMessages) {
+  NetFixture f;
+  f.net.set_codec_roundtrip(true);
+  proto::Data d{MessageId{0, 9}, {1, 2, 3}};
+  f.net.unicast(0, 1, proto::Message{d});
+  f.sim.run();
+  ASSERT_EQ(f.handlers[1].received.size(), 1u);
+  const auto* got = std::get_if<proto::Data>(&f.handlers[1].received[0].msg);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, d);
+}
+
+TEST(SimNetworkTest, TrafficStatsCountTypesAndBytes) {
+  NetFixture f;
+  f.net.unicast(0, 1, proto::Message{proto::Session{0, 1}});
+  f.net.unicast(0, 1, proto::Message{proto::Data{MessageId{0, 1}, {1, 2}}});
+  f.sim.run();
+  const TrafficStats& s = f.net.stats();
+  EXPECT_EQ(s.sends, 2u);
+  EXPECT_EQ(s.delivered, 2u);
+  EXPECT_EQ(s.sends_by_type[static_cast<int>(proto::MessageType::kSession)], 1u);
+  EXPECT_EQ(s.sends_by_type[static_cast<int>(proto::MessageType::kData)], 1u);
+  EXPECT_GT(s.bytes_sent, 0u);
+}
+
+TEST(SimNetworkTest, JitterStretchesLatency) {
+  NetFixture f;
+  f.net.set_latency_jitter(1.0);  // latency in [5, 10] ms
+  f.net.unicast(0, 1, proto::Message{proto::Session{0, 1}});
+  f.sim.run();
+  TimePoint t = f.sim.now();
+  EXPECT_GE(t, TimePoint::zero() + Duration::millis(5));
+  EXPECT_LE(t, TimePoint::zero() + Duration::millis(10));
+}
+
+TEST(SimNetworkTest, AttachNullHandlerThrows) {
+  NetFixture f;
+  EXPECT_THROW(f.net.attach(0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rrmp::net

@@ -1,0 +1,115 @@
+// Tests: Jacobson/Karels RTT estimation and its protocol integration.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "rrmp/rtt_estimator.h"
+
+namespace rrmp {
+namespace {
+
+TEST(RttEstimatorTest, FirstSampleInitializes) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_estimate(1));
+  EXPECT_EQ(est.srtt(1, Duration::millis(7)), Duration::millis(7));  // fallback
+  est.add_sample(1, Duration::millis(10));
+  EXPECT_TRUE(est.has_estimate(1));
+  EXPECT_EQ(est.srtt(1, Duration::zero()), Duration::millis(10));
+  // rto = srtt + 4*rttvar = 10 + 4*5 = 30 ms.
+  EXPECT_EQ(est.rto(1, Duration::zero()), Duration::millis(30));
+}
+
+TEST(RttEstimatorTest, ConvergesToStableRtt) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.add_sample(2, Duration::millis(20));
+  EXPECT_NEAR(est.srtt(2, Duration::zero()).ms(), 20.0, 0.5);
+  // Variance decays toward 0, so rto approaches srtt.
+  EXPECT_LT(est.rto(2, Duration::zero()).ms(), 25.0);
+  EXPECT_GE(est.rto(2, Duration::zero()).ms(), 20.0);
+}
+
+TEST(RttEstimatorTest, VarianceWidensRtoUnderJitter) {
+  RttEstimator est;
+  for (int i = 0; i < 200; ++i) {
+    est.add_sample(3, Duration::millis(i % 2 == 0 ? 10 : 30));
+  }
+  double srtt = est.srtt(3, Duration::zero()).ms();
+  double rto = est.rto(3, Duration::zero()).ms();
+  EXPECT_NEAR(srtt, 20.0, 4.0);
+  EXPECT_GT(rto, srtt + 10.0);  // 4*rttvar dominates
+}
+
+TEST(RttEstimatorTest, RtoClampedToBounds) {
+  RttEstimatorConfig cfg;
+  cfg.min_rto = Duration::millis(5);
+  cfg.max_rto = Duration::millis(50);
+  RttEstimator est(cfg);
+  est.add_sample(4, Duration::micros(100));  // tiny
+  EXPECT_EQ(est.rto(4, Duration::zero()), Duration::millis(5));
+  est.add_sample(5, Duration::seconds(10));  // huge
+  EXPECT_EQ(est.rto(5, Duration::zero()), Duration::millis(50));
+  // Fallback for unknown peers is clamped too.
+  EXPECT_EQ(est.rto(99, Duration::seconds(9)), Duration::millis(50));
+}
+
+TEST(RttEstimatorTest, PeersAreIndependentAndForgettable) {
+  RttEstimator est;
+  est.add_sample(1, Duration::millis(10));
+  est.add_sample(2, Duration::millis(100));
+  EXPECT_EQ(est.srtt(1, Duration::zero()), Duration::millis(10));
+  EXPECT_EQ(est.srtt(2, Duration::zero()), Duration::millis(100));
+  EXPECT_EQ(est.tracked_peers(), 2u);
+  est.forget(1);
+  EXPECT_FALSE(est.has_estimate(1));
+  EXPECT_EQ(est.tracked_peers(), 1u);
+}
+
+TEST(RttEstimatorTest, NegativeSamplesIgnored) {
+  RttEstimator est;
+  est.add_sample(1, Duration::micros(-5));
+  EXPECT_FALSE(est.has_estimate(1));
+}
+
+// ------------------------------------------------- protocol integration ----
+
+TEST(MeasuredRttTest, EndpointLearnsRttFromRepairs) {
+  harness::ClusterConfig cc;
+  cc.region_sizes = {20};
+  cc.seed = 42;
+  cc.protocol.measure_rtt = true;
+  harness::Cluster cluster(cc);
+  // Member 19 misses several messages and recovers them locally: each
+  // repair that answers its outstanding probe yields an RTT sample.
+  std::vector<MemberId> holders;
+  for (MemberId m = 0; m < 19; ++m) holders.push_back(m);
+  for (std::uint64_t s = 1; s <= 10; ++s) cluster.inject(0, s, holders);
+  cluster.run_until_quiet(Duration::seconds(2));
+  const RttEstimator& est = cluster.endpoint(19).rtt_estimator();
+  EXPECT_GT(est.tracked_peers(), 0u);
+  // Intra-region RTT is 10 ms; every learned srtt must say so.
+  for (MemberId m = 0; m < 19; ++m) {
+    if (est.has_estimate(m)) {
+      EXPECT_NEAR(est.srtt(m, Duration::zero()).ms(), 10.0, 0.5);
+    }
+  }
+}
+
+TEST(MeasuredRttTest, RecoveryStillConvergesUnderJitter) {
+  harness::ClusterConfig cc;
+  cc.region_sizes = {25};
+  cc.seed = 43;
+  cc.jitter = 1.0;  // latencies stretched up to 2x
+  cc.protocol.measure_rtt = true;
+  cc.data_loss = 0.4;
+  harness::Cluster cluster(cc);
+  std::vector<MessageId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(cluster.endpoint(0).multicast({1}));
+  }
+  cluster.run_for(Duration::seconds(3));
+  for (const MessageId& id : ids) {
+    EXPECT_TRUE(cluster.all_received(id));
+  }
+}
+
+}  // namespace
+}  // namespace rrmp

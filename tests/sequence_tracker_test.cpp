@@ -1,0 +1,151 @@
+// Unit tests: per-source loss detection (gaps, session messages, hints,
+// history bitmaps).
+#include <gtest/gtest.h>
+
+#include "rrmp/sequence_tracker.h"
+
+namespace rrmp {
+namespace {
+
+TEST(SequenceTrackerTest, InOrderDeliveryNoGaps) {
+  SequenceTracker t;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    auto obs = t.observe_data(s);
+    EXPECT_TRUE(obs.is_new);
+    EXPECT_TRUE(obs.new_gaps.empty());
+  }
+  EXPECT_EQ(t.next_expected(), 6u);
+  EXPECT_EQ(t.received_count(), 5u);
+  EXPECT_EQ(t.missing_count(), 0u);
+}
+
+TEST(SequenceTrackerTest, GapDetectedOnJump) {
+  SequenceTracker t;
+  t.observe_data(1);
+  auto obs = t.observe_data(4);
+  EXPECT_TRUE(obs.is_new);
+  EXPECT_EQ(obs.new_gaps, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(t.missing(), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(t.next_expected(), 2u);
+}
+
+TEST(SequenceTrackerTest, GapNotReReportedOnLaterData) {
+  SequenceTracker t;
+  t.observe_data(5);  // gaps 1..4 reported
+  auto obs = t.observe_data(7);
+  EXPECT_EQ(obs.new_gaps, (std::vector<std::uint64_t>{6}));  // only the new one
+}
+
+TEST(SequenceTrackerTest, FillingGapCompacts) {
+  SequenceTracker t;
+  t.observe_data(1);
+  t.observe_data(3);
+  EXPECT_EQ(t.next_expected(), 2u);
+  t.observe_data(2);
+  EXPECT_EQ(t.next_expected(), 4u);
+  EXPECT_EQ(t.missing_count(), 0u);
+}
+
+TEST(SequenceTrackerTest, DuplicatesIgnored) {
+  SequenceTracker t;
+  t.observe_data(1);
+  t.observe_data(3);
+  auto dup1 = t.observe_data(1);
+  auto dup3 = t.observe_data(3);
+  EXPECT_FALSE(dup1.is_new);
+  EXPECT_FALSE(dup3.is_new);
+  EXPECT_EQ(t.received_count(), 2u);
+}
+
+TEST(SequenceTrackerTest, SequenceZeroIsMalformed) {
+  SequenceTracker t;
+  auto obs = t.observe_data(0);
+  EXPECT_FALSE(obs.is_new);
+  EXPECT_FALSE(t.has(0));
+  EXPECT_EQ(t.received_count(), 0u);
+}
+
+TEST(SequenceTrackerTest, SessionRevealsTailLoss) {
+  SequenceTracker t;
+  t.observe_data(1);
+  t.observe_data(2);
+  auto gaps = t.observe_session(5);
+  EXPECT_EQ(gaps, (std::vector<std::uint64_t>{3, 4, 5}));
+  EXPECT_EQ(t.max_known(), 5u);
+  // A second identical session adds nothing.
+  EXPECT_TRUE(t.observe_session(5).empty());
+  // An older session adds nothing either.
+  EXPECT_TRUE(t.observe_session(3).empty());
+}
+
+TEST(SequenceTrackerTest, SessionOnFreshTrackerReportsAll) {
+  SequenceTracker t;
+  auto gaps = t.observe_session(3);
+  EXPECT_EQ(gaps, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(t.missing_count(), 3u);
+}
+
+TEST(SequenceTrackerTest, HintActsLikeSession) {
+  SequenceTracker t;
+  auto gaps = t.observe_hint(2);
+  EXPECT_EQ(gaps, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(SequenceTrackerTest, HasReflectsBothPaths) {
+  SequenceTracker t;
+  t.observe_data(1);
+  t.observe_data(5);
+  EXPECT_TRUE(t.has(1));
+  EXPECT_TRUE(t.has(5));
+  EXPECT_FALSE(t.has(3));
+  EXPECT_FALSE(t.has(6));
+}
+
+TEST(SequenceTrackerTest, MissingCountMatchesMissingList) {
+  SequenceTracker t;
+  t.observe_data(10);
+  t.observe_data(3);
+  EXPECT_EQ(t.missing_count(), t.missing().size());
+  EXPECT_EQ(t.missing_count(), 8u);  // 1,2,4..9
+}
+
+TEST(SequenceTrackerTest, HistoryEncodesPrefixAndBitmap) {
+  SequenceTracker t;
+  t.observe_data(1);
+  t.observe_data(2);
+  t.observe_data(5);  // out of order: bitmap needed
+  proto::SourceHistory h = t.history(9, 4);
+  EXPECT_EQ(h.source, 9u);
+  EXPECT_EQ(h.next_expected, 3u);
+  ASSERT_FALSE(h.bitmap.empty());
+  // Offset of seq 5 from next_expected 3 is 2.
+  EXPECT_TRUE(h.bitmap[0] & (1ULL << 2));
+  EXPECT_FALSE(h.bitmap[0] & (1ULL << 0));  // seq 3 missing
+}
+
+TEST(SequenceTrackerTest, HistoryEmptyBitmapWhenContiguous) {
+  SequenceTracker t;
+  t.observe_data(1);
+  t.observe_data(2);
+  proto::SourceHistory h = t.history(0, 4);
+  EXPECT_EQ(h.next_expected, 3u);
+  EXPECT_TRUE(h.bitmap.empty());
+}
+
+TEST(SequenceTrackerTest, HistoryBitmapRespectsWordCap) {
+  SequenceTracker t;
+  t.observe_data(1000);  // huge gap
+  proto::SourceHistory h = t.history(0, 2);
+  EXPECT_LE(h.bitmap.size(), 2u);
+}
+
+TEST(SequenceTrackerTest, LargeSequenceSpace) {
+  SequenceTracker t;
+  t.observe_data(1);
+  auto obs = t.observe_data(100001);
+  EXPECT_EQ(obs.new_gaps.size(), 99999u);
+  EXPECT_EQ(t.missing_count(), 99999u);
+}
+
+}  // namespace
+}  // namespace rrmp

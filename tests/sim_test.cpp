@@ -1,0 +1,165 @@
+// Unit tests: discrete-event simulator ordering, timers, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace rrmp::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_us(30), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint::from_us(10), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::from_us(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::from_us(30));
+}
+
+TEST(SimulatorTest, SimultaneousEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(TimePoint::from_us(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesMonotonically) {
+  Simulator sim;
+  TimePoint last = TimePoint::zero();
+  bool monotone = true;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(TimePoint::from_us((i * 37) % 100), [&, i] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimePoint fired;
+  sim.schedule_at(TimePoint::from_us(100), [&] {
+    sim.schedule_after(Duration::micros(50), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint::from_us(150));
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  TimerId id = sim.schedule_after(Duration::micros(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  sim.cancel(id);
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  TimerId id = sim.schedule_after(Duration::micros(1), [] {});
+  sim.run();
+  sim.cancel(id);  // already fired: no-op
+  sim.cancel(id);
+  sim.cancel(TimerId{999999});  // never existed: no-op
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(SimulatorTest, CancelFromInsideCallback) {
+  Simulator sim;
+  bool second_fired = false;
+  TimerId second =
+      sim.schedule_at(TimePoint::from_us(20), [&] { second_fired = true; });
+  sim.schedule_at(TimePoint::from_us(10), [&] { sim.cancel(second); });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(TimePoint::from_us(10), [&] { fired.push_back(10); });
+  sim.schedule_at(TimePoint::from_us(20), [&] { fired.push_back(20); });
+  sim.schedule_at(TimePoint::from_us(30), [&] { fired.push_back(30); });
+  sim.run_until(TimePoint::from_us(20));
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), TimePoint::from_us(20));
+  sim.run_until(TimePoint::from_us(100));
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(sim.now(), TimePoint::from_us(100));
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHeadEntries) {
+  Simulator sim;
+  // A cancelled event far in the future must not block run_until's scan.
+  TimerId id = sim.schedule_at(TimePoint::from_us(5), [] {});
+  sim.cancel(id);
+  bool fired = false;
+  sim.schedule_at(TimePoint::from_us(10), [&] { fired = true; });
+  sim.run_until(TimePoint::from_us(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(TimePoint::from_us(100), [] {});
+  sim.run();
+  TimePoint fired_at;
+  sim.schedule_at(TimePoint::from_us(10), [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, TimePoint::from_us(100));  // clamped, clock monotone
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_after(Duration::micros(1), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, RunHonorsMaxEvents) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(Duration::micros(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.run(), 6u);
+}
+
+TEST(SimulatorTest, CallbackCanScheduleMoreWork) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(Duration::micros(1), chain);
+  };
+  sim.schedule_after(Duration::micros(1), chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.fired_count(), 100u);
+}
+
+TEST(SimulatorTest, PendingCountTracksLiveEvents) {
+  Simulator sim;
+  TimerId a = sim.schedule_after(Duration::micros(1), [] {});
+  sim.schedule_after(Duration::micros(2), [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rrmp::sim

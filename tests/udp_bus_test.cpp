@@ -1,0 +1,109 @@
+// Unit tests for the loopback-UDP datagram bus (sockets, timers, delays).
+// Skipped when the environment forbids binding UDP sockets.
+#include <gtest/gtest.h>
+
+#include "net/udp_host.h"
+
+namespace rrmp::net {
+namespace {
+
+std::unique_ptr<UdpBus> try_bus(std::size_t members, std::uint16_t port) {
+  try {
+    return std::make_unique<UdpBus>(members, port);
+  } catch (const std::runtime_error&) {
+    return nullptr;
+  }
+}
+
+TEST(UdpBusTest, SendAndReceiveRoundTrip) {
+  auto bus = try_bus(2, 39500);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  std::vector<std::uint8_t> got;
+  MemberId got_from = kInvalidMember;
+  bus->set_receive_callback(
+      [&](MemberId to, MemberId from, std::span<const std::uint8_t> bytes) {
+        if (to == 1) {
+          got.assign(bytes.begin(), bytes.end());
+          got_from = from;
+          bus->stop();
+        }
+      });
+  bus->send(0, 1, {1, 2, 3, 4});
+  bus->run_until(bus->now() + Duration::millis(500));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(got_from, 0u);
+}
+
+TEST(UdpBusTest, TimerFiresApproximatelyOnTime) {
+  auto bus = try_bus(1, 39510);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  TimePoint fired_at = TimePoint::max();
+  bus->schedule_after(Duration::millis(50), [&] { fired_at = bus->now(); });
+  bus->run_until(bus->now() + Duration::millis(300));
+  ASSERT_NE(fired_at, TimePoint::max());
+  EXPECT_GE(fired_at, TimePoint::zero() + Duration::millis(49));
+  EXPECT_LE(fired_at, TimePoint::zero() + Duration::millis(200));
+}
+
+TEST(UdpBusTest, CancelledTimerNeverFires) {
+  auto bus = try_bus(1, 39520);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  bool fired = false;
+  std::uint64_t id =
+      bus->schedule_after(Duration::millis(20), [&] { fired = true; });
+  bus->cancel(id);
+  bus->run_until(bus->now() + Duration::millis(100));
+  EXPECT_FALSE(fired);
+}
+
+TEST(UdpBusTest, DelayFnPostponesDatagrams) {
+  auto bus = try_bus(2, 39530);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  bus->set_delay_fn([](MemberId, MemberId) { return Duration::millis(80); });
+  TimePoint received_at = TimePoint::max();
+  bus->set_receive_callback(
+      [&](MemberId to, MemberId, std::span<const std::uint8_t>) {
+        if (to == 1) {
+          received_at = bus->now();
+          bus->stop();
+        }
+      });
+  bus->send(0, 1, {42});
+  bus->run_until(bus->now() + Duration::millis(500));
+  ASSERT_NE(received_at, TimePoint::max());
+  EXPECT_GE(received_at, TimePoint::zero() + Duration::millis(79));
+}
+
+TEST(UdpBusTest, CountersTrackTraffic) {
+  auto bus = try_bus(3, 39540);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  int received = 0;
+  bus->set_receive_callback(
+      [&](MemberId, MemberId, std::span<const std::uint8_t>) {
+        if (++received == 4) bus->stop();
+      });
+  bus->send(0, 1, {1});
+  bus->send(0, 2, {2});
+  bus->send(1, 2, {3});
+  bus->send(2, 0, {4});
+  bus->run_until(bus->now() + Duration::millis(500));
+  EXPECT_EQ(bus->datagrams_sent(), 4u);
+  EXPECT_EQ(bus->datagrams_received(), 4u);
+}
+
+TEST(UdpBusTest, PortCollisionThrows) {
+  auto first = try_bus(2, 39550);
+  if (!first) GTEST_SKIP() << "UDP sockets unavailable";
+  EXPECT_THROW(UdpBus(2, 39550), std::runtime_error);
+}
+
+TEST(UdpBusTest, SendToInvalidMemberIsIgnored) {
+  auto bus = try_bus(1, 39560);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  bus->send(0, 99, {1});  // out of range: dropped silently
+  bus->run_until(bus->now() + Duration::millis(50));
+  EXPECT_EQ(bus->datagrams_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace rrmp::net
