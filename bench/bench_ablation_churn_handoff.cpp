@@ -35,7 +35,14 @@ int main() {
              analysis::Table::num(without.mean_recovery_ms, 1)});
   t.print(std::cout);
 
+  bench::JsonReport report("ablation_churn_handoff");
+  report.add_table("recoverability after bufferer departure", t);
+  report.add_scalar("recovered_with_handoff", static_cast<double>(with.recovered));
+  report.add_scalar("recovered_without_handoff",
+                    static_cast<double>(without.recovered));
+
   bool ok = with.recovered >= kTrials - 1 && without.recovered == 0;
-  bench::verdict(ok, "handoff preserves recoverability; crashes do not");
+  report.verdict(ok, "handoff preserves recoverability; crashes do not");
+  report.write_if_requested();
   return ok ? 0 : 1;
 }

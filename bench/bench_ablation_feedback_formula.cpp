@@ -20,6 +20,7 @@ int main() {
       "One request round, each missing member probes one random neighbor;\n"
       "formula (1-1/(n-1))^(np), approximation e^-p.");
 
+  bench::JsonReport report("ablation_feedback_formula");
   bool ok = true;
   for (std::size_t n : {100, 1000}) {
     analysis::Table t({"p (missing)", "formula %", "e^-p % (paper approx)",
@@ -36,8 +37,10 @@ int main() {
     }
     std::cout << "n = " << n << "\n";
     t.print(std::cout);
+    report.add_table("n=" + std::to_string(n), t);
     std::cout << "\n";
   }
-  bench::verdict(ok, "measurement matches (1-1/(n-1))^(np); e^-p is close");
+  report.verdict(ok, "measurement matches (1-1/(n-1))^(np); e^-p is close");
+  report.write_if_requested();
   return ok ? 0 : 1;
 }

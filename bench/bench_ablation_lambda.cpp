@@ -36,6 +36,10 @@ int main() {
     }
   }
   t.print(std::cout);
-  bench::verdict(ok, "first-round remote requests ~= lambda at every size");
+
+  bench::JsonReport report("ablation_lambda");
+  report.add_table("remote requests per round vs lambda", t);
+  report.verdict(ok, "first-round remote requests ~= lambda at every size");
+  report.write_if_requested();
   return ok ? 0 : 1;
 }

@@ -105,7 +105,13 @@ int main() {
             gap.mean_delivery_ms < ae.mean_delivery_ms * 0.6;
   std::cout << "gap-driven repairs " << ae.mean_delivery_ms / gap.mean_delivery_ms
             << "x faster than pure anti-entropy\n";
-  bench::verdict(ok, "immediate gap-driven requests beat periodic digests on "
+
+  bench::JsonReport report("ablation_recovery_engine");
+  report.add_table("recovery engine comparison", t);
+  report.add_scalar("gap_mean_delivery_ms", gap.mean_delivery_ms);
+  report.add_scalar("anti_entropy_mean_delivery_ms", ae.mean_delivery_ms);
+  report.verdict(ok, "immediate gap-driven requests beat periodic digests on "
                      "repair latency");
+  report.write_if_requested();
   return ok ? 0 : 1;
 }

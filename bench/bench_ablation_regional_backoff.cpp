@@ -73,7 +73,13 @@ int main() {
   }
   t.print(std::cout);
 
+  bench::JsonReport report("ablation_regional_backoff");
+  report.add_table("regional relay duplication vs back-off", t);
+  report.add_scalar("mean_relays_no_backoff", dup_no_backoff);
+  report.add_scalar("mean_relays_backoff", dup_backoff);
+
   bool ok = dup_backoff < dup_no_backoff && dup_backoff < 2.5;
-  bench::verdict(ok, "back-off cuts duplicate regional multicasts");
+  report.verdict(ok, "back-off cuts duplicate regional multicasts");
+  report.write_if_requested();
   return ok ? 0 : 1;
 }

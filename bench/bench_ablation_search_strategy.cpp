@@ -49,8 +49,14 @@ int main() {
   std::cout << "multicast-query replies with 99 premature holders: "
             << implosion_replies << " (implosion), random search: "
             << search_replies << "\n";
-  bench::verdict(ok,
+
+  bench::JsonReport report("ablation_search_strategy");
+  report.add_table("search strategy comparison", t);
+  report.add_scalar("multicast_query_replies_99_holders", implosion_replies);
+  report.add_scalar("random_search_replies_99_holders", search_replies);
+  report.verdict(ok,
                  "multicast query implodes when the idle estimate is wrong; "
                  "random search stays at ~1 reply");
+  report.write_if_requested();
   return ok ? 0 : 1;
 }

@@ -75,9 +75,16 @@ int main() {
   std::cout << "two-phase residual buffer: " << two_phase_final << " msgs vs "
             << everything_final << " for buffer-everything; occupancy/member "
             << two_phase_occ << "\n";
-  bench::verdict(all_ok && storage_win && traffic_win,
+
+  bench::JsonReport report("baseline_policies");
+  report.add_table("buffering policy comparison", t);
+  report.add_scalar("two_phase_final_buffered", two_phase_final);
+  report.add_scalar("everything_final_buffered", everything_final);
+  report.add_scalar("two_phase_occupancy_per_member", two_phase_occ);
+  report.verdict(all_ok && storage_win && traffic_win,
                  "two-phase delivers everything with a fraction of the "
                  "storage of repair-server buffering and a fraction of the "
                  "control traffic of stability detection");
+  report.write_if_requested();
   return (all_ok && storage_win && traffic_win) ? 0 : 1;
 }

@@ -72,8 +72,14 @@ int main() {
   bool monotone = bench::non_decreasing(means, /*slack=*/10.0);
   // Each extra hop costs at least most of one inter-region round trip.
   bool spaced = (means[3] - means[0]) > 150.0;
-  bench::verdict(monotone && spaced,
+
+  bench::JsonReport report("ext_hierarchy_depth");
+  report.add_table("repair latency vs hierarchy depth", t);
+  report.add_scalar("mean_repair_ms_depth1", means.front());
+  report.add_scalar("mean_repair_ms_depth4", means.back());
+  report.verdict(monotone && spaced,
                  "repair latency grows ~linearly with hierarchy depth "
                  "(one remote RTT per hop)");
+  report.write_if_requested();
   return (monotone && spaced) ? 0 : 1;
 }

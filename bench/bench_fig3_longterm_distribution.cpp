@@ -23,6 +23,7 @@ int main() {
       "n = 100, 200k Monte Carlo trials of the per-member C/n decision;\n"
       "paper plots Poisson(C) pmf (peak ~15-20% near k=C).");
 
+  bench::JsonReport report("fig3_longterm_distribution");
   bool shapes_ok = true;
   for (double C : {5.0, 6.0, 7.0, 8.0}) {
     auto dist = harness::simulate_longterm_distribution(
@@ -41,11 +42,15 @@ int main() {
     }
     std::cout << "C = " << C << "  (measured mean " << dist.mean << ")\n";
     t.print(std::cout);
+    report.add_table("C=" + analysis::Table::num(C, 0), t);
+    report.add_scalar("mean_bufferers_C" + analysis::Table::num(C, 0),
+                      dist.mean);
     // The mode of Poisson(C) is floor(C) (and C-1): peak must sit there.
     bool ok = peak_k >= C - 1.5 && peak_k <= C + 0.5;
     shapes_ok = shapes_ok && ok;
     std::cout << "\n";
   }
-  bench::verdict(shapes_ok, "distribution peaks at k ~= C for every C");
+  report.verdict(shapes_ok, "distribution peaks at k ~= C for every C");
+  report.write_if_requested();
   return shapes_ok ? 0 : 1;
 }

@@ -33,6 +33,10 @@ int main() {
   t.print(std::cout);
   bench::maybe_write_csv("fig4_no_bufferer", t);
 
+  bench::JsonReport report("fig4_no_bufferer");
+  report.add_table("P(no long-term bufferer) vs C", t);
+  report.add_scalar("p_none_pct_C6", measured.back());
+
   // Exponential decay: each step down by a factor ~e (Binomial is slightly
   // below Poisson for finite n, so allow a band around e).
   bool ok = bench::non_increasing(measured);
@@ -40,6 +44,7 @@ int main() {
     double ratio = measured[i - 1] / std::max(measured[i], 1e-9);
     ok = ratio > 2.2 && ratio < 3.6;
   }
-  bench::verdict(ok, "P(none) decays ~e^-C (factor ~2.7 per unit of C)");
+  report.verdict(ok, "P(none) decays ~e^-C (factor ~2.7 per unit of C)");
+  report.write_if_requested();
   return ok ? 0 : 1;
 }

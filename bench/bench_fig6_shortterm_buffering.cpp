@@ -42,11 +42,17 @@ int main() {
   t.print(std::cout);
   bench::maybe_write_csv("fig6_shortterm_buffering", t);
 
+  bench::JsonReport report("fig6_shortterm_buffering");
+  report.add_table("buffering time vs initial holders", t);
+  report.add_scalar("mean_buffer_ms_1_holder", curve.front());
+  report.add_scalar("mean_buffer_ms_64_holders", curve.back());
+
   bool monotone = bench::non_increasing(curve, /*slack=*/2.0);
   bool range_ok = curve.front() > 70.0 && curve.back() < 60.0 &&
                   curve.back() >= 40.0;
-  bench::verdict(monotone && range_ok,
+  report.verdict(monotone && range_ok,
                  "buffering time falls monotonically toward the T=40ms floor "
                  "as initial coverage grows");
+  report.write_if_requested();
   return (monotone && range_ok) ? 0 : 1;
 }

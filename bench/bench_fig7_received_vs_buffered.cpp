@@ -37,8 +37,14 @@ int main() {
   for (std::size_t b : s.buffered) peak_buffered = std::max(peak_buffered, b);
   bool tracked = peak_buffered >= 90;         // nearly everyone buffered it
   bool collapsed = s.buffered.back() <= 20;   // ~Poisson(6) remains
-  bench::verdict(disseminated && tracked && collapsed,
+
+  bench::JsonReport report("fig7_received_vs_buffered");
+  report.add_table("received vs buffered over time", t);
+  report.add_scalar("peak_buffered", static_cast<double>(peak_buffered));
+  report.add_scalar("final_buffered", static_cast<double>(s.buffered.back()));
+  report.verdict(disseminated && tracked && collapsed,
                  "buffered count tracks received, then collapses to ~C "
                  "long-term bufferers after the region goes idle");
+  report.write_if_requested();
   return (disseminated && tracked && collapsed) ? 0 : 1;
 }

@@ -35,10 +35,16 @@ int main() {
   t.print(std::cout);
   bench::maybe_write_csv("fig8_search_vs_bufferers", t);
 
+  bench::JsonReport report("fig8_search_vs_bufferers");
+  report.add_table("search time vs bufferer count", t);
+  report.add_scalar("search_ms_k1", curve.front());
+  report.add_scalar("search_ms_k10", curve.back());
+
   bool monotone = bench::non_increasing(curve, /*slack=*/3.0);
   bool endpoints_ok = curve.front() >= 30.0 && curve.front() <= 70.0 &&
                       curve.back() >= 10.0 && curve.back() <= 30.0;
-  bench::verdict(monotone && endpoints_ok,
+  report.verdict(monotone && endpoints_ok,
                  "search time falls with bufferer count; ~2xRTT at k=10");
+  report.write_if_requested();
   return (monotone && endpoints_ok) ? 0 : 1;
 }

@@ -39,7 +39,14 @@ int main() {
   bool sublinear = growth > 1.3 && growth < 4.0;  // paper: ~2.2x for 10x size
   std::cout << "search-time growth for 10x region growth: " << growth
             << "x (paper: ~2.2x)\n";
-  bench::verdict(monotone && sublinear,
+
+  bench::JsonReport report("fig9_search_vs_region_size");
+  report.add_table("search time vs region size", t);
+  report.add_scalar("search_ms_n100", curve.front());
+  report.add_scalar("search_ms_n1000", curve.back());
+  report.add_scalar("growth_factor", growth);
+  report.verdict(monotone && sublinear,
                  "search time grows sublinearly with region size");
+  report.write_if_requested();
   return (monotone && sublinear) ? 0 : 1;
 }

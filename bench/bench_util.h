@@ -6,10 +6,14 @@
 // (monotonicity, ratios, who wins) is the reproduction target.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/table.h"
@@ -40,6 +44,139 @@ inline void banner(const std::string& title, const std::string& setup) {
 inline void verdict(bool ok, const std::string& what) {
   std::cout << (ok ? "[SHAPE OK] " : "[SHAPE MISMATCH] ") << what << "\n";
 }
+
+// ------------------------------------------------------------- JSON report ----
+//
+// Machine-readable bench results. Each bench fills a JsonReport with its
+// tables, named scalars, and shape verdicts; write_if_requested() serializes
+// it to $RRMP_BENCH_JSON_DIR/<name>.json. The run_baselines.py driver sets
+// the env var, runs the fig benches, and merges the per-bench files into
+// BENCH_baseline.json at the repo root.
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Cells that parse fully as finite numbers are emitted as JSON numbers so
+/// downstream tooling can diff baselines without re-parsing strings.
+inline std::string cell_to_json(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(v)) {
+      return cell;  // already a valid JSON number literal
+    }
+  }
+  // Appends instead of operator+ chains: GCC 12's -Wrestrict false-fires on
+  // inlined std::string concatenation at -O3 (GCC PR105651).
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  out += json_escape(cell);
+  out += '"';
+  return out;
+}
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add_table(const std::string& label, const analysis::Table& table) {
+    std::ostringstream os;
+    os << "{\"label\": \"" << json_escape(label) << "\", \"headers\": [";
+    const auto& headers = table.headers();
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      os << (c ? ", " : "") << "\"" << json_escape(headers[c]) << "\"";
+    }
+    os << "], \"rows\": [";
+    const auto& rows = table.row_cells();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      os << (r ? ", [" : "[");
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        os << (c ? ", " : "") << cell_to_json(rows[r][c]);
+      }
+      os << "]";
+    }
+    os << "]}";
+    tables_.push_back(os.str());
+  }
+
+  void add_scalar(const std::string& key, double value) {
+    std::ostringstream os;
+    if (std::isfinite(value)) {
+      os << value;
+    } else {
+      os << "null";  // bare nan/inf tokens are not valid JSON
+    }
+    scalars_.emplace_back(key, os.str());
+  }
+
+  /// Prints the console verdict line and records it in the report.
+  void verdict(bool ok, const std::string& what) {
+    bench::verdict(ok, what);
+    verdicts_.emplace_back(ok, what);
+    all_ok_ = all_ok_ && ok;
+  }
+
+  bool all_ok() const { return all_ok_; }
+
+  /// Serializes to $RRMP_BENCH_JSON_DIR/<name>.json when the env var is set;
+  /// a no-op otherwise so plain console runs stay untouched.
+  void write_if_requested() const {
+    const char* dir = std::getenv("RRMP_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    std::string path = std::string(dir) + "/" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    out << "{\n  \"bench\": \"" << json_escape(name_)
+        << "\",\n  \"schema\": \"rrmp-bench/1\",\n  \"ok\": "
+        << (all_ok_ ? "true" : "false") << ",\n  \"scalars\": {";
+    for (std::size_t i = 0; i < scalars_.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << json_escape(scalars_[i].first)
+          << "\": " << scalars_[i].second;
+    }
+    out << "},\n  \"verdicts\": [";
+    for (std::size_t i = 0; i < verdicts_.size(); ++i) {
+      out << (i ? ", " : "") << "{\"ok\": "
+          << (verdicts_[i].first ? "true" : "false") << ", \"what\": \""
+          << json_escape(verdicts_[i].second) << "\"}";
+    }
+    out << "],\n  \"tables\": [";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ") << tables_[i];
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "(json written to " << path << ")\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::pair<bool, std::string>> verdicts_;
+  std::vector<std::string> tables_;
+  bool all_ok_ = true;
+};
 
 /// True if xs is non-increasing within `slack` (absolute).
 inline bool non_increasing(const std::vector<double>& xs, double slack = 0.0) {

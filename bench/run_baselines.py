@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Run the fig3-fig9 paper-reproduction benches and merge their JSON reports
+into a single baseline file (BENCH_baseline.json at the repo root by default).
+
+Each bench binary writes $RRMP_BENCH_JSON_DIR/<name>.json when that env var
+is set (see bench_util.h JsonReport); this driver provides the directory,
+records wall time and exit status per bench, and merges everything into one
+machine-readable document that later optimization PRs diff against.
+
+Usage:
+  bench/run_baselines.py --bench-dir build/bench --out BENCH_baseline.json
+  cmake --build build --target run_baselines    # same thing
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+# The paper-figure reproductions that constitute the baseline trajectory.
+FIG_BENCHES = [
+    "bench_fig3_longterm_distribution",
+    "bench_fig4_no_bufferer",
+    "bench_fig6_shortterm_buffering",
+    "bench_fig7_received_vs_buffered",
+    "bench_fig8_search_vs_bufferers",
+    "bench_fig9_search_vs_region_size",
+]
+
+
+def run_bench(exe, json_dir, timeout):
+    env = dict(os.environ, RRMP_BENCH_JSON_DIR=json_dir)
+    start = time.monotonic()
+    output = b""
+    try:
+        proc = subprocess.run(
+            [exe],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=timeout,
+        )
+        returncode = proc.returncode
+        timed_out = False
+        output = proc.stdout or b""
+    except subprocess.TimeoutExpired as e:
+        returncode = -1
+        timed_out = True
+        output = e.stdout or b""
+    return {
+        "exit_code": returncode,
+        "timed_out": timed_out,
+        "wall_time_seconds": round(time.monotonic() - start, 3),
+    }, output
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", required=True,
+                        help="directory containing the built bench binaries")
+    parser.add_argument("--out", default="BENCH_baseline.json",
+                        help="merged baseline output path")
+    parser.add_argument("--benches", nargs="*", default=FIG_BENCHES,
+                        help="bench binary names to run (default: fig3-fig9)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-bench timeout in seconds")
+    args = parser.parse_args()
+
+    baseline = {
+        "schema": "rrmp-bench-baseline/1",
+        "generated_by": "bench/run_baselines.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benches": {},
+    }
+
+    failures = []
+    for name in args.benches:
+        exe = os.path.join(args.bench_dir, name)
+        if not os.path.exists(exe):
+            print(f"error: bench binary not found: {exe}", file=sys.stderr)
+            failures.append(name)
+            continue
+        print(f"[run_baselines] {name} ...", flush=True)
+        with tempfile.TemporaryDirectory(prefix="rrmp-bench-") as json_dir:
+            run, output = run_bench(exe, json_dir, args.timeout)
+            # JsonReport names strip the bench_ prefix.
+            report_path = os.path.join(json_dir, name.removeprefix("bench_") + ".json")
+            run["report"] = None
+            if os.path.exists(report_path):
+                try:
+                    with open(report_path) as f:
+                        run["report"] = json.load(f)
+                except (json.JSONDecodeError, OSError) as e:
+                    print(f"warning: {name} wrote a malformed JSON report: {e}",
+                          file=sys.stderr)
+            else:
+                print(f"warning: {name} produced no JSON report", file=sys.stderr)
+        ok = run["exit_code"] == 0 and run["report"] is not None
+        status = "ok" if ok else "FAILED"
+        print(f"[run_baselines] {name}: {status} "
+              f"({run['wall_time_seconds']}s)", flush=True)
+        if not ok:
+            # Surface the bench's own tables/verdict lines so CI logs say
+            # which invariant broke, not just that something did.
+            sys.stderr.write(output.decode(errors="replace"))
+            failures.append(name)
+        baseline["benches"][name] = run
+
+    with open(args.out, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"[run_baselines] wrote {args.out} "
+          f"({len(baseline['benches'])} benches, {len(failures)} failed)")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

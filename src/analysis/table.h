@@ -26,6 +26,12 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw access for structured emitters (JSON bench reports).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_cells() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

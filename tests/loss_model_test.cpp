@@ -1,0 +1,113 @@
+// Statistical tests: the loss models' empirical drop rates must match their
+// configured/stationary rates. Fixed seeds keep these deterministic; 100k
+// trials puts the Monte Carlo error well inside the ±1% tolerance.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "net/loss_model.h"
+
+namespace rrmp::net {
+namespace {
+
+constexpr std::size_t kTrials = 100000;
+constexpr double kTolerance = 0.01;  // ±1% absolute
+
+double empirical_rate(LossModel& model, std::uint64_t seed,
+                      std::size_t trials = kTrials) {
+  RandomEngine rng(seed);
+  std::size_t drops = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (model.drop(rng)) ++drops;
+  }
+  return static_cast<double>(drops) / static_cast<double>(trials);
+}
+
+TEST(LossModelStatTest, NoLossNeverDrops) {
+  NoLoss model;
+  EXPECT_EQ(empirical_rate(model, 0xA0), 0.0);
+}
+
+TEST(LossModelStatTest, BernoulliMatchesConfiguredRate) {
+  for (double p : {0.01, 0.05, 0.10, 0.25, 0.50, 0.90}) {
+    BernoulliLoss model(p);
+    double rate = empirical_rate(model, 0xB3B0);
+    EXPECT_NEAR(rate, p, kTolerance) << "configured p = " << p;
+  }
+}
+
+TEST(LossModelStatTest, BernoulliFactoryMatchesConfiguredRate) {
+  auto model = make_bernoulli(0.2);
+  EXPECT_NEAR(empirical_rate(*model, 0xFAC7), 0.2, kTolerance);
+}
+
+TEST(LossModelStatTest, BernoulliExtremesAreExact) {
+  BernoulliLoss never(0.0);
+  EXPECT_EQ(empirical_rate(never, 0xE0), 0.0);
+  BernoulliLoss always(1.0);
+  EXPECT_EQ(empirical_rate(always, 0xE1), 1.0);
+}
+
+// The Gilbert–Elliott chain's stationary bad-state probability is
+// p_gb / (p_gb + p_bg); the long-run drop rate mixes the per-state loss
+// probabilities with those stationary weights.
+double gilbert_elliott_stationary_rate(double p_gb, double p_bg,
+                                       double loss_good, double loss_bad) {
+  double pi_bad = p_gb / (p_gb + p_bg);
+  return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+}
+
+TEST(LossModelStatTest, GilbertElliottMatchesStationaryRate) {
+  struct Config {
+    double p_gb, p_bg, loss_good, loss_bad;
+  };
+  const Config configs[] = {
+      {0.05, 0.25, 0.01, 0.50},   // short bursts, heavy in-burst loss
+      {0.10, 0.10, 0.00, 1.00},   // half the time in a total-blackout state
+      {0.02, 0.40, 0.005, 0.30},  // rare, brief bursts
+  };
+  std::uint64_t seed = 0x6E77;
+  for (const Config& c : configs) {
+    GilbertElliottLoss model(c.p_gb, c.p_bg, c.loss_good, c.loss_bad);
+    double expected = gilbert_elliott_stationary_rate(c.p_gb, c.p_bg,
+                                                      c.loss_good, c.loss_bad);
+    double rate = empirical_rate(model, seed++);
+    EXPECT_NEAR(rate, expected, kTolerance)
+        << "p_gb=" << c.p_gb << " p_bg=" << c.p_bg << " loss_good="
+        << c.loss_good << " loss_bad=" << c.loss_bad;
+  }
+}
+
+TEST(LossModelStatTest, GilbertElliottActuallyBursts) {
+  // With symmetric transitions and loss only in the bad state, consecutive
+  // drops must be far likelier than independence would allow.
+  GilbertElliottLoss model(0.05, 0.05, 0.0, 1.0);
+  RandomEngine rng(0xB57);
+  std::size_t drops = 0, pairs = 0;
+  bool prev = false;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    bool d = model.drop(rng);
+    if (d) ++drops;
+    if (d && prev) ++pairs;
+    prev = d;
+  }
+  double rate = static_cast<double>(drops) / kTrials;
+  double pair_rate = static_cast<double>(pairs) / (kTrials - 1);
+  EXPECT_NEAR(rate, 0.5, kTolerance);
+  // Independent drops would give pair_rate ~= rate^2 = 0.25; the chain gives
+  // pi_bad * P(stay bad) = 0.5 * 0.95 = 0.475, a ~1.9x burst factor.
+  EXPECT_GT(pair_rate, 1.5 * rate * rate);
+}
+
+TEST(LossModelStatTest, SameSeedReplaysIdentically) {
+  GilbertElliottLoss a(0.05, 0.25, 0.01, 0.5);
+  GilbertElliottLoss b(0.05, 0.25, 0.01, 0.5);
+  RandomEngine ra(0xD5), rb(0xD5);
+  for (std::size_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(a.drop(ra), b.drop(rb)) << "diverged at trial " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rrmp::net

@@ -213,5 +213,131 @@ TEST(CodecFuzzTest, HostileRepeatedFieldCountRejectedWithoutAllocation) {
   EXPECT_FALSE(decode(bytes).has_value());
 }
 
+// ------------------------------------------- hand-crafted hostile frames ----
+//
+// These build malformed frames byte-by-byte (wire layout: 1-byte tag,
+// little-endian fixed-width ints, varint length prefixes) and must fail to
+// decode without crashing, allocating per the claimed length, or reading
+// past the buffer. Run them under the `asan` preset to get the over-read
+// guarantee checked, not just asserted.
+
+void append_varint(std::vector<std::uint8_t>& bytes, std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_u32(std::vector<std::uint8_t>& bytes, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(std::vector<std::uint8_t>& bytes, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_message_id(std::vector<std::uint8_t>& bytes, std::uint32_t source,
+                       std::uint64_t seq) {
+  append_u32(bytes, source);
+  append_u64(bytes, seq);
+}
+
+TEST(CodecNegativeTest, EveryGarbageTypeByteRejected) {
+  for (int tag = 0; tag <= 255; ++tag) {
+    if (tag >= 1 && tag <= 11) continue;  // valid wire tags
+    std::vector<std::uint8_t> lone = {static_cast<std::uint8_t>(tag)};
+    EXPECT_FALSE(decode(lone).has_value()) << "bare tag " << tag;
+    std::vector<std::uint8_t> padded(17, 0x00);
+    padded[0] = static_cast<std::uint8_t>(tag);
+    EXPECT_FALSE(decode(padded).has_value()) << "padded tag " << tag;
+  }
+}
+
+TEST(CodecNegativeTest, EveryValidTagWithEmptyBodyRejected) {
+  // Every message type has a non-empty body, so a bare valid tag is always
+  // a truncated frame.
+  for (int tag = 1; tag <= 11; ++tag) {
+    std::vector<std::uint8_t> bytes = {static_cast<std::uint8_t>(tag)};
+    EXPECT_FALSE(decode(bytes).has_value()) << "tag " << tag;
+  }
+}
+
+TEST(CodecNegativeTest, PayloadLengthBeyondRemainingBytesRejected) {
+  // A Data frame whose payload length prefix claims more bytes than the
+  // frame holds.
+  std::vector<std::uint8_t> bytes = {1};  // kData
+  append_message_id(bytes, 7, 42);
+  append_varint(bytes, 1000);
+  bytes.push_back(0xAA);  // only 1 of the claimed 1000 payload bytes
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecNegativeTest, HostilePayloadLengthRejectedForEveryBlobType) {
+  // 2^40 claimed payload bytes on each blob-carrying frame: decode must
+  // reject on the bounds check, never allocate the claimed size.
+  for (std::uint8_t tag : {std::uint8_t{1}, std::uint8_t{5}, std::uint8_t{6}}) {
+    // kData / kRepair / kRegionalRepair all start with id + payload.
+    std::vector<std::uint8_t> bytes = {tag};
+    append_message_id(bytes, 1, 2);
+    append_varint(bytes, 1ULL << 40);
+    EXPECT_FALSE(decode(bytes).has_value()) << "tag " << int(tag);
+  }
+}
+
+TEST(CodecNegativeTest, TruncatedVarintLengthPrefixRejected) {
+  // The payload length varint ends mid-value (continuation bit set on the
+  // final byte of the frame).
+  std::vector<std::uint8_t> bytes = {1};  // kData
+  append_message_id(bytes, 3, 4);
+  bytes.push_back(0xFF);  // continuation bit set, then nothing
+  EXPECT_FALSE(decode(bytes).has_value());
+
+  // Same for a varint that never terminates within the 10-byte u64 limit.
+  std::vector<std::uint8_t> runaway = {1};
+  append_message_id(runaway, 3, 4);
+  for (int i = 0; i < 12; ++i) runaway.push_back(0x80);
+  runaway.push_back(0x01);
+  EXPECT_FALSE(decode(runaway).has_value());
+}
+
+TEST(CodecNegativeTest, HostileGossipBeatCountRejected) {
+  std::vector<std::uint8_t> bytes = {10};  // kGossip
+  append_u32(bytes, 5);                    // from
+  append_varint(bytes, 1ULL << 41);        // beats count
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecNegativeTest, HostileHistoryBitmapLengthRejected) {
+  std::vector<std::uint8_t> bytes = {11};  // kHistory
+  append_u32(bytes, 9);                    // member
+  append_varint(bytes, 1);                 // one SourceHistory
+  append_u32(bytes, 1);                    // source
+  append_u64(bytes, 100);                  // next_expected
+  append_varint(bytes, 1ULL << 50);        // bitmap word count
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecNegativeTest, RepeatedCountJustAboveCapRejected) {
+  // kMaxRepeated itself is the cap; one above must be rejected even though
+  // the varint is well-formed.
+  std::vector<std::uint8_t> bytes = {9};  // kHandoff
+  append_varint(bytes, kMaxRepeated + 1);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecNegativeTest, NestedHandoffPayloadTruncationRejected) {
+  // A Handoff whose second nested Data frame is cut off mid-payload.
+  std::vector<std::uint8_t> bytes = {9};  // kHandoff
+  append_varint(bytes, 2);
+  append_message_id(bytes, 1, 1);
+  append_varint(bytes, 1);
+  bytes.push_back(0x42);          // first Data, complete
+  append_message_id(bytes, 1, 2);
+  append_varint(bytes, 5);
+  bytes.push_back(0x43);          // second Data claims 5 bytes, has 1
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
 }  // namespace
 }  // namespace rrmp::proto
