@@ -40,7 +40,7 @@ EngineOutcome run_engine(bool gap_driven, bool anti_entropy,
 
   constexpr int kMessages = 40;
   for (int i = 0; i < kMessages; ++i) {
-    cluster.sim().schedule_at(TimePoint::zero() + Duration::millis(10) * i,
+    cluster.schedule_script(TimePoint::zero() + Duration::millis(10) * i,
                               [&cluster] {
                                 cluster.endpoint(0).multicast(
                                     std::vector<std::uint8_t>(64, 0x3C));

@@ -12,13 +12,17 @@
 #include "bench_util.h"
 #include "harness/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rrmp;
   constexpr std::size_t kRegion = 100;
   constexpr std::size_t kTrials = 100;
 
+  harness::ExperimentDefaults defaults;
+  defaults.shards = bench::parse_shards(argc, argv);
+
   bench::banner("Figure 8: search time vs #bufferers",
-                "n = 100, RTT = 10 ms, 100 trials per point.");
+                "n = 100, RTT = 10 ms, 100 trials per point (--shards=" +
+                    std::to_string(defaults.shards) + ").");
 
   // Digitized from the paper's plot; approximate.
   const std::vector<double> paper_ms = {48, 38, 33, 29, 27, 25, 23.5, 22, 21, 20};
@@ -26,7 +30,8 @@ int main() {
   analysis::Table t({"#bufferers", "paper ~ms", "measured ms"});
   std::vector<double> curve;
   for (std::size_t k = 1; k <= 10; ++k) {
-    double ms = harness::mean_search_ms(kRegion, k, kTrials, 0xF16'8000 + k);
+    double ms =
+        harness::mean_search_ms(kRegion, k, kTrials, 0xF16'8000 + k, defaults);
     curve.push_back(ms);
     t.add_row({analysis::Table::num(static_cast<std::uint64_t>(k)),
                analysis::Table::num(paper_ms[k - 1], 1),

@@ -10,13 +10,17 @@
 #include "bench_util.h"
 #include "harness/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rrmp;
   constexpr std::size_t kBufferers = 10;
   constexpr std::size_t kTrials = 120;
 
+  harness::ExperimentDefaults defaults;
+  defaults.shards = bench::parse_shards(argc, argv);
+
   bench::banner("Figure 9: search time vs region size",
-                "k = 10 bufferers, RTT = 10 ms, 120 trials per point.");
+                "k = 10 bufferers, RTT = 10 ms, 120 trials per point "
+                "(--shards=" + std::to_string(defaults.shards) + ").");
 
   // Digitized from the paper's plot; approximate.
   const std::vector<double> paper_ms = {20, 26, 30, 33, 36, 38, 40, 42, 43, 45};
@@ -24,8 +28,8 @@ int main() {
   analysis::Table t({"region size", "paper ~ms", "measured ms"});
   std::vector<double> curve;
   for (std::size_t n = 100; n <= 1000; n += 100) {
-    double ms =
-        harness::mean_search_ms(n, kBufferers, kTrials, 0xF16'9000 + n);
+    double ms = harness::mean_search_ms(n, kBufferers, kTrials, 0xF16'9000 + n,
+                                        defaults);
     curve.push_back(ms);
     t.add_row({analysis::Table::num(static_cast<std::uint64_t>(n)),
                analysis::Table::num(paper_ms[n / 100 - 1], 1),

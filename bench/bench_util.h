@@ -41,6 +41,38 @@ inline void banner(const std::string& title, const std::string& setup) {
   std::cout << "\n=== " << title << " ===\n" << setup << "\n\n";
 }
 
+/// Parse `--shards=N` from argv (falling back to $RRMP_SHARDS, then 1):
+/// worker threads for the trial-level fan-out in the sweep drivers. 0 means
+/// hardware concurrency. The default of 1 keeps BENCH_baseline.json runs
+/// sequential and therefore comparable across machines; pass --shards=0 for
+/// the fastest local iteration. Results are byte-identical for any value.
+/// A malformed value falls back to the sequential default (with a warning)
+/// rather than being misread as 0 = maximum parallelism.
+inline std::size_t parse_shards(int argc, char** argv) {
+  auto parse = [](const char* s) -> std::size_t {
+    // Reject negatives explicitly (at the first non-whitespace character,
+    // matching where strtoul would accept a sign): strtoul silently wraps
+    // "-1" to ULONG_MAX, i.e. maximum parallelism — the opposite of a safe
+    // fallback.
+    const char* p = s;
+    while (*p == ' ' || *p == '\t') ++p;
+    char* end = nullptr;
+    unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p || *end != '\0' || *p == '-') {
+      std::cerr << "warning: unparseable shard count '" << s
+                << "', using --shards=1\n";
+      return 1;
+    }
+    return static_cast<std::size_t>(v);
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--shards=", 0) == 0) return parse(a.c_str() + 9);
+  }
+  if (const char* env = std::getenv("RRMP_SHARDS")) return parse(env);
+  return 1;
+}
+
 inline void verdict(bool ok, const std::string& what) {
   std::cout << (ok ? "[SHAPE OK] " : "[SHAPE MISMATCH] ") << what << "\n";
 }

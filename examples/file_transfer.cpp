@@ -33,7 +33,7 @@ RunStats transfer(buffer::PolicyKind policy, const char* label) {
   constexpr std::size_t kChunkBytes = 512;
   // Send a chunk every 2 ms — a 200 KB file at ~256 KB/s.
   for (int i = 0; i < kChunks; ++i) {
-    cluster.sim().schedule_at(
+    cluster.schedule_script(
         TimePoint::zero() + Duration::millis(2) * i, [&cluster] {
           cluster.endpoint(0).multicast(
               std::vector<std::uint8_t>(kChunkBytes, 0xF1));

@@ -26,7 +26,7 @@ int main() {
   const Duration kTickInterval = Duration::millis(10);
 
   for (int i = 0; i < kTicks; ++i) {
-    cluster.sim().schedule_at(
+    cluster.schedule_script(
         TimePoint::zero() + kTickInterval * i, [&cluster] {
           cluster.endpoint(0).multicast(std::vector<std::uint8_t>(64, 0x11));
         });
@@ -38,7 +38,7 @@ int main() {
   for (std::size_t i = 0; i < leavers.size(); ++i) {
     MemberId victim = leavers[i];
     bool graceful = (i % 2 == 0);
-    cluster.sim().schedule_at(
+    cluster.schedule_script(
         TimePoint::zero() + Duration::seconds(1) * static_cast<std::int64_t>(i + 1),
         [&cluster, victim, graceful] {
           if (graceful) {

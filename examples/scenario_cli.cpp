@@ -162,7 +162,7 @@ int main(int argc, char** argv) {
   harness::Cluster cluster(cc);
 
   for (std::size_t i = 0; i < opt.messages; ++i) {
-    cluster.sim().schedule_at(
+    cluster.schedule_script(
         TimePoint::zero() +
             Duration::millis(opt.interval_ms) * static_cast<std::int64_t>(i),
         [&cluster, &opt] {

@@ -25,6 +25,16 @@ RandomEngine RandomEngine::fork(std::uint64_t stream) const {
   return RandomEngine(splitmix64(s));
 }
 
+std::vector<RandomEngine> RandomEngine::split(std::size_t n,
+                                              std::uint64_t domain) const {
+  std::vector<RandomEngine> children;
+  children.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    children.push_back(fork(domain + i));
+  }
+  return children;
+}
+
 std::uint32_t RandomEngine::next_u32() {
   return static_cast<std::uint32_t>(rng_() >> 32);
 }

@@ -18,8 +18,16 @@ class RandomEngine {
 
   /// Derive an independent child engine. Deterministic in (seed, stream):
   /// fork(k) on engines with equal seeds yields equal children, and children
-  /// with different stream ids are statistically independent.
+  /// with different stream ids are statistically independent. fork() is
+  /// const: deriving children never consumes parent state, so the parent's
+  /// own output sequence is unaffected by how many forks were taken.
   RandomEngine fork(std::uint64_t stream) const;
+
+  /// Derive `n` independent child engines in one call: child i is
+  /// fork(domain + i), with `domain` separating unrelated split sites that
+  /// share a parent. The sharded network derives its per-region lane
+  /// streams this way; the unit tests pin the fork/split equivalence.
+  std::vector<RandomEngine> split(std::size_t n, std::uint64_t domain = 0) const;
 
   std::uint64_t seed() const { return seed_; }
 

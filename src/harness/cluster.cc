@@ -1,5 +1,6 @@
 #include "harness/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rrmp::harness {
@@ -11,11 +12,14 @@ Cluster::Cluster(ClusterConfig config)
           config_.parents.empty() ? nullptr : &config_.parents)),
       directory_(topology_),
       master_rng_(config_.seed) {
-  network_ = std::make_unique<net::SimNetwork>(sim_, topology_,
+  network_ = std::make_unique<net::SimNetwork>(topology_,
                                                master_rng_.fork(0xD00D));
   network_->set_control_loss(net::make_bernoulli(config_.control_loss));
   network_->set_latency_jitter(config_.jitter);
   network_->set_codec_roundtrip(config_.codec_roundtrip);
+  pool_ = std::make_unique<ShardPool>(
+      ShardPool::resolve(config_.shards, network_->lane_count()));
+  lane_sinks_.resize(network_->lane_count());
 
   std::size_t n = topology_.member_count();
   hosts_.resize(n);
@@ -25,7 +29,7 @@ Cluster::Cluster(ClusterConfig config)
 }
 
 Cluster::~Cluster() {
-  // Halt endpoints before the simulator dies so no timer callback can touch
+  // Halt endpoints before the simulators die so no timer callback can touch
   // a destroyed endpoint during teardown.
   for (auto& ep : endpoints_) {
     if (ep) ep->halt();
@@ -37,8 +41,9 @@ void Cluster::spawn_member(MemberId m) {
                                         master_rng_.fork(m + 1),
                                         config_.data_loss);
   auto policy = buffer::make_policy(config_.policy, config_.policy_params);
+  RecordingSink* sink = &lane_sinks_[network_->lane_of(m)];
   endpoints_[m] = std::make_unique<Endpoint>(*hosts_[m], config_.protocol,
-                                             std::move(policy), &metrics_);
+                                             std::move(policy), sink);
   Endpoint* ep = endpoints_[m].get();
   hosts_[m]->set_receiver(
       [ep](const proto::Message& msg, MemberId from) {
@@ -47,12 +52,123 @@ void Cluster::spawn_member(MemberId m) {
   network_->attach(m, hosts_[m].get());
 }
 
-void Cluster::run_until_quiet(Duration cap) {
-  TimePoint horizon = sim_.now() + cap;
-  while (sim_.pending_count() > 0 && sim_.now() <= horizon) {
-    sim_.step();
+const RecordingSink& Cluster::metrics() {
+  if (lane_sinks_.size() == 1) return lane_sinks_[0];
+  std::vector<std::uint64_t> revisions;
+  revisions.reserve(lane_sinks_.size());
+  for (const RecordingSink& s : lane_sinks_) revisions.push_back(s.revision());
+  if (revisions != merged_revisions_) {
+    std::vector<const RecordingSink*> sinks;
+    sinks.reserve(lane_sinks_.size());
+    for (const RecordingSink& s : lane_sinks_) sinks.push_back(&s);
+    merged_metrics_ = RecordingSink::merge(sinks);
+    merged_revisions_ = std::move(revisions);
+  }
+  return merged_metrics_;
+}
+
+// ---- time control ---------------------------------------------------------
+
+TimePoint Cluster::now() const {
+  if (network_->lane_count() == 1) return network_->lane_sim(0).now();
+  return clock_;
+}
+
+TimePoint Cluster::next_script_time() const {
+  return scripts_.empty() ? TimePoint::max() : scripts_.front().at;
+}
+
+void Cluster::schedule_script(TimePoint t, std::function<void()> fn) {
+  if (network_->lane_count() == 1) {
+    // Single lane: scripts interleave with protocol events on the one queue,
+    // exactly like the pre-sharding harness.
+    network_->lane_sim(0).schedule_at(t, std::move(fn));
+    return;
+  }
+  if (t < clock_) t = clock_;
+  scripts_.push_back(Script{t, next_script_seq_++, std::move(fn)});
+  std::push_heap(scripts_.begin(), scripts_.end(), ScriptLater{});
+}
+
+void Cluster::run_due_scripts() {
+  while (!scripts_.empty() && scripts_.front().at <= clock_) {
+    std::pop_heap(scripts_.begin(), scripts_.end(), ScriptLater{});
+    Script s = std::move(scripts_.back());
+    scripts_.pop_back();
+    s.fn();
   }
 }
+
+void Cluster::advance_lanes_to(TimePoint t) {
+  auto run_lane = [this, t](std::size_t lane) {
+    network_->lane_sim(lane).run_until(t);
+  };
+  pool_->run(network_->lane_count(), run_lane);
+  if (network_->exchange() > 0) {
+    // Settle cross-region arrivals landing exactly at the barrier; anything
+    // they send in turn is at least one lookahead in the future, so the
+    // second exchange only queues strictly-later deliveries.
+    pool_->run(network_->lane_count(), run_lane);
+    network_->exchange();
+  }
+  clock_ = t;
+}
+
+void Cluster::run_for(Duration d) {
+  if (network_->lane_count() == 1) {
+    sim::Simulator& s = network_->lane_sim(0);
+    s.run_until(s.now() + d);
+    return;
+  }
+  const Duration lookahead = network_->lookahead();
+  const TimePoint t_end = clock_ + d;
+  while (clock_ < t_end || next_script_time() <= t_end) {
+    // Cross-lane packets sent outside a window (scripts, top-level
+    // injections) sit in lane outboxes without a queue entry; move them
+    // into destination queues before computing the next window.
+    network_->exchange();
+    TimePoint tn = std::min(network_->next_event_time(), next_script_time());
+    TimePoint e;
+    if (tn >= t_end) {
+      // Nothing fires strictly before t_end: one jump instead of stepping
+      // through empty lookahead windows. Safe because a window with no
+      // events before its end cannot send anything that lands inside it.
+      e = t_end;
+    } else {
+      e = std::min(std::max(tn, clock_) + lookahead, t_end);
+      e = std::min(e, next_script_time());
+    }
+    advance_lanes_to(e);
+    run_due_scripts();
+    if (clock_ >= t_end && next_script_time() > t_end) break;
+  }
+  network_->exchange();  // scripts at t_end must not strand packets
+}
+
+void Cluster::run_until_quiet(Duration cap) {
+  if (network_->lane_count() == 1) {
+    sim::Simulator& s = network_->lane_sim(0);
+    TimePoint horizon = s.now() + cap;
+    while (s.pending_count() > 0 && s.now() <= horizon) s.step();
+    return;
+  }
+  const Duration lookahead = network_->lookahead();
+  const TimePoint horizon = clock_ + cap;
+  for (;;) {
+    // As in run_for: make outbox packets visible to next_event_time() so a
+    // cluster whose only remaining activity is an un-exchanged cross-region
+    // packet is not mistaken for quiescent.
+    network_->exchange();
+    TimePoint tn = std::min(network_->next_event_time(), next_script_time());
+    if (tn == TimePoint::max() || tn > horizon) break;
+    TimePoint e = std::min(std::max(tn, clock_) + lookahead, horizon);
+    e = std::min(e, next_script_time());
+    advance_lanes_to(e);
+    run_due_scripts();
+  }
+}
+
+// ---- scenario control -----------------------------------------------------
 
 MessageId Cluster::inject(MemberId source, std::uint64_t seq,
                           std::span<const MemberId> holders,
@@ -135,6 +251,8 @@ void Cluster::rejoin(MemberId m) {
   removed_[m] = false;
   spawn_member(m);
 }
+
+// ---- queries --------------------------------------------------------------
 
 std::size_t Cluster::count_received(const MessageId& id) const {
   std::size_t n = 0;

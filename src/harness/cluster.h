@@ -2,17 +2,31 @@
 // scenario surface shared by tests, benches and examples.
 //
 // Builds topology, directory, network, one SimHost + Endpoint per member,
-// wires every endpoint to a shared RecordingSink, and offers scenario
+// wires every endpoint to its region's RecordingSink, and offers scenario
 // controls: scripted initial-multicast outcomes (who holds a message at
 // t=0, as in Figures 6/7), graceful leaves, crashes, rejoins, and buffer
 // state preparation for the search experiments (Figures 8/9).
+//
+// Sharded execution model: the network partitions the cluster into one lane
+// per region (see net::SimNetwork), each with a private event queue, RNG
+// fork and metrics sink. run_for()/run_until_quiet() advance the lanes in
+// epoch windows no longer than the cross-region lookahead (the minimum
+// inter-region one-way latency); at each window's end barrier the lanes'
+// cross-region outboxes are exchanged in fixed lane order and due scripted
+// events run single-threaded. Within a window lanes share no mutable state,
+// so ClusterConfig::shards only chooses how many worker threads execute the
+// per-window lane loop — results are byte-identical for every shard count.
+// Single-region clusters collapse to one lane and behave exactly like the
+// pre-sharding harness.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "buffer/factory.h"
+#include "harness/shard_pool.h"
 #include "harness/sim_host.h"
 #include "membership/directory.h"
 #include "net/sim_network.h"
@@ -44,6 +58,11 @@ struct ClusterConfig {
   double jitter = 0.0;
   /// Encode+decode every in-flight message (wire-format fidelity).
   bool codec_roundtrip = false;
+
+  /// Worker threads for the per-epoch region loop. 1 = sequential (default),
+  /// 0 = hardware concurrency; always clamped to the region-lane count.
+  /// Determinism contract: results are byte-identical for every value.
+  std::size_t shards = 1;
 };
 
 class Cluster {
@@ -54,22 +73,49 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Simulator& sim() { return sim_; }
   net::SimNetwork& network() { return *network_; }
   const net::Topology& topology() const { return topology_; }
   membership::Directory& directory() { return directory_; }
   Endpoint& endpoint(MemberId m) { return *endpoints_.at(m); }
   const Endpoint& endpoint(MemberId m) const { return *endpoints_.at(m); }
   SimHost& host(MemberId m) { return *hosts_.at(m); }
-  RecordingSink& metrics() { return metrics_; }
   std::size_t size() const { return endpoints_.size(); }
   const ClusterConfig& config() const { return config_; }
 
+  /// Merged metrics across all region sinks (see RecordingSink::merge),
+  /// cached by sink revision. On multi-lane clusters the result is a
+  /// *snapshot* that refreshes only when metrics() is called again — re-call
+  /// it after each run rather than holding the reference across runs.
+  /// (Single-lane clusters return the sole live region sink directly.)
+  /// Const: mutating the merged snapshot (e.g. clear()) could never reach
+  /// the underlying per-region sinks and would silently un-do on refresh.
+  const RecordingSink& metrics();
+
   // ---- time control ----------------------------------------------------
 
-  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
-  /// Run until the event queue drains or `cap` of simulated time elapses.
+  /// Global simulation clock: the last epoch barrier every lane has reached.
+  TimePoint now() const;
+
+  void run_for(Duration d);
+  /// Run until every lane queue drains or `cap` of simulated time elapses.
   void run_until_quiet(Duration cap);
+
+  /// Scripted cluster-level event: `fn` runs single-threaded at the epoch
+  /// barrier at time `t` (clamped to now()), after all lanes have reached
+  /// `t` and cross-region traffic due by `t` has been exchanged. Scripts may
+  /// touch any member, region or the cluster itself (leave/crash/rejoin,
+  /// injections, sampling) — the barrier guarantees no lane is running.
+  void schedule_script(TimePoint t, std::function<void()> fn);
+  void schedule_script_after(Duration d, std::function<void()> fn) {
+    schedule_script(now() + d, std::move(fn));
+  }
+
+  /// Worker threads actually backing the epoch loop (after clamping).
+  std::size_t shard_count() const { return pool_->thread_count(); }
+  /// Region lanes (1 for single-region clusters).
+  std::size_t lane_count() const { return network_->lane_count(); }
+  /// Total simulator events fired across all lanes (determinism witness).
+  std::uint64_t events_fired() const { return network_->events_fired(); }
 
   // ---- scenario control --------------------------------------------------
 
@@ -115,18 +161,42 @@ class Cluster {
   std::size_t total_buffered() const;
 
  private:
+  struct Script {
+    TimePoint at;
+    std::uint64_t seq;  // FIFO among same-time scripts
+    std::function<void()> fn;
+  };
+  struct ScriptLater {
+    bool operator()(const Script& a, const Script& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
   void spawn_member(MemberId m);
+  /// Advance every lane to `t` (worker pool), exchange cross-region traffic,
+  /// and settle arrivals landing exactly at `t`.
+  void advance_lanes_to(TimePoint t);
+  void run_due_scripts();
+  TimePoint next_script_time() const;
 
   ClusterConfig config_;
-  sim::Simulator sim_;
   net::Topology topology_;
   membership::Directory directory_;
   std::unique_ptr<net::SimNetwork> network_;
-  RecordingSink metrics_;
   RandomEngine master_rng_;
+  std::unique_ptr<ShardPool> pool_;
+  // One sink per lane (endpoints hold pointers: sized once, never resized),
+  // plus the merged view handed out by metrics().
+  std::vector<RecordingSink> lane_sinks_;
+  RecordingSink merged_metrics_;
+  std::vector<std::uint64_t> merged_revisions_;  // cache key for merged_metrics_
   std::vector<std::unique_ptr<SimHost>> hosts_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<bool> removed_;
+  std::vector<Script> scripts_;  // min-heap via ScriptLater
+  std::uint64_t next_script_seq_ = 1;
+  TimePoint clock_;  // last barrier every lane has reached
 };
 
 }  // namespace rrmp::harness

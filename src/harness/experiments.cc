@@ -6,6 +6,7 @@
 
 #include "analysis/stats.h"
 #include "harness/cluster.h"
+#include "harness/shard_pool.h"
 
 namespace rrmp::harness {
 namespace {
@@ -135,7 +136,7 @@ SearchResult run_search_once(std::size_t region_size, std::size_t bufferers,
 
   MemberId target = region0[static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(region0.size()) - 1))];
-  TimePoint t0 = cluster.sim().now();
+  TimePoint t0 = cluster.now();
   cluster.inject_remote_request(target, id, requester);
   cluster.run_until_quiet(Duration::seconds(2));
 
@@ -149,10 +150,17 @@ SearchResult run_search_once(std::size_t region_size, std::size_t bufferers,
 double mean_search_ms(std::size_t region_size, std::size_t bufferers,
                       std::size_t trials, std::uint64_t seed,
                       const ExperimentDefaults& defaults) {
-  std::vector<double> xs;
-  for (std::size_t t = 0; t < trials; ++t) {
-    SearchResult r =
+  // Trials are fully independent clusters, so they fan out across the shard
+  // pool; collecting by trial index keeps the sample order — and the mean —
+  // byte-identical for any shard count.
+  std::vector<SearchResult> results(trials);
+  ShardPool pool(ShardPool::resolve(defaults.shards, trials));
+  pool.run(trials, [&](std::size_t t) {
+    results[t] =
         run_search_once(region_size, bufferers, seed + t * 104729, defaults);
+  });
+  std::vector<double> xs;
+  for (const SearchResult& r : results) {
     if (r.found) xs.push_back(r.search_ms);
   }
   return analysis::mean(xs);
@@ -297,7 +305,7 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
 
   MemberId sender = 0;
   for (std::size_t i = 0; i < scenario.messages; ++i) {
-    cluster.sim().schedule_at(
+    cluster.schedule_script(
         TimePoint::zero() + scenario.send_interval * static_cast<std::int64_t>(i),
         [&cluster, sender, bytes = scenario.payload_bytes] {
           cluster.endpoint(sender).multicast(
@@ -312,11 +320,11 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
   std::vector<double> occupancy;
   std::function<void()> sampler = [&] {
     occupancy.push_back(static_cast<double>(cluster.total_buffered()));
-    if (cluster.sim().now() + Duration::millis(5) <= end) {
-      cluster.sim().schedule_after(Duration::millis(5), sampler);
+    if (cluster.now() + Duration::millis(5) <= end) {
+      cluster.schedule_script_after(Duration::millis(5), sampler);
     }
   };
-  cluster.sim().schedule_after(Duration::millis(5), sampler);
+  cluster.schedule_script_after(Duration::millis(5), sampler);
   cluster.run_for(end - TimePoint::zero());
 
   PolicyOutcome out;
@@ -406,7 +414,7 @@ ChurnOutcome run_churn_handoff(bool with_handoff, std::size_t region_size,
     }
     MemberId target = survivors[static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(survivors.size()) - 1))];
-    TimePoint t0 = cluster.sim().now();
+    TimePoint t0 = cluster.now();
     cluster.inject_remote_request(target, id, requester);
     cluster.run_for(Duration::millis(500));
 

@@ -19,6 +19,12 @@ struct ExperimentDefaults {
   Duration intra_rtt = Duration::millis(10);
   Duration idle_threshold = Duration::millis(40);
   double C = 6.0;
+  /// Worker threads for trial-level fan-out in the sweep drivers
+  /// (mean_search_ms): trials are independent clusters, so results are
+  /// byte-identical for every value. 1 = sequential, 0 = hardware
+  /// concurrency. Single-cluster drivers ignore this (pass
+  /// ClusterConfig::shards for region-level sharding instead).
+  std::size_t shards = 1;
 };
 
 // ---- Figure 6: feedback-based short-term buffering ----------------------
@@ -63,6 +69,9 @@ SearchResult run_search_once(std::size_t region_size, std::size_t bufferers,
                              std::uint64_t seed,
                              const ExperimentDefaults& defaults = {});
 
+/// Mean over `trials` independent seeds. Trials fan out across
+/// `defaults.shards` worker threads; the sample order (and therefore the
+/// mean) is identical for any shard count.
 double mean_search_ms(std::size_t region_size, std::size_t bufferers,
                       std::size_t trials, std::uint64_t seed,
                       const ExperimentDefaults& defaults = {});

@@ -1,0 +1,96 @@
+#include "harness/shard_pool.h"
+
+#include <algorithm>
+
+namespace rrmp::harness {
+
+ShardPool::ShardPool(std::size_t threads) {
+  // The calling thread participates in every run(), so a pool of N execution
+  // streams needs only N-1 dedicated workers; N <= 1 runs fully inline.
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ShardPool::resolve(std::size_t requested, std::size_t max_useful) {
+  std::size_t n = requested;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::clamp<std::size_t>(n, 1, std::max<std::size_t>(1, max_useful));
+}
+
+void ShardPool::drain_tasks() {
+  const auto& task = *task_;
+  for (;;) {
+    std::size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= task_count_) return;
+    try {
+      task(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain_tasks();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_busy_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardPool::run(std::size_t count,
+                    const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    task_count_ = count;
+    next_task_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    workers_busy_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain_tasks();  // the caller is one of the execution streams
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
+    task_ = nullptr;
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace rrmp::harness

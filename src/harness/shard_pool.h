@@ -1,0 +1,70 @@
+// ShardPool: a reusable worker-thread pool for running the per-region lanes
+// of a sharded cluster epoch in parallel.
+//
+// Determinism contract: the pool only ever runs *independent* tasks — each
+// task owns disjoint state (one region lane) — and the caller merges results
+// in fixed task-index order after run() returns. Task->thread assignment is
+// dynamic (an atomic cursor), so which worker executes a task is scheduling
+// noise, but since tasks share nothing and the merge order is fixed, results
+// are byte-identical for every thread count, including 1.
+//
+// run() is a full barrier: it returns only after every task has finished.
+// The first exception thrown by a task is captured and rethrown on the
+// caller's thread after the barrier.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rrmp::harness {
+
+class ShardPool {
+ public:
+  /// A pool with `threads` workers. 0 and 1 both mean "inline": run() executes
+  /// tasks on the calling thread and no workers are spawned.
+  explicit ShardPool(std::size_t threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Execute task(0) .. task(count-1), blocking until all complete.
+  /// Tasks must touch disjoint state. Not reentrant.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  /// Execution streams per run(): the dedicated workers plus the calling
+  /// thread, which always participates (1 when running inline).
+  std::size_t thread_count() const {
+    return workers_.empty() ? 1 : workers_.size() + 1;
+  }
+
+  /// Resolve a user-facing --shards value: 0 = hardware concurrency; the
+  /// result is clamped to [1, max_useful] (no point in more workers than
+  /// independent tasks).
+  static std::size_t resolve(std::size_t requested, std::size_t max_useful);
+
+ private:
+  void worker_loop();
+  void drain_tasks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;   // bumped per run() to wake workers
+  std::size_t task_count_ = 0;
+  std::size_t workers_busy_ = 0;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::atomic<std::size_t> next_task_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace rrmp::harness

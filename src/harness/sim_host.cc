@@ -8,19 +8,18 @@ SimHost::SimHost(MemberId self, net::SimNetwork& network,
     : self_(self),
       region_(directory.region_of(self)),
       network_(network),
+      sim_(network.simulator_for(self)),
       directory_(directory),
       rng_(std::move(rng)),
       data_loss_rate_(data_loss_rate) {}
 
-TimePoint SimHost::now() const { return network_.simulator().now(); }
+TimePoint SimHost::now() const { return sim_.now(); }
 
 TimerHandle SimHost::schedule(Duration d, std::function<void()> fn) {
-  return network_.simulator().schedule_after(d, std::move(fn)).value;
+  return sim_.schedule_after(d, std::move(fn)).value;
 }
 
-void SimHost::cancel(TimerHandle timer) {
-  network_.simulator().cancel(sim::TimerId{timer});
-}
+void SimHost::cancel(TimerHandle timer) { sim_.cancel(sim::TimerId{timer}); }
 
 void SimHost::send(MemberId to, proto::Message msg) {
   network_.unicast(self_, to, std::move(msg));

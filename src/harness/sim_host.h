@@ -17,6 +17,9 @@ namespace rrmp::harness {
 
 class SimHost final : public IHost, public net::MessageHandler {
  public:
+  /// Timers are scheduled on the member's region-lane simulator
+  /// (network.simulator_for(self)), so a host never touches another lane's
+  /// event queue and regions can run on concurrent shard workers.
   SimHost(MemberId self, net::SimNetwork& network,
           const membership::Directory& directory, RandomEngine rng,
           double data_loss_rate);
@@ -52,6 +55,7 @@ class SimHost final : public IHost, public net::MessageHandler {
   MemberId self_;
   RegionId region_;
   net::SimNetwork& network_;
+  sim::Simulator& sim_;  // this member's region lane
   const membership::Directory& directory_;
   RandomEngine rng_;
   double data_loss_rate_;

@@ -18,12 +18,19 @@ class LossModel {
   virtual ~LossModel() = default;
   /// Returns true if the packet should be dropped.
   virtual bool drop(RandomEngine& rng) = 0;
+  /// Fresh model with the same parameters but initial chain state. The
+  /// sharded network keeps one clone per region lane so stateful models
+  /// (Gilbert–Elliott) never share state across concurrently-running lanes.
+  virtual std::unique_ptr<LossModel> clone() const = 0;
 };
 
 /// Never drops.
 class NoLoss final : public LossModel {
  public:
   bool drop(RandomEngine&) override { return false; }
+  std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<NoLoss>();
+  }
 };
 
 /// Drops each packet independently with probability p.
@@ -32,6 +39,9 @@ class BernoulliLoss final : public LossModel {
   explicit BernoulliLoss(double p) : p_(p) {}
   bool drop(RandomEngine& rng) override { return rng.bernoulli(p_); }
   double rate() const { return p_; }
+  std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<BernoulliLoss>(p_);
+  }
 
  private:
   double p_;
@@ -56,6 +66,11 @@ class GilbertElliottLoss final : public LossModel {
   }
 
   bool in_bad_state() const { return bad_; }
+
+  std::unique_ptr<LossModel> clone() const override {
+    return std::make_unique<GilbertElliottLoss>(p_gb_, p_bg_, loss_good_,
+                                                loss_bad_);
+  }
 
  private:
   double p_gb_, p_bg_, loss_good_, loss_bad_;

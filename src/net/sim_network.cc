@@ -7,13 +7,68 @@
 #include "proto/codec.h"
 
 namespace rrmp::net {
+namespace {
+
+// Stream-id domain for per-lane RNG forks (lane 0 keeps the parent stream so
+// single-lane networks draw the same sequence as the legacy constructor).
+constexpr std::uint64_t kLaneDomain = 0x9A7E0000ULL;
+
+// Minimum one-way latency between members of different regions: the largest
+// epoch window for which a message sent inside a window can never need
+// delivery before the window's end barrier.
+Duration cross_region_lookahead(const Topology& topology) {
+  Duration min = Duration::infinite();
+  for (RegionId a = 0; a < topology.region_count(); ++a) {
+    if (topology.members_of(a).empty()) continue;
+    for (RegionId b = a + 1; b < topology.region_count(); ++b) {
+      if (topology.members_of(b).empty()) continue;
+      // Inter-region latency is a region-pair property, so any representative
+      // member of each region is exact.
+      Duration d = topology.one_way_latency(topology.members_of(a).front(),
+                                            topology.members_of(b).front());
+      if (d < min) min = d;
+    }
+  }
+  return min;
+}
+
+}  // namespace
 
 SimNetwork::SimNetwork(sim::Simulator& simulator, const Topology& topology,
                        RandomEngine rng)
-    : sim_(simulator),
-      topology_(topology),
-      rng_(std::move(rng)),
-      control_loss_(make_no_loss()) {}
+    : topology_(topology) {
+  lanes_.emplace_back(std::move(rng));
+  lanes_[0].sim = &simulator;
+  region_lane_.assign(topology_.region_count(), 0);
+}
+
+SimNetwork::SimNetwork(const Topology& topology, RandomEngine rng)
+    : topology_(topology) {
+  Duration la = cross_region_lookahead(topology_);
+  bool sharded = topology_.region_count() >= 2 && la > Duration::zero();
+  if (!sharded) {
+    // No cross-region lookahead: a single lane spanning every region.
+    lanes_.emplace_back(std::move(rng));
+    lanes_[0].owned_sim = std::make_unique<sim::Simulator>();
+    lanes_[0].sim = lanes_[0].owned_sim.get();
+    region_lane_.assign(topology_.region_count(), 0);
+    return;
+  }
+  lookahead_ = la;
+  lanes_.reserve(topology_.region_count());
+  region_lane_.resize(topology_.region_count());
+  // Lane 0 keeps the parent stream (so 1-lane sharded networks draw the
+  // same sequence as the legacy constructor); lanes r>0 take the split
+  // children, which are fork(kLaneDomain + r) by definition.
+  std::vector<RandomEngine> lane_rngs =
+      rng.split(topology_.region_count(), kLaneDomain);
+  for (RegionId r = 0; r < topology_.region_count(); ++r) {
+    lanes_.emplace_back(r == 0 ? std::move(rng) : std::move(lane_rngs[r]));
+    lanes_[r].owned_sim = std::make_unique<sim::Simulator>();
+    lanes_[r].sim = lanes_[r].owned_sim.get();
+    region_lane_[r] = r;
+  }
+}
 
 void SimNetwork::attach(MemberId m, MessageHandler* handler) {
   if (handler == nullptr) {
@@ -29,13 +84,24 @@ bool SimNetwork::attached(MemberId m) const {
 }
 
 void SimNetwork::set_control_loss(std::unique_ptr<LossModel> model) {
-  control_loss_ = model ? std::move(model) : make_no_loss();
+  if (!model) {
+    for (Lane& lane : lanes_) lane.loss = make_no_loss();
+    return;
+  }
+  // Lanes beyond the first receive fresh clones so stateful chains stay
+  // lane-local; lane 0 keeps the caller's instance.
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    lanes_[i].loss = model->clone();
+  }
+  lanes_[0].loss = std::move(model);
 }
 
-Duration SimNetwork::delay(MemberId from, MemberId to) {
+Duration SimNetwork::delay(Lane& src, MemberId from, MemberId to) {
   Duration d = topology_.one_way_latency(from, to);
   if (jitter_fraction_ > 0.0) {
-    d = d.scaled(rng_.uniform_real(1.0, 1.0 + jitter_fraction_));
+    // Jitter only stretches (factor >= 1), so it can never undercut the
+    // cross-lane lookahead computed from base latencies.
+    d = d.scaled(src.rng.uniform_real(1.0, 1.0 + jitter_fraction_));
   }
   return d;
 }
@@ -44,22 +110,39 @@ void SimNetwork::deliver(MemberId to, const proto::Message& msg,
                          MemberId from) {
   auto it = handlers_.find(to);
   if (it == handlers_.end()) return;  // crashed or left: packet vanishes
-  ++stats_.delivered;
+  Lane& dst = lanes_[lane_of(to)];
+  ++dst.stats.delivered;
+  if (lane_of(from) != lane_of(to)) ++dst.stats.cross_lane_deliveries;
   it->second->on_message(msg, from);
+}
+
+void SimNetwork::dispatch(Lane& src, std::size_t dst_lane, MemberId from,
+                          MemberId to, proto::Message msg) {
+  TimePoint deliver_at = src.sim->now() + delay(src, from, to);
+  if (&lanes_[dst_lane] == &src) {
+    src.sim->schedule_at(deliver_at,
+                         [this, to, m = std::move(msg), from]() {
+                           deliver(to, m, from);
+                         });
+    return;
+  }
+  ++src.stats.cross_lane_sends;
+  src.outbox.push_back(CrossLanePacket{deliver_at, from, to, std::move(msg)});
 }
 
 void SimNetwork::transmit(MemberId from, MemberId to,
                           const proto::Message& msg, bool apply_loss) {
-  ++stats_.sends;
+  Lane& src = lanes_[lane_of(from)];
+  ++src.stats.sends;
   std::size_t wire_bytes = proto::encoded_size(msg);
-  stats_.bytes_sent += wire_bytes;
+  src.stats.bytes_sent += wire_bytes;
   auto type_idx = static_cast<std::size_t>(proto::type_of(msg));
-  if (type_idx < stats_.sends_by_type.size()) {
-    ++stats_.sends_by_type[type_idx];
-    stats_.bytes_by_type[type_idx] += wire_bytes;
+  if (type_idx < src.stats.sends_by_type.size()) {
+    ++src.stats.sends_by_type[type_idx];
+    src.stats.bytes_by_type[type_idx] += wire_bytes;
   }
-  if (apply_loss && control_loss_->drop(rng_)) {
-    ++stats_.dropped;
+  if (apply_loss && src.loss->drop(src.rng)) {
+    ++src.stats.dropped;
     return;
   }
   proto::Message in_flight = msg;
@@ -72,10 +155,7 @@ void SimNetwork::transmit(MemberId from, MemberId to,
     }
     in_flight = std::move(*decoded);
   }
-  sim_.schedule_after(delay(from, to),
-                      [this, to, m = std::move(in_flight), from]() {
-                        deliver(to, m, from);
-                      });
+  dispatch(src, lane_of(to), from, to, std::move(in_flight));
 }
 
 void SimNetwork::unicast(MemberId from, MemberId to, proto::Message msg) {
@@ -92,19 +172,16 @@ void SimNetwork::multicast_region(MemberId from, proto::Message msg) {
 
 void SimNetwork::ip_multicast(MemberId from, const proto::Message& msg,
                               double per_receiver_loss) {
+  Lane& src = lanes_[lane_of(from)];
   for (std::size_t m = 0; m < topology_.member_count(); ++m) {
     auto member = static_cast<MemberId>(m);
     if (member == from) continue;
-    ++stats_.sends;
-    if (rng_.bernoulli(per_receiver_loss)) {
-      ++stats_.dropped;
+    ++src.stats.sends;
+    if (src.rng.bernoulli(per_receiver_loss)) {
+      ++src.stats.dropped;
       continue;
     }
-    proto::Message copy = msg;
-    sim_.schedule_after(delay(from, member),
-                        [this, member, mm = std::move(copy), from]() {
-                          deliver(member, mm, from);
-                        });
+    dispatch(src, lane_of(member), from, member, msg);
   }
 }
 
@@ -114,6 +191,69 @@ void SimNetwork::ip_multicast_to(MemberId from, const proto::Message& msg,
     if (member == from) continue;
     transmit(from, member, msg, /*apply_loss=*/false);
   }
+}
+
+TrafficStats SimNetwork::stats() const {
+  TrafficStats total;
+  for (const Lane& lane : lanes_) {
+    const TrafficStats& s = lane.stats;
+    total.sends += s.sends;
+    total.delivered += s.delivered;
+    total.dropped += s.dropped;
+    total.bytes_sent += s.bytes_sent;
+    total.cross_lane_sends += s.cross_lane_sends;
+    total.cross_lane_deliveries += s.cross_lane_deliveries;
+    for (std::size_t i = 0; i < s.sends_by_type.size(); ++i) {
+      total.sends_by_type[i] += s.sends_by_type[i];
+      total.bytes_by_type[i] += s.bytes_by_type[i];
+    }
+  }
+  return total;
+}
+
+const TrafficStats& SimNetwork::lane_stats(std::size_t lane) const {
+  return lanes_.at(lane).stats;
+}
+
+void SimNetwork::reset_stats() {
+  for (Lane& lane : lanes_) lane.stats = TrafficStats{};
+}
+
+std::size_t SimNetwork::exchange() {
+  std::size_t moved = 0;
+  for (Lane& src : lanes_) {
+    for (CrossLanePacket& pkt : src.outbox) {
+      Lane& dst = lanes_[lane_of(pkt.to)];
+      dst.sim->schedule_at(pkt.deliver_at,
+                           [this, to = pkt.to, m = std::move(pkt.msg),
+                            from = pkt.from]() { deliver(to, m, from); });
+      ++moved;
+    }
+    src.outbox.clear();
+  }
+  return moved;
+}
+
+TimePoint SimNetwork::next_event_time() {
+  TimePoint min = TimePoint::max();
+  for (Lane& lane : lanes_) {
+    TimePoint t = lane.sim->next_event_time();
+    if (t < min) min = t;
+  }
+  return min;
+}
+
+std::uint64_t SimNetwork::events_fired() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.sim->fired_count();
+  return total;
+}
+
+bool SimNetwork::outboxes_empty() const {
+  for (const Lane& lane : lanes_) {
+    if (!lane.outbox.empty()) return false;
+  }
+  return true;
 }
 
 }  // namespace rrmp::net

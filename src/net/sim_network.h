@@ -13,6 +13,18 @@
 // With codec_roundtrip enabled every message is encoded and re-decoded in
 // flight, so the simulator exercises the exact wire format the UDP host
 // sends on real sockets.
+//
+// Lane partitioning (sharded mode): the network is split into one *lane* per
+// region, each owning a private Simulator, RNG stream, loss-model clone,
+// traffic stats and cross-lane outbox. Intra-lane traffic is scheduled
+// directly on the lane's simulator; cross-lane traffic is appended to the
+// sender lane's outbox and moved into the destination lane's queue by
+// exchange(), which the cluster harness calls at deterministic epoch
+// barriers. Because every mutable piece of state is lane-local between
+// barriers, lanes can run on concurrent worker threads and still produce
+// byte-identical results for any thread count. The legacy constructor
+// (external simulator) builds a single lane spanning all regions and behaves
+// exactly like the pre-sharding network.
 #pragma once
 
 #include <array>
@@ -42,24 +54,41 @@ struct TrafficStats {
   std::uint64_t delivered = 0;   // transmissions that reached a handler
   std::uint64_t dropped = 0;     // lost to the loss model
   std::uint64_t bytes_sent = 0;  // encoded bytes across all transmissions
+  // Cross-lane accounting (sharded mode): packets entering a lane outbox and
+  // packets a lane delivered that originated in another lane. Conservation
+  // (sends == deliveries once drained) is asserted by the shard stress test.
+  std::uint64_t cross_lane_sends = 0;
+  std::uint64_t cross_lane_deliveries = 0;
   // Per message type (indexed by proto::MessageType value).
   std::array<std::uint64_t, 16> sends_by_type{};
   std::array<std::uint64_t, 16> bytes_by_type{};
+
+  friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
 };
 
 class SimNetwork {
  public:
+  /// Legacy single-queue mode: every region shares `simulator`. Behaviour is
+  /// identical to the pre-sharding network (one lane, one RNG stream).
   SimNetwork(sim::Simulator& simulator, const Topology& topology,
              RandomEngine rng);
 
+  /// Sharded mode: one privately-owned simulator lane per region (collapsed
+  /// to a single lane when the topology has <2 regions or a non-positive
+  /// cross-region latency, which would leave no lookahead for barriers).
+  /// Lane 0 consumes `rng`'s own stream; lane r>0 uses rng.fork(kLaneDomain+r).
+  SimNetwork(const Topology& topology, RandomEngine rng);
+
   /// Register/deregister the endpoint that receives messages for `m`.
   /// Messages to unattached members are silently dropped (crashed/left).
+  /// Must not be called while lanes are running (script time only).
   void attach(MemberId m, MessageHandler* handler);
   void detach(MemberId m);
   bool attached(MemberId m) const;
 
   /// Loss model applied to unicast and regional multicast (control plane and
-  /// repairs). The paper's experiments use NoLoss here.
+  /// repairs). Each lane receives its own clone() so stateful models never
+  /// share a chain across lanes. The paper's experiments use NoLoss here.
   void set_control_loss(std::unique_ptr<LossModel> model);
 
   /// Multiply each latency by U(1, 1+fraction). 0 disables jitter.
@@ -80,26 +109,77 @@ class SimNetwork {
   void ip_multicast_to(MemberId from, const proto::Message& msg,
                        std::span<const MemberId> receivers);
 
-  const TrafficStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = TrafficStats{}; }
+  /// Aggregate traffic stats across all lanes.
+  TrafficStats stats() const;
+  /// Stats for a single lane (sharded diagnostics).
+  const TrafficStats& lane_stats(std::size_t lane) const;
+  void reset_stats();
+
+  // ---- lane surface (used by the sharded cluster harness) -----------------
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  std::size_t lane_of(MemberId m) const {
+    return region_lane_[topology_.region_of(m)];
+  }
+  std::size_t lane_of_region(RegionId r) const { return region_lane_[r]; }
+  sim::Simulator& lane_sim(std::size_t lane) { return *lanes_[lane].sim; }
+  sim::Simulator& simulator_for(MemberId m) { return *lanes_[lane_of(m)].sim; }
+
+  /// Minimum one-way latency between members of different lanes — the safe
+  /// epoch window length. Duration::infinite() with a single lane.
+  Duration lookahead() const { return lookahead_; }
+
+  /// Move every outbox entry into its destination lane's event queue.
+  /// Single-threaded (barrier) only. Iterates source lanes in index order and
+  /// entries in send order, so insertion sequence — and therefore FIFO
+  /// tie-breaking among simultaneous arrivals — is deterministic. Returns the
+  /// number of packets moved.
+  std::size_t exchange();
+
+  /// Earliest pending event time across all lanes (max() when all idle).
+  TimePoint next_event_time();
+
+  /// Total events fired across all lane simulators.
+  std::uint64_t events_fired() const;
+
+  /// True when no lane outbox holds undelivered cross-lane packets.
+  bool outboxes_empty() const;
 
   const Topology& topology() const { return topology_; }
-  sim::Simulator& simulator() { return sim_; }
 
  private:
+  struct CrossLanePacket {
+    TimePoint deliver_at;
+    MemberId from;
+    MemberId to;
+    proto::Message msg;
+  };
+
+  struct Lane {
+    std::unique_ptr<sim::Simulator> owned_sim;  // null in legacy mode
+    sim::Simulator* sim = nullptr;
+    RandomEngine rng;
+    std::unique_ptr<LossModel> loss;
+    TrafficStats stats;
+    std::vector<CrossLanePacket> outbox;
+
+    explicit Lane(RandomEngine r) : rng(std::move(r)), loss(make_no_loss()) {}
+  };
+
   void transmit(MemberId from, MemberId to, const proto::Message& msg,
                 bool apply_loss);
-  Duration delay(MemberId from, MemberId to);
+  void dispatch(Lane& src, std::size_t dst_lane, MemberId from, MemberId to,
+                proto::Message msg);
+  Duration delay(Lane& src, MemberId from, MemberId to);
   void deliver(MemberId to, const proto::Message& msg, MemberId from);
 
-  sim::Simulator& sim_;
   const Topology& topology_;
-  RandomEngine rng_;
+  std::vector<Lane> lanes_;
+  std::vector<std::size_t> region_lane_;  // RegionId -> lane index
+  Duration lookahead_ = Duration::infinite();
   std::unordered_map<MemberId, MessageHandler*> handlers_;
-  std::unique_ptr<LossModel> control_loss_;
   double jitter_fraction_ = 0.0;
   bool codec_roundtrip_ = false;
-  TrafficStats stats_;
 };
 
 }  // namespace rrmp::net

@@ -19,23 +19,123 @@ std::uint64_t RecordingSink::remote_repairs_for(const MessageId& id) const {
 
 void RecordingSink::clear() { *this = RecordingSink(); }
 
+RecordingSink::Counters& RecordingSink::Counters::operator+=(
+    const Counters& o) {
+  delivered += o.delivered;
+  losses_detected += o.losses_detected;
+  recoveries += o.recoveries;
+  stores += o.stores;
+  discards += o.discards;
+  long_term_promotions += o.long_term_promotions;
+  local_requests_sent += o.local_requests_sent;
+  remote_requests_sent += o.remote_requests_sent;
+  requests_received += o.requests_received;
+  repairs_sent += o.repairs_sent;
+  remote_repairs_sent += o.remote_repairs_sent;
+  searches_started += o.searches_started;
+  search_hops += o.search_hops;
+  searches_completed += o.searches_completed;
+  regional_multicasts += o.regional_multicasts;
+  relays_suppressed += o.relays_suppressed;
+  handoffs += o.handoffs;
+  return *this;
+}
+
+namespace {
+
+// Stable k-way merge of per-input time-ordered event streams: output is
+// ordered by (at, input index, position), so it is globally time-sorted and
+// independent of how inputs were produced (thread count, scheduling).
+template <typename Event, typename GetStream, typename GetTime>
+std::vector<Event> merge_streams(std::span<const RecordingSink* const> sinks,
+                                 GetStream stream, GetTime time_of) {
+  std::vector<Event> out;
+  std::size_t total = 0;
+  for (const RecordingSink* s : sinks) total += stream(*s).size();
+  out.reserve(total);
+  std::vector<std::size_t> pos(sinks.size(), 0);
+  while (out.size() < total) {
+    std::size_t best = sinks.size();
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const auto& v = stream(*sinks[i]);
+      if (pos[i] >= v.size()) continue;
+      if (best == sinks.size() ||
+          time_of(v[pos[i]]) < time_of(stream(*sinks[best])[pos[best]])) {
+        best = i;
+      }
+    }
+    out.push_back(stream(*sinks[best])[pos[best]]);
+    ++pos[best];
+  }
+  return out;
+}
+
+}  // namespace
+
+RecordingSink RecordingSink::merge(
+    std::span<const RecordingSink* const> sinks) {
+  RecordingSink out;
+  auto at = [](const TimedEvent& e) { return e.at; };
+  out.deliveries_ = merge_streams<TimedEvent>(
+      sinks, [](const RecordingSink& s) -> const auto& { return s.deliveries_; },
+      at);
+  out.stores_ = merge_streams<TimedEvent>(
+      sinks, [](const RecordingSink& s) -> const auto& { return s.stores_; },
+      at);
+  out.discards_ = merge_streams<TimedEvent>(
+      sinks, [](const RecordingSink& s) -> const auto& { return s.discards_; },
+      at);
+  out.promotions_ = merge_streams<TimedEvent>(
+      sinks,
+      [](const RecordingSink& s) -> const auto& { return s.promotions_; }, at);
+  out.buffer_intervals_ = merge_streams<BufferInterval>(
+      sinks,
+      [](const RecordingSink& s) -> const auto& { return s.buffer_intervals_; },
+      [](const BufferInterval& b) { return b.discarded_at; });
+  for (const RecordingSink* s : sinks) {
+    out.counters_ += s->counters_;
+    // Latencies concatenate in input order (only aggregates are consumed,
+    // and the order is still deterministic for any shard count).
+    out.recovery_latencies_.insert(out.recovery_latencies_.end(),
+                                   s->recovery_latencies_.begin(),
+                                   s->recovery_latencies_.end());
+    for (const auto& [id, t] : s->first_remote_repair_) {
+      auto [it, inserted] = out.first_remote_repair_.try_emplace(id, t);
+      if (!inserted && t < it->second) it->second = t;
+    }
+    for (const auto& [id, n] : s->remote_requests_by_id_) {
+      out.remote_requests_by_id_[id] += n;
+    }
+    for (const auto& [id, n] : s->remote_repairs_by_id_) {
+      out.remote_repairs_by_id_[id] += n;
+    }
+    // Member sets are disjoint across region sinks, so plain insertion.
+    out.open_stores_.insert(s->open_stores_.begin(), s->open_stores_.end());
+  }
+  return out;
+}
+
 void RecordingSink::on_delivered(MemberId m, const MessageId& id, TimePoint t) {
+  ++revision_;
   ++counters_.delivered;
   deliveries_.push_back(TimedEvent{t, m, id});
 }
 
 void RecordingSink::on_loss_detected(MemberId, const MessageId&, TimePoint) {
+  ++revision_;
   ++counters_.losses_detected;
 }
 
 void RecordingSink::on_recovered(MemberId, const MessageId&, TimePoint,
                                  Duration latency) {
+  ++revision_;
   ++counters_.recoveries;
   recovery_latencies_.push_back(latency);
 }
 
 void RecordingSink::on_buffer_stored(MemberId m, const MessageId& id,
                                      TimePoint t) {
+  ++revision_;
   ++counters_.stores;
   stores_.push_back(TimedEvent{t, m, id});
   open_stores_[{m, id}] = t;
@@ -43,6 +143,7 @@ void RecordingSink::on_buffer_stored(MemberId m, const MessageId& id,
 
 void RecordingSink::on_buffer_discarded(MemberId m, const MessageId& id,
                                         TimePoint t, bool was_long_term) {
+  ++revision_;
   ++counters_.discards;
   discards_.push_back(TimedEvent{t, m, id});
   auto it = open_stores_.find({m, id});
@@ -55,12 +156,14 @@ void RecordingSink::on_buffer_discarded(MemberId m, const MessageId& id,
 
 void RecordingSink::on_promoted_long_term(MemberId m, const MessageId& id,
                                           TimePoint t) {
+  ++revision_;
   ++counters_.long_term_promotions;
   promotions_.push_back(TimedEvent{t, m, id});
 }
 
 void RecordingSink::on_request_sent(MemberId, const MessageId& id, bool remote,
                                     TimePoint) {
+  ++revision_;
   if (remote) {
     ++counters_.remote_requests_sent;
     ++remote_requests_by_id_[id];
@@ -71,11 +174,13 @@ void RecordingSink::on_request_sent(MemberId, const MessageId& id, bool remote,
 
 void RecordingSink::on_request_received(MemberId, const MessageId&, bool,
                                         TimePoint) {
+  ++revision_;
   ++counters_.requests_received;
 }
 
 void RecordingSink::on_repair_sent(MemberId, const MessageId& id, bool remote,
                                    TimePoint t) {
+  ++revision_;
   ++counters_.repairs_sent;
   if (remote) {
     ++counters_.remote_repairs_sent;
@@ -86,31 +191,37 @@ void RecordingSink::on_repair_sent(MemberId, const MessageId& id, bool remote,
 }
 
 void RecordingSink::on_search_started(MemberId, const MessageId&, TimePoint) {
+  ++revision_;
   ++counters_.searches_started;
 }
 
 void RecordingSink::on_search_hop(MemberId, MemberId, const MessageId&,
                                   TimePoint) {
+  ++revision_;
   ++counters_.search_hops;
 }
 
 void RecordingSink::on_search_completed(MemberId, const MessageId&,
                                         TimePoint) {
+  ++revision_;
   ++counters_.searches_completed;
 }
 
 void RecordingSink::on_regional_multicast(MemberId, const MessageId&,
                                           TimePoint) {
+  ++revision_;
   ++counters_.regional_multicasts;
 }
 
 void RecordingSink::on_relay_suppressed(MemberId, const MessageId&,
                                         TimePoint) {
+  ++revision_;
   ++counters_.relays_suppressed;
 }
 
 void RecordingSink::on_handoff_sent(MemberId, MemberId, std::size_t,
                                     TimePoint) {
+  ++revision_;
   ++counters_.handoffs;
 }
 

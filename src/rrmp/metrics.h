@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -73,12 +74,20 @@ class RecordingSink final : public MetricsSink {
     std::uint64_t regional_multicasts = 0;
     std::uint64_t relays_suppressed = 0;
     std::uint64_t handoffs = 0;
+
+    /// Field-wise sum — the single place that must grow with the struct
+    /// (RecordingSink::merge folds per-region counters through it).
+    Counters& operator+=(const Counters& o);
+
+    friend bool operator==(const Counters&, const Counters&) = default;
   };
 
   struct TimedEvent {
     TimePoint at;
     MemberId member;
     MessageId id;
+
+    friend bool operator==(const TimedEvent&, const TimedEvent&) = default;
   };
 
   /// Completed residency of one message in one member's buffer.
@@ -115,6 +124,17 @@ class RecordingSink final : public MetricsSink {
 
   void clear();
 
+  /// Bumped by every recorded event; lets callers cache derived views (the
+  /// sharded cluster's merged metrics) and rebuild only on change.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Deterministic merge of per-region sinks (sharded cluster harness).
+  /// Counters and per-message tallies are summed; timed-event streams are
+  /// k-way merged by timestamp with input index as the tie-breaker, so the
+  /// merged streams are globally time-ordered and identical for any shard
+  /// count. Inputs must cover disjoint member sets.
+  static RecordingSink merge(std::span<const RecordingSink* const> sinks);
+
   // MetricsSink overrides.
   void on_delivered(MemberId m, const MessageId& id, TimePoint t) override;
   void on_loss_detected(MemberId m, const MessageId& id, TimePoint t) override;
@@ -144,6 +164,7 @@ class RecordingSink final : public MetricsSink {
                        TimePoint t) override;
 
  private:
+  std::uint64_t revision_ = 0;
   Counters counters_;
   std::vector<TimedEvent> deliveries_;
   std::vector<TimedEvent> stores_;

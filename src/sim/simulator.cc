@@ -42,6 +42,15 @@ std::size_t Simulator::run(std::size_t max_events) {
   return n;
 }
 
+TimePoint Simulator::next_event_time() {
+  while (!heap_.empty()) {
+    const Entry& e = heap_.top();
+    if (callbacks_.find(e.id) != callbacks_.end()) return e.time;
+    heap_.pop();  // cancelled: drop the dead entry
+  }
+  return TimePoint::max();
+}
+
 std::size_t Simulator::run_until(TimePoint t) {
   std::size_t n = 0;
   while (!heap_.empty()) {

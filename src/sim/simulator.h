@@ -55,6 +55,12 @@ class Simulator {
   /// Run all events with fire time <= t, then advance the clock to t.
   std::size_t run_until(TimePoint t);
 
+  /// Fire time of the earliest pending event, or TimePoint::max() when the
+  /// queue is empty. Lazily discards cancelled heap entries, so repeated
+  /// calls are cheap. Used by the sharded cluster harness to fast-forward
+  /// epoch windows over idle stretches.
+  TimePoint next_event_time();
+
   std::size_t pending_count() const { return callbacks_.size(); }
   std::uint64_t fired_count() const { return fired_; }
 

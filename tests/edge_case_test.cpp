@@ -197,17 +197,17 @@ TEST(Soak, FullStackWithChurnLossAndFailureDetection) {
 
   // 60 messages over 600 ms.
   for (int i = 0; i < 60; ++i) {
-    cluster.sim().schedule_at(TimePoint::zero() + Duration::millis(10) * i,
+    cluster.schedule_script(TimePoint::zero() + Duration::millis(10) * i,
                               [&cluster] {
                                 cluster.endpoint(0).multicast({0xAA, 0xBB});
                               });
   }
   // Churn: two graceful leaves, one crash, spread across the run.
-  cluster.sim().schedule_at(TimePoint::zero() + Duration::millis(150),
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(150),
                             [&cluster] { cluster.leave(7); });
-  cluster.sim().schedule_at(TimePoint::zero() + Duration::millis(300),
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(300),
                             [&cluster] { cluster.crash(25); });
-  cluster.sim().schedule_at(TimePoint::zero() + Duration::millis(450),
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(450),
                             [&cluster] { cluster.leave(40); });
 
   cluster.run_for(Duration::seconds(6));

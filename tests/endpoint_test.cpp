@@ -184,7 +184,7 @@ TEST(EndpointSearch, RequestAtBuffererAnswersImmediately) {
   MemberId requester = cluster.region_members(1)[0];
   cluster.inject_remote_request(2, id, requester);
   TimePoint repaired = cluster.metrics().first_remote_repair(id);
-  EXPECT_EQ(repaired, cluster.sim().now());  // same instant: no search
+  EXPECT_EQ(repaired, cluster.now());  // same instant: no search
   EXPECT_EQ(cluster.metrics().counters().searches_started, 0u);
 }
 

@@ -56,7 +56,7 @@ TEST(ClusterTest, RunUntilQuietStopsWhenIdle) {
   cluster.inject(0, 1, cluster.region_members(0));  // everyone has it
   cluster.run_until_quiet(Duration::seconds(10));
   // Far less than the cap: the event queue drained after idle decisions.
-  EXPECT_LT(cluster.sim().now(), TimePoint::zero() + Duration::seconds(1));
+  EXPECT_LT(cluster.now(), TimePoint::zero() + Duration::seconds(1));
 }
 
 TEST(ClusterTest, CrashedMemberExcludedFromQueries) {
