@@ -2,7 +2,10 @@
 // rendezvous hashing, random view picks (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "buffer/hash_based.h"
+#include "common/random.h"
 #include "buffer/two_phase.h"
 #include "membership/view.h"
 #include "sim/simulator.h"
@@ -34,6 +37,43 @@ void BM_SimulatorCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimulatorCancel);
+
+void BM_SimulatorScheduleFireSharedPtrCapture(benchmark::State& state) {
+  // The delivery-event shape: this-pointer + shared_ptr + two ids (40
+  // bytes), inline in sim::Callback — the packet-path hot capture.
+  sim::Simulator sim;
+  auto payload = std::make_shared<const int>(7);
+  std::int64_t t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_at(TimePoint::from_us(t + (i * 37) % 1000),
+                      [payload, &sink, to = i, from = i + 1] {
+                        sink += *payload + static_cast<std::uint64_t>(to + from);
+                      });
+    }
+    sim.run(64);
+    t += 1000;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorScheduleFireSharedPtrCapture);
+
+void BM_BinomialDraw(benchmark::State& state) {
+  // range(0): n. p chosen so n=100 exercises BINV inversion and n=1000
+  // BTPE rejection — the fig3/fig4 Monte Carlo kernels.
+  RandomEngine rng(17);
+  auto n = static_cast<std::uint64_t>(state.range(0));
+  double p = n >= 1000 ? 0.36 : 0.06;  // n·p: 360 (BTPE) vs 6 (BINV)
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += rng.binomial(n, p);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinomialDraw)->Arg(100)->Arg(1000);
 
 // Minimal PolicyEnv over a Simulator for buffer-op microbenchmarks.
 class BenchEnv final : public buffer::PolicyEnv {
@@ -91,6 +131,39 @@ void BM_RendezvousHash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_RendezvousHash)->Arg(100)->Arg(1000);
+
+void BM_RendezvousHashReusedSelector(benchmark::State& state) {
+  // The hot-path form: scratch buffers persist across messages.
+  std::vector<MemberId> members(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    members[i] = static_cast<MemberId>(i);
+  }
+  buffer::BuffererSelector selector;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    const auto& set = selector.select(MessageId{1, ++seq}, members, 6);
+    benchmark::DoNotOptimize(set.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RendezvousHashReusedSelector)->Arg(100)->Arg(1000);
+
+void BM_RendezvousMembershipTest(benchmark::State& state) {
+  // HashBasedPolicy::on_stored's "should I buffer?" test (no set built).
+  std::vector<MemberId> members(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    members[i] = static_cast<MemberId>(i);
+  }
+  buffer::BuffererSelector selector;
+  std::uint64_t seq = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += selector.selects(MessageId{1, ++seq}, members, 6, 3) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RendezvousMembershipTest)->Arg(100)->Arg(1000);
 
 void BM_ViewPickRandom(benchmark::State& state) {
   std::vector<MemberId> ms(static_cast<std::size_t>(state.range(0)));

@@ -31,6 +31,71 @@ FIG_BENCHES = [
     "bench_fig9_search_vs_region_size",
 ]
 
+# Google Benchmark binaries whose per-benchmark ns/op numbers are folded into
+# the baseline under the rrmp-micro/1 counter schema (see run_micro_bench).
+MICRO_BENCHES = [
+    "bench_micro_codec",
+    "bench_micro_engine",
+]
+
+_TIME_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_micro_bench(exe, timeout):
+    """Run a Google Benchmark binary and distill its JSON output into the
+    stable rrmp-micro/1 counter schema:
+
+        {"schema": "rrmp-micro/1",
+         "counters": {"<BM_Name>[/Arg]": {"ns_per_op": float,
+                                          "items_per_second": float|None}}}
+
+    Keys are the benchmark's own names (stable across runs); values are
+    real-time ns/op so later PRs can diff micro-level wins the same way they
+    diff the figure scalars.
+    """
+    start = time.monotonic()
+    result = {
+        "exit_code": -1,
+        "timed_out": False,
+        "wall_time_seconds": 0.0,
+        "micro": None,
+    }
+    output = b""
+    try:
+        proc = subprocess.run(
+            [exe, "--benchmark_format=json"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            timeout=timeout,
+        )
+        result["exit_code"] = proc.returncode
+        output = proc.stdout or b""
+    except subprocess.TimeoutExpired as e:
+        result["timed_out"] = True
+        output = e.stdout or b""
+    result["wall_time_seconds"] = round(time.monotonic() - start, 3)
+    try:
+        doc = json.loads(output.decode() or "{}")
+        counters = {}
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue  # plain runs only; keep keys stable
+            if b.get("error_occurred") or "real_time" not in b:
+                print(f"warning: skipping errored benchmark entry "
+                      f"{b.get('name', '?')} in {exe}", file=sys.stderr)
+                continue  # keep the good counters
+            scale = _TIME_UNIT_TO_NS.get(b.get("time_unit", "ns"), 1.0)
+            counters[b["name"]] = {
+                "ns_per_op": round(b["real_time"] * scale, 3),
+                "items_per_second": b.get("items_per_second"),
+            }
+        if counters:
+            result["micro"] = {"schema": "rrmp-micro/1", "counters": counters}
+    except (json.JSONDecodeError, KeyError, ValueError) as e:
+        print(f"warning: could not parse benchmark JSON from {exe}: {e}",
+              file=sys.stderr)
+    return result
+
 
 def run_bench(exe, json_dir, timeout):
     env = dict(os.environ, RRMP_BENCH_JSON_DIR=json_dir)
@@ -66,6 +131,10 @@ def main():
                         help="merged baseline output path")
     parser.add_argument("--benches", nargs="*", default=FIG_BENCHES,
                         help="bench binary names to run (default: fig3-fig9)")
+    parser.add_argument("--micro-benches", nargs="*", default=MICRO_BENCHES,
+                        help="Google Benchmark binaries to fold in as ns/op "
+                             "counters (default: the bench_micro_* pair); "
+                             "pass an empty list to skip")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="per-bench timeout in seconds")
     args = parser.parse_args()
@@ -112,6 +181,24 @@ def main():
             # Surface the bench's own tables/verdict lines so CI logs say
             # which invariant broke, not just that something did.
             sys.stderr.write(output.decode(errors="replace"))
+            failures.append(name)
+        baseline["benches"][name] = run
+
+    for name in args.micro_benches:
+        exe = os.path.join(args.bench_dir, name)
+        if not os.path.exists(exe):
+            print(f"error: micro bench binary not found: {exe}",
+                  file=sys.stderr)
+            failures.append(name)
+            continue
+        print(f"[run_baselines] {name} (micro) ...", flush=True)
+        run = run_micro_bench(exe, args.timeout)
+        ok = run["exit_code"] == 0 and run["micro"] is not None
+        status = "ok" if ok else "FAILED"
+        n = len(run["micro"]["counters"]) if run["micro"] else 0
+        print(f"[run_baselines] {name}: {status} "
+              f"({run['wall_time_seconds']}s, {n} counters)", flush=True)
+        if not ok:
             failures.append(name)
         baseline["benches"][name] = run
 

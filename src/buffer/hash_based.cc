@@ -16,31 +16,60 @@ std::uint64_t hash_score(const MessageId& id, MemberId member) {
   return x;
 }
 
+const std::vector<MemberId>& BuffererSelector::select(
+    const MessageId& id, const std::vector<MemberId>& members, std::size_t k) {
+  out_.clear();
+  if (k == 0 || members.empty()) return out_;
+  scored_.clear();
+  for (MemberId m : members) scored_.emplace_back(hash_score(id, m), m);
+  k = std::min(k, scored_.size());
+  std::nth_element(scored_.begin(),
+                   scored_.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scored_.end());
+  scored_.resize(k);
+  std::sort(scored_.begin(), scored_.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  out_.reserve(k);
+  for (const auto& [score, m] : scored_) out_.push_back(m);
+  return out_;
+}
+
+bool BuffererSelector::selects(const MessageId& id,
+                               const std::vector<MemberId>& members,
+                               std::size_t k, MemberId member) {
+  if (k == 0 || members.empty()) return false;
+  if (k >= members.size()) {
+    return std::find(members.begin(), members.end(), member) != members.end();
+  }
+  // `member` is selected iff fewer than k members score strictly below it
+  // (scores are 64-bit hashes; ties are negligible but broken identically
+  // to nth_element's value ordering on the full pair).
+  std::pair<std::uint64_t, MemberId> mine{hash_score(id, member), member};
+  std::size_t below = 0;
+  bool present = false;
+  for (MemberId m : members) {
+    if (m == member) {
+      present = true;
+      continue;
+    }
+    if (std::pair<std::uint64_t, MemberId>{hash_score(id, m), m} < mine) {
+      if (++below >= k) return false;
+    }
+  }
+  return present;
+}
+
 std::vector<MemberId> hash_bufferers(const MessageId& id,
                                      const std::vector<MemberId>& members,
                                      std::size_t k) {
-  if (k == 0 || members.empty()) return {};
-  std::vector<std::pair<std::uint64_t, MemberId>> scored;
-  scored.reserve(members.size());
-  for (MemberId m : members) scored.emplace_back(hash_score(id, m), m);
-  k = std::min(k, scored.size());
-  std::nth_element(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                   scored.end());
-  scored.resize(k);
-  std::sort(scored.begin(), scored.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
-  std::vector<MemberId> out;
-  out.reserve(k);
-  for (const auto& [score, m] : scored) out.push_back(m);
-  return out;
+  BuffererSelector selector;
+  return selector.select(id, members, k);
 }
 
 void HashBasedPolicy::on_stored(Entry& e) {
   const std::vector<MemberId>& members = env().region_members();
   hash_evaluations_ += members.size();
-  std::vector<MemberId> selected = hash_bufferers(e.data.id, members, params_.k);
-  bool mine = std::find(selected.begin(), selected.end(), env().self()) !=
-              selected.end();
+  bool mine = selector_.selects(e.data.id, members, params_.k, env().self());
   MessageId id = e.data.id;
   if (mine) {
     promote_long_term(e);

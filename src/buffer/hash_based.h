@@ -27,6 +27,28 @@ std::vector<MemberId> hash_bufferers(const MessageId& id,
 /// The score function behind hash_bufferers, exposed for tests.
 std::uint64_t hash_score(const MessageId& id, MemberId member);
 
+/// Reusable rendezvous-hash selector: identical results to hash_bufferers,
+/// but the score and output buffers persist across calls, so per-message
+/// selection on the hot path (HashBasedPolicy::on_stored, hash-direct
+/// request targeting) stops allocating two vectors per message.
+class BuffererSelector {
+ public:
+  /// Selects into an internal buffer; the reference is valid until the next
+  /// select() call on this instance.
+  const std::vector<MemberId>& select(const MessageId& id,
+                                      const std::vector<MemberId>& members,
+                                      std::size_t k);
+
+  /// True iff `member` is in hash_bufferers(id, members, k) — the policy's
+  /// "should I buffer?" test, without materializing the selected set's order.
+  bool selects(const MessageId& id, const std::vector<MemberId>& members,
+               std::size_t k, MemberId member);
+
+ private:
+  std::vector<std::pair<std::uint64_t, MemberId>> scored_;
+  std::vector<MemberId> out_;
+};
+
 struct HashBasedParams {
   /// Bufferers per region per message.
   std::size_t k = 6;
@@ -53,6 +75,7 @@ class HashBasedPolicy final : public BufferPolicy {
 
  private:
   HashBasedParams params_;
+  BuffererSelector selector_;  // reused across stores: no per-message allocs
   std::uint64_t hash_evaluations_ = 0;
 };
 

@@ -56,6 +56,25 @@ std::vector<std::uint8_t> ByteReader::get_bytes() {
   return out;
 }
 
+SharedBytes ByteReader::get_shared_bytes() {
+  std::uint64_t n = get_varint();
+  if (!require(n)) return {};
+  std::size_t at = pos_;
+  pos_ += n;
+  // Alias the source buffer only when the bytes *outside* this blob are
+  // bounded (a frame header, or another similarly-sized payload): a
+  // long-lived stored payload may then pin at most ~2x its own size. A
+  // small slice of a much larger buffer — one of many payloads in a big
+  // Handoff batch — is copied instead, so retaining it can never pin an
+  // arbitrarily larger wire allocation.
+  constexpr std::uint64_t kAliasOverheadCap = 64;
+  std::uint64_t overhead = data_.size() - n;
+  if (owner_ != nullptr && overhead <= kAliasOverheadCap + n) {
+    return owner_->slice(at, n);
+  }
+  return SharedBytes::copy_of(data_.subspan(at, n));
+}
+
 std::string ByteReader::get_string() {
   std::uint64_t n = get_varint();
   if (!require(n)) return {};

@@ -6,11 +6,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <random>
 #include <span>
 #include <vector>
 
 namespace rrmp {
+
+/// splitmix64 step: the seed-mixing primitive used by RandomEngine::fork.
+std::uint64_t splitmix64(std::uint64_t& state);
 
 class RandomEngine {
  public:
@@ -43,6 +47,13 @@ class RandomEngine {
   /// Bernoulli trial; p clamped to [0, 1].
   bool bernoulli(double p);
 
+  /// Number of successes in n Bernoulli(p) trials, in O(1) expected time
+  /// per draw regardless of n: inversion (BINV) when n·min(p,1-p) < 30,
+  /// BTPE-style rejection (Kachitvichyanukul & Schmeiser 1988) otherwise.
+  /// p is clamped to [0, 1]. Deterministic in the engine state, so the
+  /// Monte Carlo drivers replay bit-identically for a given seed.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
   /// Exponentially distributed value with the given mean (> 0).
   double exponential(double mean);
 
@@ -72,14 +83,24 @@ class RandomEngine {
   }
 
   /// Access to the underlying URBG for <random> distributions.
-  std::mt19937_64& urbg() { return rng_; }
+  std::mt19937_64& urbg() { return engine(); }
 
  private:
-  std::uint64_t seed_;
-  std::mt19937_64 rng_;
-};
+  /// The mt19937_64 state (2.5 KB, 312-word seeding pass) materializes on
+  /// the first draw, not at construction: forking one engine per member of
+  /// a large cluster is O(1) per member, and engines that never draw — most
+  /// members of a search experiment — never pay for seeding. The output
+  /// sequence is bit-identical to eager seeding.
+  std::mt19937_64& engine() {
+    if (!rng_) {
+      std::uint64_t s = seed_;
+      rng_.emplace(splitmix64(s));
+    }
+    return *rng_;
+  }
 
-/// splitmix64 step: the seed-mixing primitive used by RandomEngine::fork.
-std::uint64_t splitmix64(std::uint64_t& state);
+  std::uint64_t seed_;
+  std::optional<std::mt19937_64> rng_;
+};
 
 }  // namespace rrmp

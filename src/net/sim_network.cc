@@ -117,12 +117,14 @@ void SimNetwork::deliver(MemberId to, const proto::Message& msg,
 }
 
 void SimNetwork::dispatch(Lane& src, std::size_t dst_lane, MemberId from,
-                          MemberId to, proto::Message msg) {
+                          MemberId to, MessagePtr msg) {
   TimePoint deliver_at = src.sim->now() + delay(src, from, to);
   if (&lanes_[dst_lane] == &src) {
+    // this + two MemberIds + one shared_ptr: well inside sim::Callback's
+    // inline buffer, so the delivery event never heap-allocates.
     src.sim->schedule_at(deliver_at,
                          [this, to, m = std::move(msg), from]() {
-                           deliver(to, m, from);
+                           deliver(to, *m, from);
                          });
     return;
   }
@@ -130,49 +132,62 @@ void SimNetwork::dispatch(Lane& src, std::size_t dst_lane, MemberId from,
   src.outbox.push_back(CrossLanePacket{deliver_at, from, to, std::move(msg)});
 }
 
-void SimNetwork::transmit(MemberId from, MemberId to,
-                          const proto::Message& msg, bool apply_loss) {
+SimNetwork::Prepared SimNetwork::prepare(proto::Message msg) {
+  Prepared p;
+  p.wire_bytes = proto::encoded_size(msg);
+  p.type_idx = static_cast<std::size_t>(proto::type_of(msg));
+  if (codec_roundtrip_) {
+    // One encode + one aliasing decode per logical send; payload blobs in
+    // the decoded message borrow the refcounted wire buffer.
+    auto decoded = proto::decode_shared(proto::encode_shared(msg));
+    if (!decoded) {
+      log::error("SimNetwork: codec round-trip failed for ",
+                 proto::type_name(msg));
+      return p;  // p.msg stays null; transmit counts the send, delivers none
+    }
+    p.msg = std::make_shared<const proto::Message>(std::move(*decoded));
+  } else {
+    p.msg = std::make_shared<const proto::Message>(std::move(msg));
+  }
+  return p;
+}
+
+void SimNetwork::transmit(MemberId from, MemberId to, const Prepared& p,
+                          bool apply_loss) {
   Lane& src = lanes_[lane_of(from)];
   ++src.stats.sends;
-  std::size_t wire_bytes = proto::encoded_size(msg);
-  src.stats.bytes_sent += wire_bytes;
-  auto type_idx = static_cast<std::size_t>(proto::type_of(msg));
-  if (type_idx < src.stats.sends_by_type.size()) {
-    ++src.stats.sends_by_type[type_idx];
-    src.stats.bytes_by_type[type_idx] += wire_bytes;
+  src.stats.bytes_sent += p.wire_bytes;
+  if (p.type_idx < src.stats.sends_by_type.size()) {
+    ++src.stats.sends_by_type[p.type_idx];
+    src.stats.bytes_by_type[p.type_idx] += p.wire_bytes;
   }
   if (apply_loss && src.loss->drop(src.rng)) {
     ++src.stats.dropped;
     return;
   }
-  proto::Message in_flight = msg;
-  if (codec_roundtrip_) {
-    auto decoded = proto::decode(proto::encode(msg));
-    if (!decoded) {
-      log::error("SimNetwork: codec round-trip failed for ",
-                 proto::type_name(msg));
-      return;
-    }
-    in_flight = std::move(*decoded);
-  }
-  dispatch(src, lane_of(to), from, to, std::move(in_flight));
+  if (!p.msg) return;  // codec round-trip failed (already logged)
+  dispatch(src, lane_of(to), from, to, p.msg);
 }
 
 void SimNetwork::unicast(MemberId from, MemberId to, proto::Message msg) {
-  transmit(from, to, msg, /*apply_loss=*/true);
+  transmit(from, to, prepare(std::move(msg)), /*apply_loss=*/true);
 }
 
 void SimNetwork::multicast_region(MemberId from, proto::Message msg) {
   RegionId r = topology_.region_of(from);
+  Prepared p = prepare(std::move(msg));
   for (MemberId m : topology_.members_of(r)) {
     if (m == from) continue;
-    transmit(from, m, msg, /*apply_loss=*/true);
+    transmit(from, m, p, /*apply_loss=*/true);
   }
 }
 
 void SimNetwork::ip_multicast(MemberId from, const proto::Message& msg,
                               double per_receiver_loss) {
   Lane& src = lanes_[lane_of(from)];
+  // The initial dissemination models raw IP multicast: no codec round-trip,
+  // one shared in-flight copy for the whole group.
+  MessagePtr in_flight = std::make_shared<const proto::Message>(msg);
   for (std::size_t m = 0; m < topology_.member_count(); ++m) {
     auto member = static_cast<MemberId>(m);
     if (member == from) continue;
@@ -181,15 +196,16 @@ void SimNetwork::ip_multicast(MemberId from, const proto::Message& msg,
       ++src.stats.dropped;
       continue;
     }
-    dispatch(src, lane_of(member), from, member, msg);
+    dispatch(src, lane_of(member), from, member, in_flight);
   }
 }
 
 void SimNetwork::ip_multicast_to(MemberId from, const proto::Message& msg,
                                  std::span<const MemberId> receivers) {
+  Prepared p = prepare(msg);
   for (MemberId member : receivers) {
     if (member == from) continue;
-    transmit(from, member, msg, /*apply_loss=*/false);
+    transmit(from, member, p, /*apply_loss=*/false);
   }
 }
 
@@ -226,7 +242,7 @@ std::size_t SimNetwork::exchange() {
       Lane& dst = lanes_[lane_of(pkt.to)];
       dst.sim->schedule_at(pkt.deliver_at,
                            [this, to = pkt.to, m = std::move(pkt.msg),
-                            from = pkt.from]() { deliver(to, m, from); });
+                            from = pkt.from]() { deliver(to, *m, from); });
       ++moved;
     }
     src.outbox.clear();

@@ -14,6 +14,13 @@
 // flight, so the simulator exercises the exact wire format the UDP host
 // sends on real sockets.
 //
+// Delivery is zero-copy: each logical send prepares the in-flight message
+// *once* — encode (+ re-decode, when codec_roundtrip is on, with payload
+// blobs aliasing the refcounted wire buffer) — and every fan-out recipient's
+// delivery event, as well as every cross-lane outbox entry, shares one
+// immutable shared_ptr<const Message>. A 1000-member regional multicast
+// performs one encode and zero payload copies instead of 1000 of each.
+//
 // Lane partitioning (sharded mode): the network is split into one *lane* per
 // region, each owning a private Simulator, RNG stream, loss-model clone,
 // traffic stats and cross-lane outbox. Intra-lane traffic is scheduled
@@ -148,11 +155,22 @@ class SimNetwork {
   const Topology& topology() const { return topology_; }
 
  private:
+  /// Immutable in-flight message, shared by every recipient of a fan-out and
+  /// across the cross-lane outbox exchange.
+  using MessagePtr = std::shared_ptr<const proto::Message>;
+
+  /// One logical send's in-flight form: built once, transmitted many times.
+  struct Prepared {
+    MessagePtr msg;  // null if the codec round-trip failed (logged)
+    std::size_t wire_bytes = 0;
+    std::size_t type_idx = 0;
+  };
+
   struct CrossLanePacket {
     TimePoint deliver_at;
     MemberId from;
     MemberId to;
-    proto::Message msg;
+    MessagePtr msg;
   };
 
   struct Lane {
@@ -166,10 +184,11 @@ class SimNetwork {
     explicit Lane(RandomEngine r) : rng(std::move(r)), loss(make_no_loss()) {}
   };
 
-  void transmit(MemberId from, MemberId to, const proto::Message& msg,
+  Prepared prepare(proto::Message msg);
+  void transmit(MemberId from, MemberId to, const Prepared& p,
                 bool apply_loss);
   void dispatch(Lane& src, std::size_t dst_lane, MemberId from, MemberId to,
-                proto::Message msg);
+                MessagePtr msg);
   Duration delay(Lane& src, MemberId from, MemberId to);
   void deliver(MemberId to, const proto::Message& msg, MemberId from);
 

@@ -76,7 +76,7 @@ void encode_body(ByteWriter& w, const History& m) {
 
 bool decode_body(ByteReader& r, Data& m) {
   m.id = get_message_id(r);
-  m.payload = r.get_bytes();
+  m.payload = r.get_shared_bytes();
   return r.ok();
 }
 bool decode_body(ByteReader& r, Session& m) {
@@ -96,13 +96,13 @@ bool decode_body(ByteReader& r, RemoteRequest& m) {
 }
 bool decode_body(ByteReader& r, Repair& m) {
   m.id = get_message_id(r);
-  m.payload = r.get_bytes();
+  m.payload = r.get_shared_bytes();
   m.remote = r.get_u8() != 0;
   return r.ok();
 }
 bool decode_body(ByteReader& r, RegionalRepair& m) {
   m.id = get_message_id(r);
-  m.payload = r.get_bytes();
+  m.payload = r.get_shared_bytes();
   m.relayer = r.get_u32();
   return r.ok();
 }
@@ -159,6 +159,75 @@ std::optional<Message> decode_as(ByteReader& r) {
   return Message{std::move(m)};
 }
 
+std::optional<Message> decode_from(ByteReader& r) {
+  auto tag = static_cast<MessageType>(r.get_u8());
+  if (!r.ok()) return std::nullopt;
+  switch (tag) {
+    case MessageType::kData: return decode_as<Data>(r);
+    case MessageType::kSession: return decode_as<Session>(r);
+    case MessageType::kLocalRequest: return decode_as<LocalRequest>(r);
+    case MessageType::kRemoteRequest: return decode_as<RemoteRequest>(r);
+    case MessageType::kRepair: return decode_as<Repair>(r);
+    case MessageType::kRegionalRepair: return decode_as<RegionalRepair>(r);
+    case MessageType::kSearchRequest: return decode_as<SearchRequest>(r);
+    case MessageType::kSearchFound: return decode_as<SearchFound>(r);
+    case MessageType::kHandoff: return decode_as<Handoff>(r);
+    case MessageType::kGossip: return decode_as<Gossip>(r);
+    case MessageType::kHistory: return decode_as<History>(r);
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------ sizes ----
+//
+// Mirrors encode_body exactly; proto_test pins encoded_size == encode().size()
+// for every message type.
+
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+constexpr std::size_t kMessageIdSize = 4 + 8;
+
+std::size_t blob_size(const SharedBytes& b) {
+  return varint_size(b.size()) + b.size();
+}
+
+std::size_t size_body(const Data& m) {
+  return kMessageIdSize + blob_size(m.payload);
+}
+std::size_t size_body(const Session&) { return 4 + 8; }
+std::size_t size_body(const LocalRequest&) { return kMessageIdSize + 4; }
+std::size_t size_body(const RemoteRequest&) { return kMessageIdSize + 4; }
+std::size_t size_body(const Repair& m) {
+  return kMessageIdSize + blob_size(m.payload) + 1;
+}
+std::size_t size_body(const RegionalRepair& m) {
+  return kMessageIdSize + blob_size(m.payload) + 4;
+}
+std::size_t size_body(const SearchRequest&) { return kMessageIdSize + 4; }
+std::size_t size_body(const SearchFound&) { return kMessageIdSize + 4; }
+std::size_t size_body(const Handoff& m) {
+  std::size_t n = varint_size(m.messages.size());
+  for (const Data& d : m.messages) n += size_body(d);
+  return n;
+}
+std::size_t size_body(const Gossip& m) {
+  return 4 + varint_size(m.beats.size()) + m.beats.size() * (4 + 8);
+}
+std::size_t size_body(const History& m) {
+  std::size_t n = 4 + varint_size(m.sources.size());
+  for (const SourceHistory& s : m.sources) {
+    n += 4 + 8 + varint_size(s.bitmap.size()) + s.bitmap.size() * 8;
+  }
+  return n;
+}
+
 }  // namespace
 
 MessageType type_of(const Message& m) {
@@ -211,24 +280,18 @@ std::vector<std::uint8_t> encode(const Message& m) {
 
 std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
-  auto tag = static_cast<MessageType>(r.get_u8());
-  if (!r.ok()) return std::nullopt;
-  switch (tag) {
-    case MessageType::kData: return decode_as<Data>(r);
-    case MessageType::kSession: return decode_as<Session>(r);
-    case MessageType::kLocalRequest: return decode_as<LocalRequest>(r);
-    case MessageType::kRemoteRequest: return decode_as<RemoteRequest>(r);
-    case MessageType::kRepair: return decode_as<Repair>(r);
-    case MessageType::kRegionalRepair: return decode_as<RegionalRepair>(r);
-    case MessageType::kSearchRequest: return decode_as<SearchRequest>(r);
-    case MessageType::kSearchFound: return decode_as<SearchFound>(r);
-    case MessageType::kHandoff: return decode_as<Handoff>(r);
-    case MessageType::kGossip: return decode_as<Gossip>(r);
-    case MessageType::kHistory: return decode_as<History>(r);
-  }
-  return std::nullopt;
+  return decode_from(r);
 }
 
-std::size_t encoded_size(const Message& m) { return encode(m).size(); }
+SharedBytes encode_shared(const Message& m) { return SharedBytes(encode(m)); }
+
+std::optional<Message> decode_shared(const SharedBytes& wire) {
+  ByteReader r(wire);
+  return decode_from(r);
+}
+
+std::size_t encoded_size(const Message& m) {
+  return 1 + std::visit([](const auto& v) { return size_body(v); }, m);
+}
 
 }  // namespace rrmp::proto

@@ -23,7 +23,17 @@ inline constexpr std::uint64_t kMaxRepeated = 1u << 20;
 std::vector<std::uint8_t> encode(const Message& m);
 std::optional<Message> decode(std::span<const std::uint8_t> bytes);
 
+/// Encode into a refcounted immutable buffer (one allocation, shareable
+/// across fan-out recipients and lanes).
+SharedBytes encode_shared(const Message& m);
+
+/// Zero-copy decode: blob fields (Data/Repair/RegionalRepair payloads) alias
+/// `wire`'s refcounted owner instead of copying. Identical accept/reject
+/// behaviour to decode(span).
+std::optional<Message> decode_shared(const SharedBytes& wire);
+
 /// Encoded size without materializing the buffer (used by traffic metrics).
+/// Exactly encode(m).size(), computed arithmetically.
 std::size_t encoded_size(const Message& m);
 
 }  // namespace rrmp::proto

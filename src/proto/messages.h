@@ -9,15 +9,17 @@
 #include <variant>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/types.h"
 
 namespace rrmp::proto {
 
 /// Application data, disseminated by the sender's initial IP multicast and
-/// retransmitted during recovery.
+/// retransmitted during recovery. The payload is a refcounted immutable
+/// buffer: storing, relaying, and repairing a message share one allocation.
 struct Data {
   MessageId id;
-  std::vector<std::uint8_t> payload;
+  SharedBytes payload;
 
   friend bool operator==(const Data&, const Data&) = default;
 };
@@ -56,7 +58,7 @@ struct RemoteRequest {
 /// repair multicasts it in its own region (paper §2.2).
 struct Repair {
   MessageId id;
-  std::vector<std::uint8_t> payload;
+  SharedBytes payload;
   bool remote = false;
 
   friend bool operator==(const Repair&, const Repair&) = default;
@@ -66,7 +68,7 @@ struct Repair {
 /// message from the parent region (paper §2.2).
 struct RegionalRepair {
   MessageId id;
-  std::vector<std::uint8_t> payload;
+  SharedBytes payload;
   MemberId relayer = kInvalidMember;
 
   friend bool operator==(const RegionalRepair&, const RegionalRepair&) = default;

@@ -306,8 +306,8 @@ void Endpoint::handle_remote_request(const proto::RemoteRequest& r,
   }
   if (cfg_.lookup == BuffererLookup::kHashDirect) {
     // Deterministic scheme [11]: recompute the bufferer set and forward.
-    std::vector<MemberId> set = buffer::hash_bufferers(
-        r.id, host_.local_view().members(), cfg_.hash_k);
+    const std::vector<MemberId>& set =
+        selector_.select(r.id, host_.local_view().members(), cfg_.hash_k);
     for (MemberId b : set) {
       if (b != self()) {
         host_.send(b, proto::Message{proto::RemoteRequest{r.id, r.requester}});
@@ -474,12 +474,13 @@ MemberId Endpoint::pick_request_target(const MessageId& id) {
   if (cfg_.lookup == BuffererLookup::kHashDirect) {
     // Deterministic scheme [11]: ask the hash-selected bufferers directly,
     // round-robin over the set across attempts.
-    std::vector<MemberId> set = buffer::hash_bufferers(
-        id, host_.local_view().members(), cfg_.hash_k);
-    std::erase(set, self());
-    if (!set.empty()) {
+    const std::vector<MemberId>& set =
+        selector_.select(id, host_.local_view().members(), cfg_.hash_k);
+    bufferer_scratch_.assign(set.begin(), set.end());
+    std::erase(bufferer_scratch_, self());
+    if (!bufferer_scratch_.empty()) {
       auto& task = recoveries_[id];
-      return set[task.local_attempts % set.size()];
+      return bufferer_scratch_[task.local_attempts % bufferer_scratch_.size()];
     }
   }
   return host_.local_view().pick_random(host_.rng(), self());
@@ -527,8 +528,8 @@ void Endpoint::remote_attempt(const MessageId& id) {
   std::size_t n = std::max<std::size_t>(host_.local_view().size(), 1);
   if (host_.rng().bernoulli(cfg_.lambda / static_cast<double>(n))) {
     if (cfg_.lookup == BuffererLookup::kHashDirect) {
-      std::vector<MemberId> set =
-          buffer::hash_bufferers(id, parent.members(), cfg_.hash_k);
+      const std::vector<MemberId>& set =
+          selector_.select(id, parent.members(), cfg_.hash_k);
       if (!set.empty()) r = set[task.remote_attempts % set.size()];
     }
     metrics().on_request_sent(self(), id, /*remote=*/true, host_.now());

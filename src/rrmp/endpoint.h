@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buffer/hash_based.h"
 #include "buffer/policy.h"
 #include "buffer/stability.h"
 #include "rrmp/config.h"
@@ -258,6 +259,10 @@ class Endpoint {
   // Stability baseline state.
   buffer::StabilityTracker stability_;
   bool history_enabled_ = false;
+
+  // Scratch for hash-direct bufferer lookups (reused, no per-call allocs).
+  buffer::BuffererSelector selector_;
+  std::vector<MemberId> bufferer_scratch_;
 
   std::unique_ptr<GossipFailureDetector> gossip_fd_;
 };

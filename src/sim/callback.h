@@ -1,0 +1,140 @@
+// Move-only callable with a 48-byte small-buffer optimization.
+//
+// The simulator's event slab stores one Callback per scheduled timer. The
+// hot-path captures in this codebase — `this` plus a MessageId, a couple of
+// MemberIds, or a shared_ptr to an in-flight message — are all well under 48
+// bytes, so scheduling and firing them never touches the allocator. Larger
+// or throwing-move callables fall back to the heap transparently;
+// `is_inline()` exposes which path was taken so tests can pin the contract.
+//
+// Unlike std::function, Callback is move-only (no copy of captured state is
+// ever needed on the timer path) and deliberately minimal: invoke, move,
+// destroy, bool conversion. It accepts any `void()`-invocable, including
+// std::function itself (a std::function fits the inline buffer, so wrapping
+// one adds no allocation on top of what the function already did).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rrmp::sim {
+
+class Callback {
+ public:
+  /// Captures at or below this size (and alignof <= max_align_t, nothrow
+  /// move) are stored inline; schedule/fire never allocates for them.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  Callback() noexcept = default;
+  Callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Callback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      obj_ = new (buf_) D(std::forward<F>(fn));
+    } else {
+      obj_ = new D(std::forward<F>(fn));
+    }
+    ops_ = &ops_for<D, fits_inline<D>()>;
+  }
+
+  Callback(Callback&& other) noexcept { steal(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  Callback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  /// Invoke. An empty Callback throws like std::function (catchable,
+  /// instead of a null dereference).
+  void operator()() {
+    if (ops_ == nullptr) throw std::bad_function_call();
+    ops_->invoke(obj_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (test/bench hook).
+  bool is_inline() const noexcept { return obj_ == buf_; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    /// Move-construct into `dst_buf` (inline) and destroy the source.
+    /// Null for heap-stored callables, whose pointer is stolen instead.
+    void (*relocate)(void* dst_buf, void* src_obj) noexcept;
+    void (*destroy)(void* obj) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineCapacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D, bool Inline>
+  static constexpr Ops ops_for{
+      [](void* obj) { (*static_cast<D*>(obj))(); },
+      Inline ? +[](void* dst_buf, void* src_obj) noexcept {
+        D* src = static_cast<D*>(src_obj);
+        ::new (dst_buf) D(std::move(*src));
+        src->~D();
+      } : nullptr,
+      [](void* obj) noexcept {
+        if constexpr (Inline) {
+          static_cast<D*>(obj)->~D();
+        } else {
+          delete static_cast<D*>(obj);
+        }
+      },
+  };
+
+  void steal(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (other.is_inline()) {
+      ops_->relocate(buf_, other.obj_);
+      obj_ = buf_;
+    } else {
+      obj_ = other.obj_;
+    }
+    other.ops_ = nullptr;
+    other.obj_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(obj_);
+      ops_ = nullptr;
+      obj_ = nullptr;
+    }
+  }
+
+  void* obj_ = nullptr;
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[kInlineCapacity];
+};
+
+}  // namespace rrmp::sim

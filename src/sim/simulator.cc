@@ -1,36 +1,101 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace rrmp::sim {
+namespace {
 
-TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
-  if (t < now_) t = now_;  // no scheduling into the past
-  std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return TimerId{id};
+constexpr std::uint32_t gen_of(TimerId id) {
+  return static_cast<std::uint32_t>(id.value >> 32);
+}
+constexpr TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return TimerId{(static_cast<std::uint64_t>(gen) << 32) |
+                 (static_cast<std::uint64_t>(slot) + 1)};
 }
 
-void Simulator::cancel(TimerId id) { callbacks_.erase(id.value); }
+// Only compact a heap that is at least this large: tiny heaps are cheap to
+// skip through lazily, and the bound keeps compaction O(1) amortized per
+// cancel (each sweep removes more dead entries than it will see again before
+// the next sweep can trigger).
+constexpr std::size_t kCompactMinHeap = 64;
+
+}  // namespace
+
+bool Simulator::slot_matches(TimerId id, std::uint32_t& slot_out) const {
+  std::uint64_t biased = id.value & 0xFFFFFFFFULL;
+  if (biased == 0 || biased > slots_.size()) return false;
+  slot_out = static_cast<std::uint32_t>(biased - 1);
+  return slots_[slot_out].gen == gen_of(id);
+}
+
+std::uint32_t Simulator::acquire_slot(Callback fn) {
+  std::uint32_t slot;
+  if (free_head_ != 0) {
+    slot = free_head_ - 1;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(fn);
+  ++live_;
+  return slot;
+}
+
+Callback Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  Callback cb = std::move(s.cb);
+  ++s.gen;  // invalidates every outstanding handle and heap entry
+  s.next_free = free_head_;
+  free_head_ = slot + 1;
+  --live_;
+  return cb;
+}
+
+TimerId Simulator::schedule_at(TimePoint t, Callback fn) {
+  if (t < now_) t = now_;  // no scheduling into the past
+  std::uint32_t slot = acquire_slot(std::move(fn));
+  std::uint32_t gen = slots_[slot].gen;
+  heap_.push_back(Entry{t, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+  return make_id(slot, gen);
+}
+
+void Simulator::cancel(TimerId id) {
+  std::uint32_t slot;
+  if (!slot_matches(id, slot)) return;  // fired, cancelled, reused, or forged
+  release_slot(slot);  // destroys the callback; the heap entry dies lazily
+  maybe_compact();
+}
 
 bool Simulator::pending(TimerId id) const {
-  return callbacks_.find(id.value) != callbacks_.end();
+  std::uint32_t slot;
+  return slot_matches(id, slot);
+}
+
+void Simulator::maybe_compact() {
+  // Dead entries (cancelled, not yet popped) are heap size minus live count;
+  // sweep once they outnumber the live ones.
+  if (heap_.size() < kCompactMinHeap || heap_.size() - live_ <= live_) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return slots_[e.slot].gen != e.gen;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), HeapLater{});
 }
 
 bool Simulator::step() {
   while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    Entry e = heap_.back();
+    heap_.pop_back();
+    if (slots_[e.slot].gen != e.gen) continue;  // cancelled
+    Callback cb = release_slot(e.slot);
     assert(e.time >= now_);
     now_ = e.time;
     ++fired_;
-    fn();
+    cb();
     return true;
   }
   return false;
@@ -44,9 +109,10 @@ std::size_t Simulator::run(std::size_t max_events) {
 
 TimePoint Simulator::next_event_time() {
   while (!heap_.empty()) {
-    const Entry& e = heap_.top();
-    if (callbacks_.find(e.id) != callbacks_.end()) return e.time;
-    heap_.pop();  // cancelled: drop the dead entry
+    const Entry& e = heap_.front();
+    if (slots_[e.slot].gen == e.gen) return e.time;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();  // cancelled: drop the dead entry
   }
   return TimePoint::max();
 }
@@ -55,9 +121,10 @@ std::size_t Simulator::run_until(TimePoint t) {
   std::size_t n = 0;
   while (!heap_.empty()) {
     // Skip dead entries at the top so their (stale) times don't gate us.
-    const Entry& e = heap_.top();
-    if (callbacks_.find(e.id) == callbacks_.end()) {
-      heap_.pop();
+    const Entry& e = heap_.front();
+    if (slots_[e.slot].gen != e.gen) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+      heap_.pop_back();
       continue;
     }
     if (e.time > t) break;

@@ -1,21 +1,34 @@
 // Deterministic discrete-event simulator.
 //
 // Events fire in (time, insertion-sequence) order, so simultaneous events run
-// FIFO and whole-cluster runs replay bit-identically. Timers are cancellable;
-// cancellation is O(1) (lazy: the heap entry is skipped when popped).
+// FIFO and whole-cluster runs replay bit-identically.
+//
+// Storage: callbacks live in a slab of generation-tagged slots; the ordering
+// heap holds only plain {time, seq, slot, generation} records. Scheduling
+// reuses a free slot (no hashing, no node allocation), firing moves the
+// callback out and releases the slot, and cancel is O(1): bump the slot's
+// generation so the heap record dies. With sim::Callback's 48-byte inline
+// buffer, schedule/fire/cancel never touch the allocator for typical
+// captures once the slab and heap vectors are warm.
+//
+// Cancelled heap records are skipped lazily when popped; when they outnumber
+// the live events (and the heap is non-trivial) the heap is compacted in one
+// O(n) sweep, so a cancel-heavy workload cannot grow the heap without bound.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
+#include "sim/callback.h"
 
 namespace rrmp::sim {
 
-/// Handle for a scheduled event; pass to Simulator::cancel.
+/// Handle for a scheduled event; pass to Simulator::cancel. Packs the slab
+/// slot index (low 32 bits, offset by 1 so 0 stays "no timer") with the
+/// slot's generation at scheduling time (high 32 bits): a handle whose
+/// generation no longer matches its slot is stale — fired, cancelled, or
+/// from a reused slot — and cancel/pending treat it as a safe no-op.
 struct TimerId {
   std::uint64_t value = 0;
   friend bool operator==(TimerId, TimerId) = default;
@@ -32,14 +45,15 @@ class Simulator {
   TimePoint now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (clamped to now()).
-  TimerId schedule_at(TimePoint t, std::function<void()> fn);
+  TimerId schedule_at(TimePoint t, Callback fn);
 
   /// Schedule `fn` to run after `d` (>= Duration::zero()).
-  TimerId schedule_after(Duration d, std::function<void()> fn) {
+  TimerId schedule_after(Duration d, Callback fn) {
     return schedule_at(now_ + d, std::move(fn));
   }
 
-  /// Cancel a pending event. Safe on already-fired or invalid ids.
+  /// Cancel a pending event in O(1). Safe on already-fired, already-
+  /// cancelled, reused-slot, and never-issued ids.
   void cancel(TimerId id);
 
   /// True if the event is still pending (scheduled, not fired, not cancelled).
@@ -61,29 +75,45 @@ class Simulator {
   /// epoch windows over idle stretches.
   TimePoint next_event_time();
 
-  std::size_t pending_count() const { return callbacks_.size(); }
+  std::size_t pending_count() const { return live_; }
   std::uint64_t fired_count() const { return fired_; }
 
  private:
   struct Entry {
     TimePoint time;
     std::uint64_t seq;  // tie-breaker: FIFO among simultaneous events
-    std::uint64_t id;
-    // Ordered for a min-heap via std::greater.
-    friend bool operator>(const Entry& a, const Entry& b) {
+    std::uint32_t slot;
+    std::uint32_t gen;
+    // Ordered for a min-heap via HeapLater.
+    friend bool later(const Entry& a, const Entry& b) {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  struct HeapLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return later(a, b);
+    }
+  };
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = 0;  // free-list link (index + 1; 0 = end)
+  };
+
+  bool slot_matches(TimerId id, std::uint32_t& slot_out) const;
+  std::uint32_t acquire_slot(Callback fn);
+  Callback release_slot(std::uint32_t slot);
+  void maybe_compact();
 
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  // id -> callback; erased on fire or cancel. A heap entry whose id is no
-  // longer present is a cancelled event and is skipped.
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+  std::size_t live_ = 0;       // armed slots == live heap entries
+  std::vector<Entry> heap_;    // min-heap via std::push_heap/pop_heap
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = 0;  // index + 1 into slots_; 0 = empty
 };
 
 }  // namespace rrmp::sim

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <set>
+#include <type_traits>
 
 #include "common/bytes.h"
 #include "common/random.h"
@@ -360,6 +361,175 @@ TEST(BytesTest, EmptyReaderIsDone) {
   EXPECT_EQ(r.remaining(), 0u);
   (void)r.get_u8();
   EXPECT_FALSE(r.ok());
+}
+
+// ------------------------------------------------------------ binomial ----
+
+TEST(RandomTest, BinomialKnownAnswerVectorsInversionRegime) {
+  // n·p = 6 < 30: BINV inversion path. Pins the exact draw sequence so
+  // Monte Carlo drivers (fig3/fig4) replay bit-identically across refactors.
+  RandomEngine rng(42);
+  const std::uint64_t expected[] = {3, 11, 11, 4, 7, 7, 5, 6};
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.binomial(100, 0.06), e);
+}
+
+TEST(RandomTest, BinomialKnownAnswerVectorsBtpeRegime) {
+  // n·p = 300 >= 30: BTPE rejection path.
+  RandomEngine rng(42);
+  const std::uint64_t expected[] = {278, 339, 303, 301, 308, 300, 294, 296};
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.binomial(1000, 0.3), e);
+}
+
+TEST(RandomTest, BinomialKnownAnswerVectorsFlippedP) {
+  // p > 0.5 runs the flipped (n - Binomial(n, 1-p)) path through BTPE.
+  RandomEngine rng(7);
+  const std::uint64_t expected[] = {408, 401, 387, 397, 406, 407, 395, 390};
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.binomial(500, 0.8), e);
+}
+
+TEST(RandomTest, BinomialEdgeCases) {
+  RandomEngine rng(1);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.binomial(100, -3.0), 0u);  // clamped
+  EXPECT_EQ(rng.binomial(100, 7.0), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_LE(rng.binomial(10, 0.5), 10u);
+}
+
+TEST(RandomTest, BinomialMomentsMatchAcrossRegimes) {
+  // 100k-trial mean/variance checks in every algorithmic regime: inversion,
+  // BTPE, and the flipped variants of both.
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  for (Case c : {Case{100, 0.06}, Case{100, 0.97}, Case{1000, 0.3},
+                 Case{2000, 0.75}}) {
+    RandomEngine rng(0xB10'0000 + c.n);
+    const int kTrials = 100000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < kTrials; ++i) {
+      auto k = static_cast<double>(rng.binomial(c.n, c.p));
+      sum += k;
+      sum_sq += k * k;
+    }
+    double mean = sum / kTrials;
+    double var = sum_sq / kTrials - mean * mean;
+    double want_mean = static_cast<double>(c.n) * c.p;
+    double want_var = want_mean * (1.0 - c.p);
+    double sd = std::sqrt(want_var);
+    // Mean within 5 standard errors; variance within 10%.
+    EXPECT_NEAR(mean, want_mean, 5.0 * sd / std::sqrt(double(kTrials)))
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, want_var, 0.10 * want_var) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(RandomTest, BinomialMatchesBernoulliSumDistribution) {
+  // Coarse PMF cross-check against the definition: P(k=0) for n=100,
+  // p=C/n is ~e^-C (the paper's Figure 4 quantity).
+  RandomEngine rng(99);
+  const int kTrials = 200000;
+  int none = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.binomial(100, 0.03) == 0) ++none;
+  }
+  double p_none = static_cast<double>(none) / kTrials;
+  EXPECT_NEAR(p_none, std::pow(1.0 - 0.03, 100.0), 0.005);
+}
+
+// --------------------------------------------------------- SharedBytes ----
+
+TEST(SharedBytesTest, OwnsMovedVectorWithoutCopy) {
+  std::vector<std::uint8_t> v = {1, 2, 3, 4};
+  const std::uint8_t* raw = v.data();
+  SharedBytes b(std::move(v));
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.data(), raw);  // took ownership, no copy
+}
+
+TEST(SharedBytesTest, CopiesShareOneOwner) {
+  SharedBytes a({10, 20, 30});
+  SharedBytes b = a;
+  SharedBytes c = b;
+  EXPECT_TRUE(a.shares_owner_with(b));
+  EXPECT_TRUE(a.shares_owner_with(c));
+  EXPECT_EQ(a.data(), c.data());
+  EXPECT_EQ(a, c);
+}
+
+TEST(SharedBytesTest, SliceAliasesOwnerAndSurvivesIt) {
+  SharedBytes whole({1, 2, 3, 4, 5, 6});
+  SharedBytes mid = whole.slice(2, 3);
+  EXPECT_TRUE(mid.shares_owner_with(whole));
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.data(), whole.data() + 2);
+  // The slice keeps the allocation alive after the original handle dies.
+  whole = SharedBytes();
+  EXPECT_EQ(mid, SharedBytes({3, 4, 5}));
+}
+
+TEST(SharedBytesTest, MutationAfterShareIsImpossible) {
+  // The owner is const and the API exposes no mutator: sharing is safe by
+  // construction. Pin the read-only surface at compile time.
+  static_assert(std::is_const_v<
+                std::remove_pointer_t<decltype(SharedBytes().data())>>);
+  static_assert(
+      std::is_same_v<decltype(SharedBytes().span()),
+                     std::span<const std::uint8_t>>);
+  // And the source vector is detached: mutating it after handoff by value
+  // cannot reach the shared buffer.
+  std::vector<std::uint8_t> v = {9, 9, 9};
+  SharedBytes b = SharedBytes::copy_of(v);
+  v[0] = 0;
+  EXPECT_EQ(b, SharedBytes({9, 9, 9}));
+}
+
+TEST(SharedBytesTest, EqualityIsByContents) {
+  SharedBytes a({1, 2, 3});
+  SharedBytes b({1, 2, 3});
+  EXPECT_FALSE(a.shares_owner_with(b));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == SharedBytes({1, 2, 4}));
+  EXPECT_FALSE(a == SharedBytes({1, 2}));
+  EXPECT_EQ(SharedBytes(), SharedBytes(std::vector<std::uint8_t>{}));
+}
+
+TEST(SharedBytesTest, ReaderBlobsAliasTheSourceBuffer) {
+  ByteWriter w;
+  w.put_u32(7);
+  w.put_bytes(std::vector<std::uint8_t>{5, 6, 7, 8});
+  SharedBytes wire(w.take());
+
+  ByteReader r(wire);
+  EXPECT_EQ(r.get_u32(), 7u);
+  SharedBytes blob = r.get_shared_bytes();
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(blob, SharedBytes({5, 6, 7, 8}));
+  EXPECT_TRUE(blob.shares_owner_with(wire));  // zero-copy decode
+
+  // Span-based readers (no owner) fall back to copying.
+  ByteReader r2(wire.span());
+  (void)r2.get_u32();
+  SharedBytes copied = r2.get_shared_bytes();
+  EXPECT_EQ(copied, blob);
+  EXPECT_FALSE(copied.shares_owner_with(wire));
+}
+
+TEST(SharedBytesTest, SmallBlobInLargeBufferIsCopiedNotAliased) {
+  // Aliasing is capped: a blob that is a small fraction of its source
+  // buffer (e.g. one payload among many in a Handoff batch) is copied so a
+  // retained payload cannot pin an arbitrarily larger wire allocation.
+  ByteWriter w;
+  w.put_bytes(std::vector<std::uint8_t>{1, 2, 3, 4});
+  w.put_raw(std::vector<std::uint8_t>(500, 0xEE));  // bulk the buffer out
+  SharedBytes wire(w.take());
+
+  ByteReader r(wire);
+  SharedBytes blob = r.get_shared_bytes();
+  EXPECT_EQ(blob, SharedBytes({1, 2, 3, 4}));
+  EXPECT_FALSE(blob.shares_owner_with(wire));
 }
 
 }  // namespace

@@ -253,5 +253,38 @@ TEST(SimNetworkTest, AttachNullHandlerThrows) {
   EXPECT_THROW(f.net.attach(0, nullptr), std::invalid_argument);
 }
 
+TEST(SimNetworkTest, FanOutRecipientsShareOnePayloadAllocation) {
+  // Zero-copy delivery contract: every recipient of a regional multicast
+  // sees the *same* payload buffer, not a per-recipient copy.
+  NetFixture f;
+  proto::Data d{MessageId{0, 1}, {9, 8, 7, 6}};
+  f.net.multicast_region(0, proto::Message{d});
+  f.sim.run();
+  ASSERT_EQ(f.handlers[1].received.size(), 1u);
+  ASSERT_EQ(f.handlers[2].received.size(), 1u);
+  const auto& p1 = std::get<proto::Data>(f.handlers[1].received[0].msg).payload;
+  const auto& p2 = std::get<proto::Data>(f.handlers[2].received[0].msg).payload;
+  EXPECT_EQ(p1, d.payload);
+  EXPECT_TRUE(p1.shares_owner_with(d.payload));
+  EXPECT_TRUE(p1.shares_owner_with(p2));
+}
+
+TEST(SimNetworkTest, CodecRoundTripFanOutSharesOneWireBuffer) {
+  // With codec_roundtrip on, the message is encoded once per multicast and
+  // every recipient's payload aliases that single wire buffer.
+  NetFixture f;
+  f.net.set_codec_roundtrip(true);
+  proto::Data d{MessageId{0, 2}, {1, 2, 3}};
+  f.net.multicast_region(0, proto::Message{d});
+  f.sim.run();
+  ASSERT_EQ(f.handlers[1].received.size(), 1u);
+  ASSERT_EQ(f.handlers[2].received.size(), 1u);
+  const auto& p1 = std::get<proto::Data>(f.handlers[1].received[0].msg).payload;
+  const auto& p2 = std::get<proto::Data>(f.handlers[2].received[0].msg).payload;
+  EXPECT_EQ(p1, d.payload);
+  EXPECT_FALSE(p1.shares_owner_with(d.payload));  // re-decoded from the wire
+  EXPECT_TRUE(p1.shares_owner_with(p2));          // ... which is shared
+}
+
 }  // namespace
 }  // namespace rrmp::net

@@ -132,6 +132,65 @@ TEST(CodecTest, EncodedSizeMatchesEncoding) {
   EXPECT_EQ(encoded_size(m), encode(m).size());
 }
 
+TEST(CodecTest, EncodedSizeMatchesEncodingForEveryType) {
+  // encoded_size is computed arithmetically (no buffer materialized); it
+  // must agree with the real encoder byte for byte, including varint-width
+  // boundaries in blob lengths and repeated-field counts.
+  std::vector<Message> msgs = {
+      Message{Data{MessageId{1, 2}, std::vector<std::uint8_t>(127, 1)}},
+      Message{Data{MessageId{1, 2}, std::vector<std::uint8_t>(128, 1)}},
+      Message{Session{7, 1ULL << 40}},
+      Message{LocalRequest{MessageId{3, 4}, 9}},
+      Message{RemoteRequest{MessageId{3, 4}, 9}},
+      Message{Repair{MessageId{5, 6}, {1, 2, 3}, true}},
+      Message{RegionalRepair{MessageId{5, 6}, {}, 2}},
+      Message{SearchRequest{MessageId{7, 8}, 1}},
+      Message{SearchFound{MessageId{7, 8}, 1}},
+      Message{Handoff{{Data{MessageId{1, 1}, {1}},
+                       Data{MessageId{1, 2}, std::vector<std::uint8_t>(200, 2)}}}},
+      Message{Gossip{1, {{2, 3}, {4, 5}}}},
+      Message{History{1, {SourceHistory{2, 10, {0xFF, 0x00}}}}},
+  };
+  for (const Message& m : msgs) {
+    EXPECT_EQ(encoded_size(m), encode(m).size()) << type_name(m);
+  }
+}
+
+TEST(CodecTest, DecodeSharedAliasesPayloadBlobs) {
+  // Zero-copy decode: payload fields borrow the wire buffer instead of
+  // copying, for both top-level and Handoff-nested Data.
+  Data d{MessageId{3, 99}, {10, 20, 30}};
+  SharedBytes wire = encode_shared(Message{d});
+  auto decoded = decode_shared(wire);
+  ASSERT_TRUE(decoded.has_value());
+  const Data& out = std::get<Data>(*decoded);
+  EXPECT_EQ(out, d);
+  EXPECT_TRUE(out.payload.shares_owner_with(wire));
+
+  SharedBytes rep_wire =
+      encode_shared(Message{Repair{MessageId{1, 2}, {7, 8}, true}});
+  auto rep = decode_shared(rep_wire);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_TRUE(std::get<Repair>(*rep).payload.shares_owner_with(rep_wire));
+
+  SharedBytes ho_wire = encode_shared(
+      Message{Handoff{{Data{MessageId{1, 1}, {1, 2}},
+                       Data{MessageId{1, 2}, {3, 4}}}}});
+  auto ho = decode_shared(ho_wire);
+  ASSERT_TRUE(ho.has_value());
+  for (const Data& nested : std::get<Handoff>(*ho).messages) {
+    EXPECT_TRUE(nested.payload.shares_owner_with(ho_wire));
+  }
+}
+
+TEST(CodecTest, DecodeSharedRejectsLikeDecode) {
+  // Same accept/reject behaviour as decode(span) on malformed input.
+  EXPECT_FALSE(decode_shared(SharedBytes()).has_value());
+  EXPECT_FALSE(decode_shared(SharedBytes({0xEE, 1, 2})).has_value());
+  SharedBytes truncated({static_cast<std::uint8_t>(MessageType::kData), 1});
+  EXPECT_FALSE(decode_shared(truncated).has_value());
+}
+
 // --------------------------------------------------------- malformed input ----
 
 TEST(CodecFuzzTest, EmptyInputRejected) {

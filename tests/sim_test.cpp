@@ -1,9 +1,38 @@
-// Unit tests: discrete-event simulator ordering, timers, determinism.
+// Unit tests: discrete-event simulator ordering, timers, determinism, the
+// slab timer store's generation-tagged handles, and sim::Callback's
+// small-buffer optimization (including an allocation-count assertion that
+// schedule/fire is heap-free for inline captures).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <vector>
 
 #include "sim/simulator.h"
+
+// Global allocation counter: counts every operator-new in this test binary
+// so AllocationFree* tests can assert the schedule/fire path stays off the
+// heap. Counting is unconditional and thread-safe; the overhead is
+// irrelevant for a unit-test binary.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  ++g_alloc_count;
+  if (n == 0) n = 1;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace rrmp::sim {
 namespace {
@@ -159,6 +188,206 @@ TEST(SimulatorTest, PendingCountTracksLiveEvents) {
   EXPECT_EQ(sim.pending_count(), 1u);
   sim.run();
   EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+// ------------------------------------------------- slab handle safety ----
+
+TEST(SlabHandleTest, HandleFromReusedSlotDoesNotCancelNewTimer) {
+  Simulator sim;
+  // Fire `a`, freeing its slot; the next schedule reuses that slot with a
+  // bumped generation, so the stale handle must be inert against it.
+  TimerId a = sim.schedule_after(Duration::micros(1), [] {});
+  sim.run();
+  bool fired = false;
+  TimerId b = sim.schedule_after(Duration::micros(1), [&] { fired = true; });
+  EXPECT_NE(a.value, b.value);  // same slot, different generation
+  sim.cancel(a);                // stale: must not kill b
+  EXPECT_TRUE(sim.pending(b));
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SlabHandleTest, CancelledSlotReuseKeepsHandlesDistinct) {
+  Simulator sim;
+  TimerId a = sim.schedule_after(Duration::micros(10), [] {});
+  sim.cancel(a);
+  bool fired = false;
+  TimerId b = sim.schedule_after(Duration::micros(10), [&] { fired = true; });
+  EXPECT_FALSE(sim.pending(a));
+  EXPECT_TRUE(sim.pending(b));
+  sim.cancel(a);  // double-cancel of a stale handle over a reused slot
+  EXPECT_TRUE(sim.pending(b));
+  sim.run();
+  EXPECT_TRUE(fired);
+  sim.cancel(b);  // cancel-after-fire
+  EXPECT_FALSE(sim.pending(b));
+}
+
+TEST(SlabHandleTest, CancelFloodCompactsHeap) {
+  // Schedule-and-cancel far more events than ever fire: the lazy heap must
+  // not accumulate dead entries without bound (the pre-slab design kept
+  // them until popped). pending_count() stays exact throughout.
+  Simulator sim;
+  sim.schedule_after(Duration::seconds(100), [] {});
+  for (int round = 0; round < 1000; ++round) {
+    std::vector<TimerId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(sim.schedule_after(Duration::seconds(1 + i), [] {}));
+    }
+    for (TimerId id : ids) sim.cancel(id);
+    EXPECT_EQ(sim.pending_count(), 1u);
+  }
+  EXPECT_EQ(sim.run(), 1u);  // only the long-lived event ever fires
+}
+
+TEST(SlabHandleTest, OrderingUnchangedAcrossCancelCompaction) {
+  // Compaction rebuilds the heap; (time, seq) FIFO order must survive.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(TimePoint::from_us(100 + i % 5), [&order, i] {
+      order.push_back(i);
+    });
+    // Interleave cancelled noise to force dead-entry buildup + compaction.
+    std::vector<TimerId> noise;
+    for (int j = 0; j < 10; ++j) {
+      noise.push_back(sim.schedule_at(TimePoint::from_us(50), [] {}));
+    }
+    for (TimerId id : noise) sim.cancel(id);
+  }
+  sim.run();
+  // Same fire time bucket => FIFO by insertion; buckets ordered by time.
+  std::vector<int> expected;
+  for (int t = 0; t < 5; ++t) {
+    for (int i = 0; i < 50; ++i) {
+      if (i % 5 == t) expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+// ------------------------------------------------------- sim::Callback ----
+
+TEST(CallbackTest, SmallCapturesAreInline) {
+  int x = 0;
+  Callback small([&x] { ++x; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(x, 1);
+
+  struct {  // exactly at the 48-byte boundary
+    void* a;
+    std::uint64_t b[5];
+  } cap{&x, {1, 2, 3, 4, 5}};
+  static_assert(sizeof(cap) == Callback::kInlineCapacity);
+  Callback boundary([cap] { ++*static_cast<int*>(cap.a); });
+  EXPECT_TRUE(boundary.is_inline());
+  boundary();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(CallbackTest, OversizedCapturesFallBackToHeap) {
+  int x = 0;
+  std::uint64_t big[7] = {1, 2, 3, 4, 5, 6, 7};  // 56 bytes of capture
+  Callback cb([&x, big] { x += static_cast<int>(big[6]); });
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(CallbackTest, MoveTransfersStateBothPaths) {
+  // Inline: state is relocated into the destination buffer.
+  int n = 0;
+  Callback a([&n] { ++n; });
+  Callback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(b.is_inline());
+  b();
+  EXPECT_EQ(n, 1);
+
+  // Heap: the pointer is stolen, so captured state keeps its address.
+  auto token = std::make_shared<int>(5);
+  std::uint64_t pad[6] = {};
+  Callback c([token, pad, &n] { n += *token + static_cast<int>(pad[0]); });
+  EXPECT_FALSE(c.is_inline());
+  EXPECT_EQ(token.use_count(), 2);
+  Callback d = std::move(c);
+  EXPECT_EQ(token.use_count(), 2);  // moved, not copied
+  d();
+  EXPECT_EQ(n, 6);
+  d = nullptr;  // destroys the capture
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(CallbackTest, MoveAssignmentReleasesPreviousTarget) {
+  auto old_state = std::make_shared<int>(1);
+  Callback target([old_state] { (void)*old_state; });
+  EXPECT_EQ(old_state.use_count(), 2);
+  int hits = 0;
+  target = Callback([&hits] { ++hits; });
+  EXPECT_EQ(old_state.use_count(), 1);  // previous capture destroyed
+  target();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(CallbackTest, InvokingEmptyCallbackThrowsLikeStdFunction) {
+  Callback empty;
+  EXPECT_THROW(empty(), std::bad_function_call);
+  Callback moved_from([] {});
+  Callback taken = std::move(moved_from);
+  EXPECT_THROW(moved_from(), std::bad_function_call);
+  taken();  // the moved-to callable still works
+}
+
+TEST(CallbackTest, WrapsStdFunctionInline) {
+  // std::function (32 bytes) fits the inline buffer: adapting legacy
+  // std::function-based callers adds no wrapper allocation.
+  int x = 0;
+  std::function<void()> fn = [&x] { ++x; };
+  Callback cb(std::move(fn));
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(x, 1);
+}
+
+// ----------------------------------------------- allocation-free paths ----
+
+TEST(AllocationFreeTest, ScheduleFireCancelOfInlineCapturesIsHeapFree) {
+  Simulator sim;
+  // Warm-up: size the slab and heap vectors (64 concurrent timers), then
+  // reuse them.
+  std::vector<TimerId> warm;
+  for (int i = 0; i < 64; ++i) {
+    warm.push_back(sim.schedule_after(Duration::micros(i), [] {}));
+  }
+  for (TimerId id : warm) sim.cancel(id);
+  sim.run();
+
+  struct {
+    void* self;
+    std::uint64_t id[4];
+  } cap{&sim, {1, 2, 3, 4}};  // 40 bytes: typical `this` + MessageId capture
+  std::uint64_t fired = 0;
+
+  std::uint64_t before = g_alloc_count.load();
+  for (int round = 0; round < 100; ++round) {
+    TimerId keep =
+        sim.schedule_after(Duration::micros(1), [cap, &fired] {
+          ++fired;
+          (void)cap;
+        });
+    TimerId victim = sim.schedule_after(Duration::micros(2), [cap, &fired] {
+      ++fired;
+      (void)cap;
+    });
+    sim.cancel(victim);
+    sim.run();
+    (void)keep;
+  }
+  std::uint64_t allocs = g_alloc_count.load() - before;
+  EXPECT_EQ(fired, 100u);
+  EXPECT_EQ(allocs, 0u) << "schedule/fire/cancel must not allocate for "
+                           "captures <= Callback::kInlineCapacity bytes";
 }
 
 }  // namespace
