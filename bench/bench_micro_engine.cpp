@@ -105,14 +105,15 @@ class BenchEnv final : public buffer::PolicyEnv {
 
 void BM_TwoPhaseStoreDiscard(benchmark::State& state) {
   BenchEnv env;
-  buffer::TwoPhasePolicy policy(buffer::TwoPhaseParams{});
-  policy.bind(&env);
+  buffer::BufferStore store(
+      std::make_unique<buffer::TwoPhasePolicy>(buffer::TwoPhaseParams{}));
+  store.bind(&env);
   std::uint64_t seq = 0;
   std::vector<std::uint8_t> payload(256, 1);
   for (auto _ : state) {
     MessageId id{1, ++seq};
-    policy.store(proto::Data{id, payload});
-    policy.force_discard(id);
+    store.store(proto::Data{id, payload});
+    store.force_discard(id);
   }
   state.SetItemsProcessed(state.iterations());
 }

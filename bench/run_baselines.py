@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Run the fig3-fig9 paper-reproduction benches and merge their JSON reports
+"""Run the baseline benches (fig3-fig9 paper reproductions + the capacity-sweep
+extension) and merge their JSON reports
 into a single baseline file (BENCH_baseline.json at the repo root by default).
 
 Each bench binary writes $RRMP_BENCH_JSON_DIR/<name>.json when that env var
@@ -23,6 +24,7 @@ import time
 
 # The paper-figure reproductions that constitute the baseline trajectory.
 FIG_BENCHES = [
+    "bench_ext_capacity_sweep",
     "bench_fig3_longterm_distribution",
     "bench_fig4_no_bufferer",
     "bench_fig6_shortterm_buffering",
@@ -34,6 +36,7 @@ FIG_BENCHES = [
 # Google Benchmark binaries whose per-benchmark ns/op numbers are folded into
 # the baseline under the rrmp-micro/1 counter schema (see run_micro_bench).
 MICRO_BENCHES = [
+    "bench_micro_buffer",
     "bench_micro_codec",
     "bench_micro_engine",
 ]

@@ -24,7 +24,7 @@ struct RunStats {
 RunStats transfer(buffer::PolicyKind policy, const char* label) {
   harness::ClusterConfig config;
   config.region_sizes = {15, 15, 15};
-  config.policy = policy;
+  config.policy = buffer::default_spec(policy);
   config.data_loss = 0.08;
   config.seed = 424242;
   harness::Cluster cluster(config);

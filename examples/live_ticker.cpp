@@ -19,7 +19,8 @@ int main() {
   config.region_sizes = {24};
   config.data_loss = 0.10;
   config.seed = 7777;
-  config.policy_params.two_phase.long_term_ttl = Duration::seconds(2);
+  std::get<buffer::TwoPhaseParams>(config.policy).long_term_ttl =
+      Duration::seconds(2);
   harness::Cluster cluster(config);
 
   constexpr int kTicks = 1000;           // one tick per 10 ms: 10 s stream

@@ -2,6 +2,7 @@
 //
 //   $ ./scenario_cli --regions=30,20 --messages=50 --loss=0.2
 //                    --policy=two-phase --C=6 --T=40 --lambda=1 --seed=7
+//   $ ./scenario_cli --policy=fixed-time --ttl=120 --buffer-bytes=16384
 //   $ ./scenario_cli --policy=stability --csv
 //
 // Streams `--messages` multicasts from member 0 through the simulated
@@ -30,6 +31,11 @@ struct Options {
   std::string policy = "two-phase";
   double c = 6.0;
   std::int64_t t_ms = 40;
+  std::int64_t ttl_ms = 100;       // fixed-time TTL
+  std::size_t hash_k = 6;          // hash-based bufferers per message
+  std::int64_t grace_ms = 40;      // hash-based non-bufferer grace
+  std::size_t buffer_bytes = 0;    // per-member byte budget, 0 = unlimited
+  std::size_t buffer_count = 0;    // per-member entry budget, 0 = unlimited
   double lambda = 1.0;
   std::uint64_t seed = 1;
   std::size_t payload = 256;
@@ -50,6 +56,13 @@ void print_usage() {
       "                        hash-based|stability (two-phase)\n"
       "  --C=X                 expected long-term bufferers per region (6)\n"
       "  --T=MS                idle threshold in ms (40)\n"
+      "  --ttl=MS              fixed-time policy TTL in ms (100)\n"
+      "  --k=N                 hash-based bufferers per message (6)\n"
+      "  --grace=MS            hash-based non-bufferer grace in ms (40)\n"
+      "  --buffer-bytes=N      per-member buffer budget in wire bytes\n"
+      "                        (0 = unlimited)\n"
+      "  --buffer-count=N      per-member buffer budget in messages\n"
+      "                        (0 = unlimited)\n"
       "  --lambda=X            expected remote requests per regional loss (1)\n"
       "  --payload=BYTES       message payload size (256)\n"
       "  --interval=MS         send interval (5)\n"
@@ -97,6 +110,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.c = std::strtod(v.c_str(), nullptr);
     } else if (eat("--T=", v)) {
       opt.t_ms = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (eat("--ttl=", v)) {
+      opt.ttl_ms = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (eat("--k=", v)) {
+      opt.hash_k = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--grace=", v)) {
+      opt.grace_ms = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (eat("--buffer-bytes=", v)) {
+      opt.buffer_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--buffer-count=", v)) {
+      opt.buffer_count = std::strtoull(v.c_str(), nullptr, 10);
     } else if (eat("--lambda=", v)) {
       opt.lambda = std::strtod(v.c_str(), nullptr);
     } else if (eat("--payload=", v)) {
@@ -115,16 +138,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return true;
 }
 
-bool policy_from_name(const std::string& name, buffer::PolicyKind& out) {
-  using PK = buffer::PolicyKind;
-  for (PK kind : {PK::kTwoPhase, PK::kFixedTime, PK::kBufferEverything,
-                  PK::kHashBased, PK::kStability}) {
-    if (name == buffer::to_string(kind)) {
-      out = kind;
-      return true;
-    }
+/// Build the self-describing PolicySpec from the per-policy knobs.
+buffer::PolicySpec spec_from_options(buffer::PolicyKind kind,
+                                     const Options& opt) {
+  switch (kind) {
+    case buffer::PolicyKind::kTwoPhase:
+      return buffer::TwoPhaseParams{Duration::millis(opt.t_ms), opt.c};
+    case buffer::PolicyKind::kFixedTime:
+      return buffer::FixedTimeParams{Duration::millis(opt.ttl_ms)};
+    case buffer::PolicyKind::kBufferEverything:
+      return buffer::BufferEverythingParams{};
+    case buffer::PolicyKind::kHashBased:
+      return buffer::HashBasedParams{opt.hash_k,
+                                     Duration::millis(opt.grace_ms)};
+    case buffer::PolicyKind::kStability: return buffer::StabilityParams{};
   }
-  return false;
+  return buffer::TwoPhaseParams{};
 }
 
 }  // namespace
@@ -140,7 +169,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   buffer::PolicyKind kind;
-  if (!policy_from_name(opt.policy, kind)) {
+  if (!buffer::kind_from_name(opt.policy, kind)) {
     std::fprintf(stderr, "unknown policy '%s'\n", opt.policy.c_str());
     print_usage();
     return 2;
@@ -151,14 +180,28 @@ int main(int argc, char** argv) {
   cc.data_loss = opt.loss;
   cc.control_loss = opt.control_loss;
   cc.seed = opt.seed;
-  cc.policy = kind;
-  cc.policy_params.two_phase.C = opt.c;
-  cc.policy_params.two_phase.idle_threshold = Duration::millis(opt.t_ms);
-  cc.policy_params.hash.k = static_cast<std::size_t>(opt.c);
+  cc.policy = spec_from_options(kind, opt);
+  cc.protocol.buffer_budget =
+      buffer::BufferBudget{opt.buffer_bytes, opt.buffer_count};
   cc.protocol.lambda = opt.lambda;
   cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
                            ? BuffererLookup::kHashDirect
                            : BuffererLookup::kRandomized;
+  if (kind == buffer::PolicyKind::kHashBased) {
+    cc.protocol.hash_k =
+        static_cast<std::uint32_t>(std::get<buffer::HashBasedParams>(cc.policy).k);
+  }
+
+  // Run header: the chosen spec and budget, so every run is self-describing.
+  std::printf("policy: %s\n", buffer::describe(cc.policy).c_str());
+  if (cc.protocol.buffer_budget.unlimited()) {
+    std::printf("budget: unlimited\n");
+  } else {
+    std::printf("budget: %zu bytes, %zu msgs per member (0 = unlimited)\n",
+                cc.protocol.buffer_budget.max_bytes,
+                cc.protocol.buffer_budget.max_count);
+  }
+
   harness::Cluster cluster(cc);
 
   for (std::size_t i = 0; i < opt.messages; ++i) {
@@ -179,9 +222,14 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = 1; s <= opt.messages; ++s) {
     if (!cluster.all_received(MessageId{0, s})) ++undelivered;
   }
-  std::size_t peak = 0;
+  std::size_t peak = 0, peak_bytes = 0;
+  std::uint64_t evictions = 0, rejected = 0;
   for (MemberId m = 0; m < cluster.size(); ++m) {
-    peak = std::max(peak, cluster.endpoint(m).buffer().stats().peak_count);
+    const buffer::BufferStats& bs = cluster.endpoint(m).buffer().stats();
+    peak = std::max(peak, bs.peak_count);
+    peak_bytes = std::max(peak_bytes, bs.peak_bytes);
+    evictions += bs.evicted;
+    rejected += bs.rejected;
   }
   std::vector<double> rec_ms;
   for (Duration d : cluster.metrics().recovery_latencies()) {
@@ -213,6 +261,10 @@ int main(int argc, char** argv) {
   table.add_row({"searches", analysis::Table::num(c.searches_started)});
   table.add_row({"peak buffer/member",
                  analysis::Table::num(static_cast<std::uint64_t>(peak))});
+  table.add_row({"peak buffer B/member",
+                 analysis::Table::num(static_cast<std::uint64_t>(peak_bytes))});
+  table.add_row({"evictions", analysis::Table::num(evictions)});
+  table.add_row({"rejected stores", analysis::Table::num(rejected)});
   table.add_row({"residual buffered msgs",
                  analysis::Table::num(
                      static_cast<std::uint64_t>(cluster.total_buffered()))});

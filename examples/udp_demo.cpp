@@ -21,7 +21,8 @@ int main() {
   config.seed = 99;
   config.data_loss = 0.30;
   config.protocol.session_interval = Duration::millis(20);
-  config.policy_params.two_phase.idle_threshold = Duration::millis(16);
+  std::get<buffer::TwoPhaseParams>(config.policy).idle_threshold =
+      Duration::millis(16);
 
   std::unique_ptr<harness::UdpRuntime> rt;
   try {

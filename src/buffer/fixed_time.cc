@@ -2,9 +2,9 @@
 
 namespace rrmp::buffer {
 
-void FixedTimePolicy::on_stored(Entry& e) {
-  MessageId id = e.data.id;
-  e.timer = env().schedule(ttl_, [this, id] { discard(id); });
+void FixedTimePolicy::on_stored(const MessageId& id) {
+  store().set_entry_timer(
+      id, env().schedule(params_.ttl, [this, id] { store().discard(id); }));
 }
 
 }  // namespace rrmp::buffer

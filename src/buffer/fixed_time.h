@@ -4,21 +4,30 @@
 #pragma once
 
 #include "buffer/policy.h"
+#include "buffer/store.h"
 
 namespace rrmp::buffer {
 
-class FixedTimePolicy final : public BufferPolicy {
+struct FixedTimeParams {
+  /// Every message is buffered for exactly this long.
+  Duration ttl = Duration::millis(100);
+
+  friend bool operator==(const FixedTimeParams&, const FixedTimeParams&) = default;
+};
+
+class FixedTimePolicy final : public RetentionPolicy {
  public:
-  explicit FixedTimePolicy(Duration ttl) : ttl_(ttl) {}
+  explicit FixedTimePolicy(FixedTimeParams params) : params_(params) {}
+  explicit FixedTimePolicy(Duration ttl) : params_{ttl} {}
 
   const char* name() const override { return "fixed-time"; }
-  Duration ttl() const { return ttl_; }
+  const FixedTimeParams& params() const { return params_; }
+  Duration ttl() const { return params_.ttl; }
 
- protected:
-  void on_stored(Entry& e) override;
+  void on_stored(const MessageId& id) override;
 
  private:
-  Duration ttl_;
+  FixedTimeParams params_;
 };
 
 }  // namespace rrmp::buffer

@@ -66,18 +66,20 @@ std::vector<MemberId> hash_bufferers(const MessageId& id,
   return selector.select(id, members, k);
 }
 
-void HashBasedPolicy::on_stored(Entry& e) {
+void HashBasedPolicy::on_stored(const MessageId& id) {
   const std::vector<MemberId>& members = env().region_members();
   hash_evaluations_ += members.size();
-  bool mine = selector_.selects(e.data.id, members, params_.k, env().self());
-  MessageId id = e.data.id;
+  bool mine = selector_.selects(id, members, params_.k, env().self());
   if (mine) {
-    promote_long_term(e);
+    store().promote_long_term(id);
     if (!params_.bufferer_ttl.is_infinite()) {
-      e.timer = env().schedule(params_.bufferer_ttl, [this, id] { discard(id); });
+      store().set_entry_timer(id, env().schedule(params_.bufferer_ttl, [this, id] {
+        store().discard(id);
+      }));
     }
   } else {
-    e.timer = env().schedule(params_.grace, [this, id] { discard(id); });
+    store().set_entry_timer(
+        id, env().schedule(params_.grace, [this, id] { store().discard(id); }));
   }
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "buffer/policy.h"
+#include "buffer/store.h"
 
 namespace rrmp::buffer {
 
@@ -57,9 +58,11 @@ struct HashBasedParams {
   Duration grace = Duration::millis(40);
   /// Eventual discard at the selected bufferers; infinite() disables.
   Duration bufferer_ttl = Duration::infinite();
+
+  friend bool operator==(const HashBasedParams&, const HashBasedParams&) = default;
 };
 
-class HashBasedPolicy final : public BufferPolicy {
+class HashBasedPolicy final : public RetentionPolicy {
  public:
   explicit HashBasedPolicy(HashBasedParams params) : params_(params) {}
 
@@ -70,8 +73,7 @@ class HashBasedPolicy final : public BufferPolicy {
   /// overhead" of §3.4; reported by the baseline benchmark).
   std::uint64_t hash_evaluations() const { return hash_evaluations_; }
 
- protected:
-  void on_stored(Entry& e) override;
+  void on_stored(const MessageId& id) override;
 
  private:
   HashBasedParams params_;

@@ -1,126 +1,79 @@
 #include "buffer/policy.h"
 
-#include <cassert>
+#include <algorithm>
 #include <stdexcept>
+
+#include "buffer/store.h"
 
 namespace rrmp::buffer {
 
-BufferPolicy::~BufferPolicy() = default;
+RetentionPolicy::~RetentionPolicy() = default;
 
-void BufferPolicy::bind(PolicyEnv* env) {
-  if (env == nullptr) throw std::invalid_argument("BufferPolicy::bind: null env");
-  if (env_ != nullptr) throw std::logic_error("BufferPolicy::bind: already bound");
+void RetentionPolicy::bind(BufferStore* store, PolicyEnv* env) {
+  if (store == nullptr || env == nullptr) {
+    throw std::invalid_argument("RetentionPolicy::bind: null store or env");
+  }
+  if (store_ != nullptr) {
+    throw std::logic_error("RetentionPolicy::bind: already bound");
+  }
+  store_ = store;
   env_ = env;
   on_bound();
 }
 
-void BufferPolicy::store(const proto::Data& msg) {
-  insert(msg, /*via_handoff=*/false);
-}
+namespace {
 
-void BufferPolicy::accept_handoff(const proto::Data& msg) {
-  insert(msg, /*via_handoff=*/true);
-}
+struct Candidate {
+  MessageId id;
+  std::size_t bytes;
+  TimePoint last_activity;
+  bool long_term;
+};
 
-void BufferPolicy::insert(const proto::Data& msg, bool via_handoff) {
-  assert(bound());
-  auto [it, inserted] = entries_.try_emplace(msg.id);
-  if (!inserted) {
-    if (via_handoff && !it->second.long_term) {
-      // A handed-off copy upgrades a short-term entry: the leaver was a
-      // long-term bufferer, so the responsibility transfers to us.
-      promote_long_term(it->second);
-    }
-    return;
+/// The deterministic expendability order: short-term entries before
+/// long-term ones (long-term copies are the region's recovery capital),
+/// least-recently-active first, ties broken by ascending MessageId so every
+/// member and every shard count evicts the same victims in the same order.
+bool more_expendable(const Candidate& a, const Candidate& b) {
+  if (a.long_term != b.long_term) return !a.long_term;
+  if (a.last_activity != b.last_activity) {
+    return a.last_activity < b.last_activity;
   }
-  Entry& e = it->second;
-  e.data = msg;
-  e.stored_at = env_->now();
-  e.last_activity = e.stored_at;
-  bytes_ += msg.payload.size();
-  ++stats_.stored;
-  stats_.peak_count = std::max(stats_.peak_count, entries_.size());
-  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
-  notify(msg.id, BufferEvent::kStored, /*long_term=*/false);
-  if (via_handoff) {
-    on_handoff_accepted(e);
-  } else {
-    on_stored(e);
+  return a.id < b.id;
+}
+
+}  // namespace
+
+EvictionPlan RetentionPolicy::pick_victims(const EvictionDemand& need) {
+  // Fast path for the steady state (incoming message ~= evicted message):
+  // one allocation-free linear pass finds the single most expendable entry;
+  // if evicting it satisfies the demand, that is the whole plan. Only
+  // multi-victim demands (large incoming message, shrunk budget) pay for a
+  // snapshot + sort.
+  std::optional<Candidate> best;
+  store().for_each_entry([&](const BufferStore::EntryView& e) {
+    Candidate c{e.id, e.bytes, e.last_activity, e.long_term};
+    if (!best || more_expendable(c, *best)) best = c;
+  });
+  if (!best) return {};
+  if (best->bytes >= need.bytes && need.entries <= 1) {
+    return {{best->id}};
   }
-}
-
-void BufferPolicy::on_request_seen(const MessageId& id) {
-  Entry* e = find(id);
-  if (e == nullptr) return;
-  e->last_activity = env_->now();
-}
-
-std::vector<proto::Data> BufferPolicy::drain_for_handoff() {
-  // Default: transfer only long-term entries (paper §3.2 — "transfers each
-  // message in its long-term buffer"). Short-term copies are redundant by
-  // definition: requests for them are still being answered region-wide.
-  std::vector<MessageId> ids;
-  for (const auto& [id, e] : entries_) {
-    if (e.long_term) ids.push_back(id);
+  std::vector<Candidate> candidates;
+  candidates.reserve(store().count());
+  store().for_each_entry([&](const BufferStore::EntryView& e) {
+    candidates.push_back({e.id, e.bytes, e.last_activity, e.long_term});
+  });
+  std::sort(candidates.begin(), candidates.end(), more_expendable);
+  EvictionPlan plan;
+  std::size_t freed_bytes = 0, freed_entries = 0;
+  for (const Candidate& c : candidates) {
+    if (freed_bytes >= need.bytes && freed_entries >= need.entries) break;
+    plan.victims.push_back(c.id);
+    freed_bytes += c.bytes;
+    ++freed_entries;
   }
-  std::vector<proto::Data> out;
-  out.reserve(ids.size());
-  for (const MessageId& id : ids) {
-    Entry* e = find(id);
-    out.push_back(std::move(e->data));
-    discard(id, BufferEvent::kHandedOff);
-  }
-  return out;
-}
-
-std::optional<proto::Data> BufferPolicy::get(const MessageId& id) const {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second.data;
-}
-
-bool BufferPolicy::is_long_term(const MessageId& id) const {
-  auto it = entries_.find(id);
-  return it != entries_.end() && it->second.long_term;
-}
-
-void BufferPolicy::force_discard(const MessageId& id) { discard(id); }
-
-BufferPolicy::Entry* BufferPolicy::find(const MessageId& id) {
-  auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-void BufferPolicy::discard(const MessageId& id, BufferEvent reason) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return;
-  Entry& e = it->second;
-  if (e.timer != 0) {
-    env_->cancel(e.timer);
-    e.timer = 0;
-  }
-  bytes_ -= e.data.payload.size();
-  stats_.total_buffer_time += env_->now() - e.stored_at;
-  bool was_long_term = e.long_term;
-  if (reason == BufferEvent::kHandedOff) {
-    ++stats_.handed_off;
-  } else {
-    ++stats_.discarded;
-  }
-  entries_.erase(it);
-  notify(id, reason, was_long_term);
-}
-
-void BufferPolicy::promote_long_term(Entry& e) {
-  if (e.long_term) return;
-  e.long_term = true;
-  ++stats_.promoted_long_term;
-  notify(e.data.id, BufferEvent::kPromotedLongTerm, /*long_term=*/true);
-}
-
-void BufferPolicy::notify(const MessageId& id, BufferEvent ev,
-                          bool long_term) {
-  if (observer_) observer_(id, ev, long_term);
+  return plan;
 }
 
 }  // namespace rrmp::buffer

@@ -1,8 +1,21 @@
-// Buffer-management policy framework.
+// Buffer-management decision layer (Buffer API v2).
 //
-// Every RRMP member owns one BufferPolicy. The endpoint stores each received
-// message into the policy and reports retransmission-request *feedback*; the
-// policy alone decides how long messages stay buffered. Concrete policies:
+// Storage and decision-making are split into two layers:
+//
+//   BufferStore      (store.h)  — the one concrete container every member
+//                                 owns: ordered flat storage of refcounted
+//                                 payloads, bytes/count accounting, duplicate
+//                                 suppression, observer notification, handoff
+//                                 drains, and budget admission + eviction.
+//   RetentionPolicy  (here)     — a pure decision strategy plugged into the
+//                                 store. It holds NO message data; it reacts
+//                                 to store events (on_stored / on_handoff /
+//                                 on_request_seen), drives retention through
+//                                 the store's mutators (touch / promote /
+//                                 discard / per-entry timers), and chooses
+//                                 eviction victims when the budget is hit.
+//
+// Concrete strategies:
 //
 //   TwoPhasePolicy       — the paper's contribution (§3.1–§3.2): feedback-
 //                          based short-term buffering + randomized long-term
@@ -18,16 +31,26 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "buffer/budget.h"
 #include "common/random.h"
 #include "common/time.h"
 #include "common/types.h"
 #include "proto/messages.h"
 
 namespace rrmp::buffer {
+
+class BufferStore;
+
+/// Snapshot of a store's budget situation, exposed to policies through
+/// PolicyEnv::budget() so retention decisions can react to memory pressure.
+struct BudgetState {
+  std::size_t bytes = 0;  // accounted bytes currently buffered
+  std::size_t count = 0;  // entries currently buffered
+  BufferBudget limit;     // configured caps (zero fields = unlimited)
+};
 
 /// Host services a policy may use; implemented by the protocol endpoint.
 class PolicyEnv {
@@ -43,13 +66,17 @@ class PolicyEnv {
   /// Alive members of the region, including self (for hash-based selection).
   virtual const std::vector<MemberId>& region_members() const = 0;
   virtual MemberId self() const = 0;
+  /// Budget state of the buffer this policy governs. The default (empty,
+  /// unlimited) suits environments without a store attached.
+  virtual BudgetState budget() const { return {}; }
 };
 
 enum class BufferEvent {
   kStored,             // message entered the buffer
   kPromotedLongTerm,   // survived the idle decision (two-phase) or handoff
-  kDiscarded,          // message left the buffer
+  kDiscarded,          // message left the buffer by policy decision
   kHandedOff,          // message left via handoff to another member
+  kEvicted,            // message left under budget pressure
 };
 
 struct BufferStats {
@@ -57,50 +84,37 @@ struct BufferStats {
   std::uint64_t discarded = 0;
   std::uint64_t promoted_long_term = 0;
   std::uint64_t handed_off = 0;
+  /// Departures forced by the budget (admission made room).
+  std::uint64_t evicted = 0;
+  /// Admissions refused outright (message larger than the whole budget).
+  std::uint64_t rejected = 0;
   std::size_t peak_count = 0;
   std::size_t peak_bytes = 0;
   /// Sum over all departed messages of (departure - store) time.
   Duration total_buffer_time = Duration::zero();
 };
 
-class BufferPolicy {
+/// How much an admission still needs to free. The store satisfies the plan
+/// it gets back in order, so a policy ranks victims by how expendable they
+/// are; ties MUST be broken by MessageId for cross-run determinism.
+struct EvictionDemand {
+  std::size_t bytes = 0;    // accounted bytes to free (0 = none)
+  std::size_t entries = 0;  // entries to free (0 = none)
+};
+
+/// An ordered list of currently-stored ids the store should evict.
+struct EvictionPlan {
+  std::vector<MessageId> victims;
+};
+
+/// Pure retention strategy. Bound to exactly one BufferStore; all message
+/// data lives in the store, the policy only decides how long it stays.
+class RetentionPolicy {
  public:
-  virtual ~BufferPolicy();
+  virtual ~RetentionPolicy();
 
-  /// Must be called exactly once before any other method.
-  void bind(PolicyEnv* env);
-
-  /// Observer for store/discard/promotion events (wired to metrics).
-  /// `long_term` reflects the entry's phase at event time.
-  using Observer =
-      std::function<void(const MessageId&, BufferEvent, bool long_term)>;
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
-
-  /// A message was received; buffer it (policy decides for how long).
-  /// Duplicate stores of an id already present are ignored.
-  void store(const proto::Data& msg);
-
-  /// Feedback: a retransmission request for `id` was observed (paper §3.1).
-  /// No-op when `id` is not currently buffered.
-  virtual void on_request_seen(const MessageId& id);
-
-  /// Receive a long-term buffer transfer from a leaving member (§3.2).
-  void accept_handoff(const proto::Data& msg);
-
-  /// Remove and return the messages to transfer when this member leaves
-  /// (two-phase: long-term entries; buffer-everything/hash: all entries).
-  virtual std::vector<proto::Data> drain_for_handoff();
-
-  bool has(const MessageId& id) const { return entries_.count(id) > 0; }
-  std::optional<proto::Data> get(const MessageId& id) const;
-  bool is_long_term(const MessageId& id) const;
-
-  std::size_t count() const { return entries_.size(); }
-  std::size_t bytes() const { return bytes_; }
-  const BufferStats& stats() const { return stats_; }
-
-  /// Test/harness hook: drop `id` immediately (as if idle-discarded).
-  void force_discard(const MessageId& id);
+  /// Called exactly once by the owning BufferStore.
+  void bind(BufferStore* store, PolicyEnv* env);
 
   virtual const char* name() const = 0;
 
@@ -108,43 +122,41 @@ class BufferPolicy {
   /// protocol (stability baseline only).
   virtual bool needs_history_exchange() const { return false; }
 
- protected:
-  struct Entry {
-    proto::Data data;
-    TimePoint stored_at;
-    TimePoint last_activity;
-    bool long_term = false;
-    std::uint64_t timer = 0;  // pending policy timer for this entry, if any
-  };
+  /// True if drain_for_handoff() should transfer short-term entries too
+  /// (repair servers hand over their whole archive).
+  virtual bool handoff_includes_short_term() const { return false; }
 
-  /// Policy hook: a new entry was inserted; arm whatever timers apply.
-  virtual void on_stored(Entry& e) = 0;
-  /// Policy hook: entry arrived via handoff (default: same as stored, but
-  /// two-phase keeps it long-term immediately).
-  virtual void on_handoff_accepted(Entry& e) { on_stored(e); }
+  /// A new entry for `id` was admitted (not a duplicate); arm whatever
+  /// timers apply.
+  virtual void on_stored(const MessageId& id) = 0;
+
+  /// Entry for `id` arrived via handoff from a leaving member (default:
+  /// same as stored; two-phase keeps it long-term immediately).
+  virtual void on_handoff(const MessageId& id) { on_stored(id); }
+
+  /// Feedback: a retransmission request for `id` was observed (§3.1). The
+  /// store has already refreshed the entry's last_activity.
+  virtual void on_request_seen(const MessageId& id) { (void)id; }
+
+  /// Choose eviction victims for an admission under budget pressure. The
+  /// base implementation is the deterministic default every bundled policy
+  /// uses: short-term entries before long-term ones, least-recently-active
+  /// first, ties broken by ascending MessageId.
+  virtual EvictionPlan pick_victims(const EvictionDemand& need);
+
+ protected:
   /// Policy hook: called after bind() so policies can arm global timers.
   virtual void on_bound() {}
 
-  Entry* find(const MessageId& id);
-  /// Remove an entry, run accounting, notify observer. Safe if absent.
-  void discard(const MessageId& id, BufferEvent reason = BufferEvent::kDiscarded);
-  void promote_long_term(Entry& e);
-
+  BufferStore& store() { return *store_; }
+  const BufferStore& store() const { return *store_; }
   PolicyEnv& env() { return *env_; }
   const PolicyEnv& env() const { return *env_; }
-  bool bound() const { return env_ != nullptr; }
-
-  std::map<MessageId, Entry>& entries() { return entries_; }
+  bool bound() const { return store_ != nullptr; }
 
  private:
-  void insert(const proto::Data& msg, bool via_handoff);
-  void notify(const MessageId& id, BufferEvent ev, bool long_term);
-
+  BufferStore* store_ = nullptr;
   PolicyEnv* env_ = nullptr;
-  Observer observer_;
-  std::map<MessageId, Entry> entries_;  // ordered: deterministic iteration
-  std::size_t bytes_ = 0;
-  BufferStats stats_;
 };
 
 }  // namespace rrmp::buffer

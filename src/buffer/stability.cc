@@ -7,10 +7,12 @@ namespace rrmp::buffer {
 void StabilityPolicy::mark_stable_below(MemberId source,
                                         std::uint64_t stable_below) {
   std::vector<MessageId> victims;
-  for (const auto& [id, e] : entries()) {
-    if (id.source == source && id.seq < stable_below) victims.push_back(id);
-  }
-  for (const MessageId& id : victims) discard(id);
+  store().for_each_entry([&](const BufferStore::EntryView& e) {
+    if (e.id.source == source && e.id.seq < stable_below) {
+      victims.push_back(e.id);
+    }
+  });
+  for (const MessageId& id : victims) store().discard(id);
 }
 
 void StabilityTracker::update(MemberId m, const proto::SourceHistory& h) {

@@ -14,19 +14,26 @@
 #include <unordered_map>
 
 #include "buffer/policy.h"
+#include "buffer/store.h"
 
 namespace rrmp::buffer {
 
-class StabilityPolicy final : public BufferPolicy {
+struct StabilityParams {
+  friend bool operator==(const StabilityParams&, const StabilityParams&) = default;
+};
+
+class StabilityPolicy final : public RetentionPolicy {
  public:
+  StabilityPolicy() = default;
+  explicit StabilityPolicy(StabilityParams) {}
+
   const char* name() const override { return "stability"; }
   bool needs_history_exchange() const override { return true; }
 
   /// Discard every buffered message from `source` with seq < `stable_below`.
   void mark_stable_below(MemberId source, std::uint64_t stable_below);
 
- protected:
-  void on_stored(Entry&) override {}  // retention driven by stability only
+  void on_stored(const MessageId&) override {}  // retention by stability only
 };
 
 /// Folds proto::History reports into a per-source stability frontier:

@@ -1,0 +1,167 @@
+// BufferStore: the single concrete storage layer behind every retention
+// policy (Buffer API v2).
+//
+// One store per member. It owns:
+//   - ordered flat storage (sorted vector keyed by MessageId) of entries
+//     whose payloads are refcounted SharedBytes — iteration order is id
+//     order, deterministic across runs and shard counts;
+//   - bytes/count accounting in wire-encoded Data-frame bytes (the same
+//     definition the traffic stats use; see proto::encoded_size overloads);
+//   - duplicate suppression and the handoff-upgrade rule;
+//   - observer notification for the metrics pipeline;
+//   - handoff drains on graceful leave;
+//   - a per-member BufferBudget with an explicit admission + eviction
+//     protocol: when an insert would exceed the budget the bound
+//     RetentionPolicy picks an EvictionPlan (deterministic tie-break by
+//     MessageId); a message larger than the whole budget is rejected.
+//
+// The store drives its RetentionPolicy: store()/accept_handoff() call the
+// policy's on_stored/on_handoff hooks after accounting and observer
+// notification, and on_request_seen() refreshes the entry's activity clock
+// before forwarding the feedback. Policies mutate retention state only
+// through the store's mutators (touch / promote_long_term / discard /
+// set_entry_timer), never by holding entry references: entries move when
+// the flat storage grows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "buffer/budget.h"
+#include "buffer/policy.h"
+#include "proto/messages.h"
+
+namespace rrmp::buffer {
+
+/// Outcome of an admission attempt.
+enum class Admission {
+  kStored,     // a new entry was created (evicting others if needed)
+  kDuplicate,  // already present (a handoff may have upgraded it)
+  kRejected,   // budget cannot ever fit this message; nothing stored
+};
+
+class BufferStore {
+ public:
+  /// The store owns its policy. `budget` defaults to unlimited, which
+  /// reproduces the original unbounded policies bit-for-bit.
+  explicit BufferStore(std::unique_ptr<RetentionPolicy> policy,
+                       BufferBudget budget = {});
+  ~BufferStore();
+
+  BufferStore(const BufferStore&) = delete;
+  BufferStore& operator=(const BufferStore&) = delete;
+
+  /// Must be called exactly once before any other method; binds the policy.
+  void bind(PolicyEnv* env);
+
+  /// Observer for store/discard/promotion/eviction events (wired to
+  /// metrics). `long_term` reflects the entry's phase at event time.
+  using Observer =
+      std::function<void(const MessageId&, BufferEvent, bool long_term)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  RetentionPolicy& policy() { return *policy_; }
+  const RetentionPolicy& policy() const { return *policy_; }
+  const char* name() const { return policy_->name(); }
+
+  // --- admission ---------------------------------------------------------
+
+  /// A message was received; admit it (the policy decides for how long it
+  /// stays). Duplicate stores of an id already present are ignored.
+  Admission store(const proto::Data& msg);
+
+  /// Receive a long-term buffer transfer from a leaving member (§3.2). A
+  /// handed-off copy upgrades an existing short-term entry to long-term.
+  Admission accept_handoff(const proto::Data& msg);
+
+  /// Feedback: a retransmission request for `id` was observed (paper §3.1).
+  /// Refreshes the entry's activity clock, then forwards to the policy.
+  /// No-op when `id` is not currently buffered.
+  void on_request_seen(const MessageId& id);
+
+  /// Remove and return the messages to transfer when this member leaves
+  /// (long-term entries; the whole archive when the policy says so).
+  std::vector<proto::Data> drain_for_handoff();
+
+  // --- queries -----------------------------------------------------------
+
+  bool has(const MessageId& id) const { return find(id) != nullptr; }
+  std::optional<proto::Data> get(const MessageId& id) const;
+  bool is_long_term(const MessageId& id) const;
+
+  std::size_t count() const { return entries_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  const BufferStats& stats() const { return stats_; }
+  const BufferBudget& budget() const { return budget_; }
+  BudgetState budget_state() const { return {bytes_, entries_.size(), budget_}; }
+
+  /// Read-only snapshot of one entry's retention state.
+  struct EntryView {
+    MessageId id;
+    std::size_t bytes = 0;  // accounted (wire-encoded) size
+    TimePoint stored_at;
+    TimePoint last_activity;
+    bool long_term = false;
+    std::uint64_t timer = 0;  // pending policy timer, 0 if none
+  };
+  std::optional<EntryView> view(const MessageId& id) const;
+
+  /// Visit every entry in ascending id order (deterministic). `fn` must not
+  /// mutate the store; collect ids first, then mutate.
+  void for_each_entry(const std::function<void(const EntryView&)>& fn) const;
+
+  // --- policy-facing mutators -------------------------------------------
+
+  /// Refresh `id`'s activity clock to now. No-op if absent.
+  void touch(const MessageId& id);
+
+  /// Move `id` into the long-term phase (idempotent). No-op if absent.
+  void promote_long_term(const MessageId& id);
+
+  /// Remove an entry, cancel its pending timer, run accounting, notify the
+  /// observer. Safe if absent.
+  void discard(const MessageId& id,
+               BufferEvent reason = BufferEvent::kDiscarded);
+
+  /// Install `timer` as the entry's pending policy timer. The store cancels
+  /// it automatically when the entry departs (discard/evict/handoff), so a
+  /// policy never leaks a slab handle. Overwrites without cancelling — the
+  /// policy owns the old handle's lifecycle until it hands it over.
+  void set_entry_timer(const MessageId& id, std::uint64_t timer);
+  std::uint64_t entry_timer(const MessageId& id) const;
+
+  /// Test/harness hook: drop `id` immediately (as if idle-discarded).
+  void force_discard(const MessageId& id) { discard(id); }
+
+ private:
+  struct Entry {
+    proto::Data data;
+    std::size_t bytes = 0;  // accounted size, fixed at admission
+    TimePoint stored_at;
+    TimePoint last_activity;
+    bool long_term = false;
+    std::uint64_t timer = 0;  // pending policy timer for this entry, if any
+  };
+
+  Admission insert(const proto::Data& msg, bool via_handoff);
+  /// Evict per the policy's plan until `msg` fits. Returns false when the
+  /// message can never fit (larger than the whole budget).
+  bool make_room(std::size_t incoming_bytes);
+  Entry* find(const MessageId& id);
+  const Entry* find(const MessageId& id) const;
+  void notify(const MessageId& id, BufferEvent ev, bool long_term);
+  static EntryView view_of(const Entry& e);
+
+  std::unique_ptr<RetentionPolicy> policy_;
+  BufferBudget budget_;
+  PolicyEnv* env_ = nullptr;
+  Observer observer_;
+  std::vector<Entry> entries_;  // sorted by data.id: deterministic iteration
+  std::size_t bytes_ = 0;
+  BufferStats stats_;
+};
+
+}  // namespace rrmp::buffer

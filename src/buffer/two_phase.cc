@@ -1,43 +1,45 @@
 #include "buffer/two_phase.h"
 
+#include <algorithm>
+
 namespace rrmp::buffer {
 
-void TwoPhasePolicy::on_stored(Entry& e) { arm_idle_check(e); }
+void TwoPhasePolicy::on_stored(const MessageId& id) { arm_idle_check(id); }
 
-void TwoPhasePolicy::on_handoff_accepted(Entry& e) {
+void TwoPhasePolicy::on_handoff(const MessageId& id) {
   // Responsibility transferred from a leaving long-term bufferer: skip the
   // idle phase and the random draw; we are a long-term bufferer now.
-  promote_long_term(e);
-  arm_long_term_ttl(e);
+  store().promote_long_term(id);
+  arm_long_term_ttl(id);
 }
 
 void TwoPhasePolicy::on_request_seen(const MessageId& id) {
-  Entry* e = find(id);
-  if (e == nullptr) return;
-  e->last_activity = env().now();
+  // The store refreshed last_activity already.
   // Short-term: the pending idle check re-arms itself off last_activity.
   // Long-term: refresh the eventual-discard clock.
-  if (e->long_term && !params_.long_term_ttl.is_infinite()) {
-    if (e->timer != 0) env().cancel(e->timer);
-    e->timer = 0;
-    arm_long_term_ttl(*e);
+  if (store().is_long_term(id) && !params_.long_term_ttl.is_infinite()) {
+    std::uint64_t timer = store().entry_timer(id);
+    if (timer != 0) env().cancel(timer);
+    store().set_entry_timer(id, 0);
+    arm_long_term_ttl(id);
   }
 }
 
-void TwoPhasePolicy::arm_idle_check(Entry& e) {
-  TimePoint due = e.last_activity + params_.idle_threshold;
-  MessageId id = e.data.id;
-  e.timer = env().schedule(due - env().now(), [this, id] { idle_check(id); });
+void TwoPhasePolicy::arm_idle_check(const MessageId& id) {
+  auto v = store().view(id);
+  TimePoint due = v->last_activity + params_.idle_threshold;
+  store().set_entry_timer(
+      id, env().schedule(due - env().now(), [this, id] { idle_check(id); }));
 }
 
 void TwoPhasePolicy::idle_check(const MessageId& id) {
-  Entry* e = find(id);
-  if (e == nullptr || e->long_term) return;
-  e->timer = 0;
-  TimePoint idle_at = e->last_activity + params_.idle_threshold;
+  auto v = store().view(id);
+  if (!v || v->long_term) return;
+  store().set_entry_timer(id, 0);
+  TimePoint idle_at = v->last_activity + params_.idle_threshold;
   if (env().now() < idle_at) {
     // A request arrived since this check was armed; try again later.
-    arm_idle_check(*e);
+    arm_idle_check(id);
     return;
   }
   // The message is idle (§3.1). Random long-term decision (§3.2): keep with
@@ -45,32 +47,33 @@ void TwoPhasePolicy::idle_check(const MessageId& id) {
   std::size_t n = std::max<std::size_t>(env().region_size(), 1);
   double p = params_.C / static_cast<double>(n);
   if (env().rng().bernoulli(p)) {
-    promote_long_term(*e);
-    arm_long_term_ttl(*e);
+    store().promote_long_term(id);
+    arm_long_term_ttl(id);
   } else {
-    discard(id);
+    store().discard(id);
   }
 }
 
-void TwoPhasePolicy::arm_long_term_ttl(Entry& e) {
+void TwoPhasePolicy::arm_long_term_ttl(const MessageId& id) {
   if (params_.long_term_ttl.is_infinite()) return;
-  MessageId id = e.data.id;
-  e.timer = env().schedule(params_.long_term_ttl,
-                           [this, id] { long_term_check(id); });
+  store().set_entry_timer(id, env().schedule(params_.long_term_ttl, [this, id] {
+    long_term_check(id);
+  }));
 }
 
 void TwoPhasePolicy::long_term_check(const MessageId& id) {
-  Entry* e = find(id);
-  if (e == nullptr) return;
-  e->timer = 0;
-  TimePoint due = e->last_activity + params_.long_term_ttl;
+  auto v = store().view(id);
+  if (!v) return;
+  store().set_entry_timer(id, 0);
+  TimePoint due = v->last_activity + params_.long_term_ttl;
   if (env().now() < due) {
     // Used since the timer was armed; keep it around for another period.
-    e->timer = env().schedule(due - env().now(),
-                              [this, id] { long_term_check(id); });
+    store().set_entry_timer(id, env().schedule(due - env().now(), [this, id] {
+      long_term_check(id);
+    }));
     return;
   }
-  discard(id);
+  store().discard(id);
 }
 
 }  // namespace rrmp::buffer

@@ -14,12 +14,13 @@
 // unlikely any member may still need it"); a request for a long-term copy
 // refreshes that clock.
 //
-// On a voluntary leave, drain_for_handoff() (base class) hands long-term
+// On a voluntary leave, the store's drain_for_handoff() hands long-term
 // entries to randomly selected region members so no message becomes
 // unrecoverable.
 #pragma once
 
 #include "buffer/policy.h"
+#include "buffer/store.h"
 
 namespace rrmp::buffer {
 
@@ -30,25 +31,25 @@ struct TwoPhaseParams {
   double C = 6.0;
   /// Eventual discard of idle long-term copies; infinite() disables.
   Duration long_term_ttl = Duration::infinite();
+
+  friend bool operator==(const TwoPhaseParams&, const TwoPhaseParams&) = default;
 };
 
-class TwoPhasePolicy final : public BufferPolicy {
+class TwoPhasePolicy final : public RetentionPolicy {
  public:
   explicit TwoPhasePolicy(TwoPhaseParams params) : params_(params) {}
 
   const char* name() const override { return "two-phase"; }
   const TwoPhaseParams& params() const { return params_; }
 
+  void on_stored(const MessageId& id) override;
+  void on_handoff(const MessageId& id) override;
   void on_request_seen(const MessageId& id) override;
 
- protected:
-  void on_stored(Entry& e) override;
-  void on_handoff_accepted(Entry& e) override;
-
  private:
-  void arm_idle_check(Entry& e);
+  void arm_idle_check(const MessageId& id);
   void idle_check(const MessageId& id);
-  void arm_long_term_ttl(Entry& e);
+  void arm_long_term_ttl(const MessageId& id);
   void long_term_check(const MessageId& id);
 
   TwoPhaseParams params_;

@@ -40,7 +40,7 @@ void Cluster::spawn_member(MemberId m) {
   hosts_[m] = std::make_unique<SimHost>(m, *network_, directory_,
                                         master_rng_.fork(m + 1),
                                         config_.data_loss);
-  auto policy = buffer::make_policy(config_.policy, config_.policy_params);
+  auto policy = buffer::make_policy(config_.policy);
   RecordingSink* sink = &lane_sinks_[network_->lane_of(m)];
   endpoints_[m] = std::make_unique<Endpoint>(*hosts_[m], config_.protocol,
                                              std::move(policy), sink);

@@ -46,8 +46,9 @@ struct ClusterConfig {
   Duration inter_one_way = Duration::millis(50);
 
   Config protocol;
-  buffer::PolicyKind policy = buffer::PolicyKind::kTwoPhase;
-  buffer::PolicyParams policy_params;
+  /// Self-describing buffer policy selection + knobs (Buffer API v2). The
+  /// per-member budget rides in protocol.buffer_budget.
+  buffer::PolicySpec policy = buffer::TwoPhaseParams{};
 
   std::uint64_t seed = 1;
   /// Per-receiver loss of the sender's initial IP multicast.

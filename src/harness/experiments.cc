@@ -14,9 +14,27 @@ namespace {
 ClusterConfig base_config(const ExperimentDefaults& d) {
   ClusterConfig cc;
   cc.intra_rtt = d.intra_rtt;
-  cc.policy_params.two_phase.idle_threshold = d.idle_threshold;
-  cc.policy_params.two_phase.C = d.C;
+  cc.policy = buffer::TwoPhaseParams{d.idle_threshold, d.C};
   return cc;
+}
+
+/// Per-policy spec for the comparison sweeps, derived from the paper
+/// defaults the same way the old PolicyParams union was.
+buffer::PolicySpec spec_for(buffer::PolicyKind kind,
+                            const ExperimentDefaults& d) {
+  switch (kind) {
+    case buffer::PolicyKind::kTwoPhase:
+      return buffer::TwoPhaseParams{d.idle_threshold, d.C};
+    case buffer::PolicyKind::kFixedTime:
+      return buffer::FixedTimeParams{Duration::millis(100)};
+    case buffer::PolicyKind::kBufferEverything:
+      return buffer::BufferEverythingParams{};
+    case buffer::PolicyKind::kHashBased:
+      return buffer::HashBasedParams{static_cast<std::size_t>(d.C),
+                                     d.idle_threshold};
+    case buffer::PolicyKind::kStability: return buffer::StabilityParams{};
+  }
+  return buffer::TwoPhaseParams{d.idle_threshold, d.C};
 }
 
 std::vector<MemberId> pick_members(const std::vector<MemberId>& pool,
@@ -291,10 +309,8 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
                                   const ExperimentDefaults& defaults) {
   ClusterConfig cc = base_config(defaults);
   cc.region_sizes = {scenario.region_size};
-  cc.policy = kind;
-  cc.policy_params.fixed_ttl = Duration::millis(100);
-  cc.policy_params.hash.k = static_cast<std::size_t>(defaults.C);
-  cc.policy_params.hash.grace = defaults.idle_threshold;
+  cc.policy = spec_for(kind, defaults);
+  cc.protocol.buffer_budget = scenario.budget;
   cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
                            ? BuffererLookup::kHashDirect
                            : BuffererLookup::kRandomized;
@@ -330,19 +346,32 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
   PolicyOutcome out;
   out.policy = buffer::to_string(kind);
   out.all_delivered = true;
+  std::size_t fully_delivered = 0;
   for (std::uint64_t seq = 1; seq <= scenario.messages; ++seq) {
-    if (!cluster.all_received(MessageId{sender, seq})) {
+    if (cluster.all_received(MessageId{sender, seq})) {
+      ++fully_delivered;
+    } else {
       out.all_delivered = false;
     }
   }
-  std::size_t peak = 0;
+  out.delivered_fraction =
+      scenario.messages == 0
+          ? 1.0
+          : static_cast<double>(fully_delivered) /
+                static_cast<double>(scenario.messages);
+  std::size_t peak = 0, peak_bytes = 0;
   std::uint64_t open = 0;
   for (MemberId m = 0; m < cluster.size(); ++m) {
-    peak = std::max(peak, cluster.endpoint(m).buffer().stats().peak_count);
+    const buffer::BufferStats& bs = cluster.endpoint(m).buffer().stats();
+    peak = std::max(peak, bs.peak_count);
+    peak_bytes = std::max(peak_bytes, bs.peak_bytes);
+    out.evictions += bs.evicted;
+    out.rejected += bs.rejected;
     open += cluster.endpoint(m).active_recoveries();
   }
   out.unrecovered = open;
   out.peak_buffer_per_member = static_cast<double>(peak);
+  out.peak_bytes_per_member = static_cast<double>(peak_bytes);
   out.mean_occupancy_per_member =
       analysis::mean(occupancy) / static_cast<double>(scenario.region_size);
   out.final_buffered_total = static_cast<double>(cluster.total_buffered());
@@ -351,6 +380,12 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
     rec_ms.push_back(d.ms());
   }
   out.mean_recovery_ms = analysis::mean(rec_ms);
+  const auto& counters = cluster.metrics().counters();
+  out.recovery_success =
+      counters.losses_detected == 0
+          ? 1.0
+          : static_cast<double>(counters.recoveries) /
+                static_cast<double>(counters.losses_detected);
 
   const net::TrafficStats& ts = cluster.network().stats();
   auto by_type = [&ts](proto::MessageType t) {
@@ -367,6 +402,27 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
     out.control_bytes += bytes_by_type(t);
   }
   out.repair_msgs = by_type(MT::kRepair) + by_type(MT::kRegionalRepair);
+  return out;
+}
+
+// --------------------------------------------- Extension: capacity sweep ----
+
+CapacityOutcome run_capacity_point(std::size_t budget_bytes,
+                                   buffer::PolicyKind kind,
+                                   const StreamScenario& scenario,
+                                   const ExperimentDefaults& defaults) {
+  StreamScenario s = scenario;
+  s.budget.max_bytes = budget_bytes;
+  PolicyOutcome o = run_stream_scenario(kind, s, defaults);
+  CapacityOutcome out;
+  out.budget_bytes = budget_bytes;
+  out.delivered_fraction = o.delivered_fraction;
+  out.recovery_success = o.recovery_success;
+  out.mean_recovery_ms = o.mean_recovery_ms;
+  out.evictions = o.evictions;
+  out.rejected = o.rejected;
+  out.unrecovered = o.unrecovered;
+  out.peak_bytes_per_member = o.peak_bytes_per_member;
   return out;
 }
 

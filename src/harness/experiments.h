@@ -135,16 +135,26 @@ struct StreamScenario {
   std::size_t payload_bytes = 256;
   Duration drain = Duration::millis(600);
   std::uint64_t seed = 1;
+  /// Per-member buffer budget (zero fields = unlimited, the paper's runs).
+  buffer::BufferBudget budget;
 };
 
 struct PolicyOutcome {
   std::string policy;
   bool all_delivered = false;
+  /// Fraction of streamed messages every alive member received.
+  double delivered_fraction = 0.0;
   std::uint64_t unrecovered = 0;        // open recoveries at the end
   double peak_buffer_per_member = 0.0;  // max_m peak buffered msg count
+  double peak_bytes_per_member = 0.0;   // max_m peak buffered bytes
   double mean_occupancy_per_member = 0.0;  // time-avg buffered msgs/member
   double final_buffered_total = 0.0;    // msgs still buffered at the end
   double mean_recovery_ms = 0.0;
+  /// Detected losses that were eventually repaired, as a fraction (1.0 when
+  /// nothing was lost).
+  double recovery_success = 1.0;
+  std::uint64_t evictions = 0;  // budget-forced departures across members
+  std::uint64_t rejected = 0;   // admissions refused (msg > whole budget)
   std::uint64_t control_msgs = 0;   // requests/search/session/history/gossip
   std::uint64_t control_bytes = 0;
   std::uint64_t repair_msgs = 0;
@@ -153,6 +163,29 @@ struct PolicyOutcome {
 PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
                                   const StreamScenario& scenario,
                                   const ExperimentDefaults& defaults = {});
+
+// ---- Extension: capacity sweep (Buffer API v2) -----------------------------
+
+/// One point of the capacity sweep: the lossy stream scenario under a
+/// per-member byte budget. As the budget shrinks below the working set the
+/// paper's expected-C long-term copies imply, buffered copies are evicted
+/// before requests arrive and recovery success degrades — the experiment
+/// the budgeted BufferStore exists to ask.
+struct CapacityOutcome {
+  std::size_t budget_bytes = 0;  // 0 = unlimited
+  double delivered_fraction = 0.0;
+  double recovery_success = 1.0;
+  double mean_recovery_ms = 0.0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unrecovered = 0;
+  double peak_bytes_per_member = 0.0;
+};
+
+CapacityOutcome run_capacity_point(std::size_t budget_bytes,
+                                   buffer::PolicyKind kind,
+                                   const StreamScenario& scenario,
+                                   const ExperimentDefaults& defaults = {});
 
 // ---- Ablation A5: handoff under churn --------------------------------------
 

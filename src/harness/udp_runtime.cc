@@ -83,7 +83,7 @@ UdpRuntime::UdpRuntime(const net::Topology& topology, UdpRuntimeConfig config)
   for (MemberId m = 0; m < topology.member_count(); ++m) {
     hosts_.push_back(
         std::make_unique<MemberHost>(m, *this, master.fork(m + 1)));
-    auto policy = buffer::make_policy(config_.policy, config_.policy_params);
+    auto policy = buffer::make_policy(config_.policy);
     endpoints_.push_back(std::make_unique<Endpoint>(
         *hosts_.back(), config_.protocol, std::move(policy), &metrics_));
   }

@@ -24,8 +24,9 @@ namespace rrmp::harness {
 struct UdpRuntimeConfig {
   std::uint16_t base_port = 37100;
   Config protocol;
-  buffer::PolicyKind policy = buffer::PolicyKind::kTwoPhase;
-  buffer::PolicyParams policy_params;
+  /// Self-describing buffer policy selection + knobs (Buffer API v2). The
+  /// per-member budget rides in protocol.buffer_budget.
+  buffer::PolicySpec policy = buffer::TwoPhaseParams{};
   std::uint64_t seed = 1;
   /// Per-receiver loss applied to ip_multicast fan-out (initial
   /// dissemination), as in the simulator.

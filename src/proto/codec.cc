@@ -294,4 +294,6 @@ std::size_t encoded_size(const Message& m) {
   return 1 + std::visit([](const auto& v) { return size_body(v); }, m);
 }
 
+std::size_t encoded_size(const Data& d) { return 1 + size_body(d); }
+
 }  // namespace rrmp::proto

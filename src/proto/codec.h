@@ -36,4 +36,9 @@ std::optional<Message> decode_shared(const SharedBytes& wire);
 /// Exactly encode(m).size(), computed arithmetically.
 std::size_t encoded_size(const Message& m);
 
+/// Encoded size of a Data frame without constructing a Message variant —
+/// the one definition of "how many bytes does this message cost" shared by
+/// traffic accounting and buffer-occupancy accounting (buffer::BufferStore).
+std::size_t encoded_size(const Data& d);
+
 }  // namespace rrmp::proto

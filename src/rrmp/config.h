@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "buffer/budget.h"
 #include "common/time.h"
 
 namespace rrmp {
@@ -56,6 +57,14 @@ struct Config {
 
   /// Bufferer location scheme (see BuffererLookup).
   BuffererLookup lookup = BuffererLookup::kRandomized;
+
+  /// Per-member buffer budget (bytes/entries in wire-encoded Data-frame
+  /// units; zero fields = unlimited). The endpoint builds its BufferStore
+  /// with this budget; when an admission would exceed it, the retention
+  /// policy picks eviction victims (see buffer::RetentionPolicy). The paper
+  /// treats buffer memory as the scarce resource — this is that resource
+  /// made an explicit, tunable quantity.
+  buffer::BufferBudget buffer_budget;
 
   /// How a member locates a bufferer for a *discarded* message (§3.3).
   /// kRandomSearch is the paper's scheme; kMulticastQuery is the rejected

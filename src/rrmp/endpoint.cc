@@ -39,19 +39,23 @@ const std::vector<MemberId>& Endpoint::Env::region_members() const {
 
 MemberId Endpoint::Env::self() const { return ep_.host_.self(); }
 
+buffer::BudgetState Endpoint::Env::budget() const {
+  return ep_.store_->budget_state();
+}
+
 // ----------------------------------------------------------- lifecycle ----
 
 Endpoint::Endpoint(IHost& host, Config config,
-                   std::unique_ptr<buffer::BufferPolicy> policy,
+                   std::unique_ptr<buffer::RetentionPolicy> policy,
                    MetricsSink* metrics)
     : host_(host),
       cfg_(config),
       env_(*this),
-      policy_(std::move(policy)),
+      store_(std::make_unique<buffer::BufferStore>(std::move(policy),
+                                                   config.buffer_budget)),
       metrics_(metrics != nullptr ? metrics : &null_sink_) {
-  assert(policy_ != nullptr);
-  policy_->bind(&env_);
-  policy_->set_observer(
+  store_->bind(&env_);
+  store_->set_observer(
       [this](const MessageId& id, buffer::BufferEvent ev, bool long_term) {
         switch (ev) {
           case buffer::BufferEvent::kStored:
@@ -62,11 +66,12 @@ Endpoint::Endpoint(IHost& host, Config config,
             break;
           case buffer::BufferEvent::kDiscarded:
           case buffer::BufferEvent::kHandedOff:
+          case buffer::BufferEvent::kEvicted:
             this->metrics().on_buffer_discarded(self(), id, host_.now(), long_term);
             break;
         }
       });
-  if (policy_->needs_history_exchange()) cfg_.history_exchange = true;
+  if (store_->policy().needs_history_exchange()) cfg_.history_exchange = true;
   if (cfg_.history_exchange) {
     history_enabled_ = true;
     history_timer_ =
@@ -108,7 +113,7 @@ void Endpoint::leave() {
   if (!active_) return;
   // Transfer each long-term message to a randomly selected region member
   // (§3.2), batching per target into Handoff messages.
-  std::vector<proto::Data> drained = policy_->drain_for_handoff();
+  std::vector<proto::Data> drained = store_->drain_for_handoff();
   std::map<MemberId, proto::Handoff> batches;
   for (proto::Data& d : drained) {
     MemberId target = host_.local_view().pick_random(host_.rng(), self());
@@ -198,7 +203,7 @@ bool Endpoint::accept(const proto::Data& d, bool from_remote_region) {
     finish_recovery(d.id);
   }
 
-  policy_->store(d);
+  store_->store(d);
   search_given_up_.erase(d.id);  // we can answer future searches again
   metrics().on_delivered(self(), d.id, host_.now());
   if (delivery_handler_) delivery_handler_(d);
@@ -256,8 +261,8 @@ void Endpoint::handle_local_request(const proto::LocalRequest& r,
                                     MemberId from) {
   (void)from;
   metrics().on_request_received(self(), r.id, /*remote=*/false, host_.now());
-  policy_->on_request_seen(r.id);  // feedback for short-term buffering (§3.1)
-  if (std::optional<proto::Data> d = policy_->get(r.id)) {
+  store_->on_request_seen(r.id);  // feedback for short-term buffering (§3.1)
+  if (std::optional<proto::Data> d = store_->get(r.id)) {
     metrics().on_repair_sent(self(), r.id, /*remote=*/false, host_.now());
     host_.send(r.requester,
                proto::Message{proto::Repair{r.id, std::move(d->payload), false}});
@@ -272,9 +277,9 @@ void Endpoint::handle_remote_request(const proto::RemoteRequest& r,
                                      MemberId from) {
   (void)from;
   metrics().on_request_received(self(), r.id, /*remote=*/true, host_.now());
-  policy_->on_request_seen(r.id);
+  store_->on_request_seen(r.id);
   // Case 1 (§3.3): still buffered — answer immediately.
-  if (std::optional<proto::Data> d = policy_->get(r.id)) {
+  if (std::optional<proto::Data> d = store_->get(r.id)) {
     metrics().on_repair_sent(self(), r.id, /*remote=*/true, host_.now());
     host_.send(r.requester,
                proto::Message{proto::Repair{r.id, std::move(d->payload), true}});
@@ -357,14 +362,14 @@ void Endpoint::handle_regional_repair(const proto::RegionalRepair& r,
 void Endpoint::handle_search_request(const proto::SearchRequest& r,
                                      MemberId from) {
   (void)from;
-  policy_->on_request_seen(r.id);
+  store_->on_request_seen(r.id);
   if (cfg_.search_strategy == Config::SearchStrategy::kMulticastQuery) {
     // Back-off reply: answer only if still buffering, after U(0, unit*C).
-    if (policy_->has(r.id)) schedule_query_reply(r.id, r.remote_requester);
+    if (store_->has(r.id)) schedule_query_reply(r.id, r.remote_requester);
     return;
   }
   // Bufferer found: repair the remote requester and stop the search (§3.3).
-  if (std::optional<proto::Data> d = policy_->get(r.id)) {
+  if (std::optional<proto::Data> d = store_->get(r.id)) {
     metrics().on_repair_sent(self(), r.id, /*remote=*/true, host_.now());
     host_.send(r.remote_requester,
                proto::Message{proto::Repair{r.id, std::move(d->payload), true}});
@@ -428,7 +433,7 @@ void Endpoint::handle_handoff(const proto::Handoff& h, MemberId from) {
       // We never had this message: deliver it, then upgrade to long-term.
       accept(d, /*from_remote_region=*/false);
     }
-    policy_->accept_handoff(d);
+    store_->accept_handoff(d);
   }
 }
 
@@ -624,7 +629,7 @@ void Endpoint::fire_query_reply(const MessageId& id) {
   if (it == pending_replies_.end()) return;
   MemberId requester = it->second.requester;
   pending_replies_.erase(it);
-  std::optional<proto::Data> d = policy_->get(id);
+  std::optional<proto::Data> d = store_->get(id);
   if (!d) return;  // discarded while backing off
   metrics().on_repair_sent(self(), id, /*remote=*/true, host_.now());
   host_.send(requester,
@@ -760,7 +765,7 @@ void Endpoint::pull_from_digest(const proto::History& digest, MemberId from) {
 }
 
 void Endpoint::recompute_stability() {
-  auto* stab = dynamic_cast<buffer::StabilityPolicy*>(policy_.get());
+  auto* stab = dynamic_cast<buffer::StabilityPolicy*>(&store_->policy());
   if (stab == nullptr) return;
   const std::vector<MemberId>& expected = host_.local_view().members();
   for (const auto& [source, tr] : trackers_) {

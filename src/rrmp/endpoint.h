@@ -11,8 +11,10 @@
 //    records the requester and relays on receipt (§2.2),
 //  - regional multicast of remote repairs, with randomized back-off to
 //    suppress duplicates (§2.2),
-//  - buffer management by a pluggable BufferPolicy; retransmission requests
-//    feed the two-phase policy's idle detection (§3.1),
+//  - buffer management by a BufferStore (owned by the endpoint, budgeted
+//    via Config::buffer_budget) driven by a pluggable RetentionPolicy;
+//    retransmission requests feed the two-phase policy's idle detection
+//    (§3.1),
 //  - random search for a bufferer of a discarded message (§3.3), terminated
 //    by an "I have the message" regional multicast,
 //  - long-term buffer handoff on voluntary leave (§3.2),
@@ -34,6 +36,7 @@
 #include "buffer/hash_based.h"
 #include "buffer/policy.h"
 #include "buffer/stability.h"
+#include "buffer/store.h"
 #include "rrmp/config.h"
 #include "rrmp/gossip_fd.h"
 #include "rrmp/host.h"
@@ -46,9 +49,10 @@ namespace rrmp {
 class Endpoint {
  public:
   /// `metrics` may be nullptr. The policy must be unbound; the endpoint
-  /// binds it to its own PolicyEnv.
+  /// builds a BufferStore around it (budgeted by config.buffer_budget) and
+  /// binds the pair to its own PolicyEnv.
   Endpoint(IHost& host, Config config,
-           std::unique_ptr<buffer::BufferPolicy> policy,
+           std::unique_ptr<buffer::RetentionPolicy> policy,
            MetricsSink* metrics = nullptr);
   ~Endpoint();
 
@@ -82,8 +86,8 @@ class Endpoint {
 
   MemberId self() const { return host_.self(); }
   bool active() const { return active_; }
-  const buffer::BufferPolicy& buffer() const { return *policy_; }
-  buffer::BufferPolicy& buffer() { return *policy_; }
+  const buffer::BufferStore& buffer() const { return *store_; }
+  buffer::BufferStore& buffer() { return *store_; }
 
   bool has_received(const MessageId& id) const;
   std::uint64_t received_count() const;
@@ -115,6 +119,7 @@ class Endpoint {
     std::size_t region_size() const override;
     const std::vector<MemberId>& region_members() const override;
     MemberId self() const override;
+    buffer::BudgetState budget() const override;
 
    private:
     Endpoint& ep_;
@@ -217,7 +222,7 @@ class Endpoint {
   IHost& host_;
   Config cfg_;
   Env env_;
-  std::unique_ptr<buffer::BufferPolicy> policy_;
+  std::unique_ptr<buffer::BufferStore> store_;
   NullSink null_sink_;
   MetricsSink* metrics_;
   std::function<void(const proto::Data&)> delivery_handler_;

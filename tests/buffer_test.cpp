@@ -1,7 +1,12 @@
-// Unit tests: all five buffer policies against a fake environment.
+// Unit tests: the BufferStore storage layer, budget admission/eviction, and
+// all five retention policies against a fake environment.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "buffer/factory.h"
+#include "proto/codec.h"
 #include "test_env.h"
 
 namespace rrmp::buffer {
@@ -10,68 +15,77 @@ namespace {
 using rrmp::testing::FakePolicyEnv;
 using rrmp::testing::make_data;
 
-// ------------------------------------------------------------ base class ----
+template <typename Policy, typename... Args>
+std::unique_ptr<BufferStore> make_store_of(FakePolicyEnv& env,
+                                           BufferBudget budget,
+                                           Args&&... args) {
+  auto store = std::make_unique<BufferStore>(
+      std::make_unique<Policy>(std::forward<Args>(args)...), budget);
+  store->bind(&env);
+  env.attach_store(store.get());
+  return store;
+}
 
-TEST(BufferPolicyBase, StoreGetHasAndAccounting) {
+// ------------------------------------------------------------- store core ----
+
+TEST(BufferStoreTest, StoreGetHasAndAccounting) {
   FakePolicyEnv env;
-  BufferEverythingPolicy p;
-  p.bind(&env);
+  auto s = make_store_of<BufferEverythingPolicy>(env, {});
   proto::Data d = make_data(1, 1, 100);
-  p.store(d);
-  EXPECT_TRUE(p.has(d.id));
-  EXPECT_EQ(p.count(), 1u);
-  EXPECT_EQ(p.bytes(), 100u);
-  auto got = p.get(d.id);
+  EXPECT_EQ(s->store(d), Admission::kStored);
+  EXPECT_TRUE(s->has(d.id));
+  EXPECT_EQ(s->count(), 1u);
+  // One definition of "bytes": the wire-encoded Data frame, exactly what
+  // the traffic stats would charge for this message.
+  EXPECT_EQ(s->bytes(), proto::encoded_size(d));
+  auto got = s->get(d.id);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->payload, d.payload);
-  EXPECT_FALSE(p.get(MessageId{9, 9}).has_value());
+  EXPECT_FALSE(s->get(MessageId{9, 9}).has_value());
 }
 
-TEST(BufferPolicyBase, DuplicateStoreIgnored) {
+TEST(BufferStoreTest, DuplicateStoreIgnored) {
   FakePolicyEnv env;
-  BufferEverythingPolicy p;
-  p.bind(&env);
-  p.store(make_data(1, 1));
-  p.store(make_data(1, 1));
-  EXPECT_EQ(p.count(), 1u);
-  EXPECT_EQ(p.stats().stored, 1u);
+  auto s = make_store_of<BufferEverythingPolicy>(env, {});
+  EXPECT_EQ(s->store(make_data(1, 1)), Admission::kStored);
+  EXPECT_EQ(s->store(make_data(1, 1)), Admission::kDuplicate);
+  EXPECT_EQ(s->count(), 1u);
+  EXPECT_EQ(s->stats().stored, 1u);
 }
 
-TEST(BufferPolicyBase, ForceDiscardRemovesAndCounts) {
+TEST(BufferStoreTest, ForceDiscardRemovesAndCounts) {
   FakePolicyEnv env;
-  BufferEverythingPolicy p;
-  p.bind(&env);
+  auto s = make_store_of<BufferEverythingPolicy>(env, {});
   proto::Data d = make_data(1, 1, 64);
-  p.store(d);
+  s->store(d);
   env.advance(Duration::millis(3));
-  p.force_discard(d.id);
-  EXPECT_FALSE(p.has(d.id));
-  EXPECT_EQ(p.bytes(), 0u);
-  EXPECT_EQ(p.stats().discarded, 1u);
-  EXPECT_EQ(p.stats().total_buffer_time, Duration::millis(3));
+  s->force_discard(d.id);
+  EXPECT_FALSE(s->has(d.id));
+  EXPECT_EQ(s->bytes(), 0u);
+  EXPECT_EQ(s->stats().discarded, 1u);
+  EXPECT_EQ(s->stats().total_buffer_time, Duration::millis(3));
 }
 
-TEST(BufferPolicyBase, PeakTracking) {
+TEST(BufferStoreTest, PeakTracking) {
   FakePolicyEnv env;
-  BufferEverythingPolicy p;
-  p.bind(&env);
-  for (std::uint64_t s = 1; s <= 5; ++s) p.store(make_data(1, s, 10));
-  p.force_discard(MessageId{1, 1});
-  EXPECT_EQ(p.stats().peak_count, 5u);
-  EXPECT_EQ(p.stats().peak_bytes, 50u);
-  EXPECT_EQ(p.count(), 4u);
+  auto s = make_store_of<BufferEverythingPolicy>(env, {});
+  for (std::uint64_t q = 1; q <= 5; ++q) s->store(make_data(1, q, 10));
+  std::size_t one = proto::encoded_size(make_data(1, 1, 10));
+  s->force_discard(MessageId{1, 1});
+  EXPECT_EQ(s->stats().peak_count, 5u);
+  EXPECT_EQ(s->stats().peak_bytes, 5 * one);
+  EXPECT_EQ(s->count(), 4u);
 }
 
-TEST(BufferPolicyBase, ObserverSeesLifecycle) {
+TEST(BufferStoreTest, ObserverSeesLifecycle) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(TwoPhaseParams{Duration::millis(10), 10.0,
-                                  Duration::infinite()});
-  p.bind(&env);
+  auto s = make_store_of<TwoPhasePolicy>(
+      env, {}, TwoPhaseParams{Duration::millis(10), 10.0, Duration::infinite()});
   std::vector<std::pair<BufferEvent, bool>> events;
-  p.set_observer([&](const MessageId&, BufferEvent ev, bool lt) {
+  s->set_observer([&](const MessageId&, BufferEvent ev, bool lt) {
     events.emplace_back(ev, lt);
   });
-  p.store(make_data(1, 1));
+  s->store(make_data(1, 1));
   env.advance(Duration::millis(50));  // idle; C/n = 1.0 -> always promoted
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].first, BufferEvent::kStored);
@@ -79,13 +93,189 @@ TEST(BufferPolicyBase, ObserverSeesLifecycle) {
   EXPECT_TRUE(events[1].second);
 }
 
-TEST(BufferPolicyBase, BindTwiceThrows) {
+TEST(BufferStoreTest, BindTwiceThrows) {
   FakePolicyEnv env;
-  BufferEverythingPolicy p;
-  p.bind(&env);
-  EXPECT_THROW(p.bind(&env), std::logic_error);
-  BufferEverythingPolicy q;
+  BufferStore s(std::make_unique<BufferEverythingPolicy>());
+  s.bind(&env);
+  EXPECT_THROW(s.bind(&env), std::logic_error);
+  BufferStore q(std::make_unique<BufferEverythingPolicy>());
   EXPECT_THROW(q.bind(nullptr), std::invalid_argument);
+  EXPECT_THROW(BufferStore(nullptr), std::invalid_argument);
+}
+
+TEST(BufferStoreTest, EntriesIterateInIdOrder) {
+  FakePolicyEnv env;
+  auto s = make_store_of<BufferEverythingPolicy>(env, {});
+  s->store(make_data(2, 5));
+  s->store(make_data(1, 9));
+  s->store(make_data(1, 2));
+  s->store(make_data(2, 1));
+  std::vector<MessageId> seen;
+  s->for_each_entry([&](const BufferStore::EntryView& e) {
+    seen.push_back(e.id);
+  });
+  std::vector<MessageId> want = {{1, 2}, {1, 9}, {2, 1}, {2, 5}};
+  EXPECT_EQ(seen, want);
+}
+
+// --------------------------------------------------------- budget/eviction ----
+
+BufferBudget bytes_budget(std::size_t max_bytes) {
+  return BufferBudget{max_bytes, 0};
+}
+
+TEST(BufferBudgetTest, EvictsToAdmitWhenOverBytes) {
+  FakePolicyEnv env;
+  std::size_t one = proto::encoded_size(make_data(1, 1, 64));
+  auto s = make_store_of<BufferEverythingPolicy>(env, bytes_budget(3 * one));
+  std::vector<std::pair<MessageId, BufferEvent>> events;
+  s->set_observer([&](const MessageId& id, BufferEvent ev, bool) {
+    events.emplace_back(id, ev);
+  });
+  for (std::uint64_t q = 1; q <= 3; ++q) s->store(make_data(1, q, 64));
+  EXPECT_EQ(s->count(), 3u);
+  EXPECT_EQ(s->store(make_data(1, 4, 64)), Admission::kStored);
+  // Same age, same phase: the deterministic tie-break evicts the smallest id.
+  EXPECT_FALSE(s->has(MessageId{1, 1}));
+  EXPECT_TRUE(s->has(MessageId{1, 4}));
+  EXPECT_EQ(s->count(), 3u);
+  EXPECT_LE(s->bytes(), 3 * one);
+  EXPECT_EQ(s->stats().evicted, 1u);
+  EXPECT_EQ(s->stats().discarded, 0u);
+  // Observer saw the eviction before the new store.
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[events.size() - 2],
+            (std::pair<MessageId, BufferEvent>{{1, 1}, BufferEvent::kEvicted}));
+  EXPECT_EQ(events.back(),
+            (std::pair<MessageId, BufferEvent>{{1, 4}, BufferEvent::kStored}));
+}
+
+TEST(BufferBudgetTest, CountBudgetEnforced) {
+  FakePolicyEnv env;
+  auto s = make_store_of<BufferEverythingPolicy>(env, BufferBudget{0, 2});
+  for (std::uint64_t q = 1; q <= 5; ++q) s->store(make_data(1, q));
+  EXPECT_EQ(s->count(), 2u);
+  EXPECT_EQ(s->stats().evicted, 3u);
+  EXPECT_TRUE(s->has(MessageId{1, 4}));
+  EXPECT_TRUE(s->has(MessageId{1, 5}));
+}
+
+TEST(BufferBudgetTest, MessageLargerThanWholeBudgetRejected) {
+  FakePolicyEnv env;
+  auto s = make_store_of<BufferEverythingPolicy>(env, bytes_budget(64));
+  s->store(make_data(1, 1, 16));
+  std::size_t before = s->bytes();
+  std::vector<BufferEvent> events;
+  s->set_observer([&](const MessageId&, BufferEvent ev, bool) {
+    events.push_back(ev);
+  });
+  EXPECT_EQ(s->store(make_data(1, 2, 4096)), Admission::kRejected);
+  // Nothing was stored AND nothing already buffered was sacrificed for a
+  // message that could never fit.
+  EXPECT_FALSE(s->has(MessageId{1, 2}));
+  EXPECT_TRUE(s->has(MessageId{1, 1}));
+  EXPECT_EQ(s->bytes(), before);
+  EXPECT_EQ(s->stats().rejected, 1u);
+  EXPECT_EQ(s->stats().evicted, 0u);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(BufferBudgetTest, EvictionPrefersShortTermLeastRecentlyActive) {
+  FakePolicyEnv env;
+  auto s = make_store_of<BufferEverythingPolicy>(env, BufferBudget{0, 3});
+  s->store(make_data(1, 1));
+  s->promote_long_term(MessageId{1, 1});  // recovery capital: evicted last
+  env.advance(Duration::millis(1));
+  s->store(make_data(1, 2));  // short-term, oldest activity
+  env.advance(Duration::millis(1));
+  s->store(make_data(1, 3));  // short-term, fresher
+  s->store(make_data(1, 4));
+  EXPECT_FALSE(s->has(MessageId{1, 2}));  // LRU short-term went first
+  EXPECT_TRUE(s->has(MessageId{1, 1}));   // long-term survives
+  EXPECT_TRUE(s->has(MessageId{1, 3}));
+  EXPECT_TRUE(s->has(MessageId{1, 4}));
+}
+
+TEST(BufferBudgetTest, EvictionCancelsPendingEntryTimer) {
+  FakePolicyEnv env;
+  // Fixed-time arms one discard timer per entry; eviction must cancel it so
+  // no stale slab handle fires later.
+  auto s = make_store_of<FixedTimePolicy>(env, BufferBudget{0, 1},
+                                          Duration::millis(100));
+  s->store(make_data(1, 1));
+  EXPECT_EQ(env.sim().pending_count(), 1u);
+  s->store(make_data(1, 2));  // evicts {1,1}; its TTL timer must die with it
+  EXPECT_EQ(s->stats().evicted, 1u);
+  EXPECT_EQ(env.sim().pending_count(), 1u);  // only {1,2}'s timer remains
+  env.advance(Duration::millis(200));
+  EXPECT_FALSE(s->has(MessageId{1, 2}));
+  // Exactly one policy discard fired ({1,2}'s TTL); the evicted entry's
+  // cancelled timer did not double-count.
+  EXPECT_EQ(s->stats().discarded, 1u);
+  EXPECT_EQ(s->stats().evicted, 1u);
+  EXPECT_EQ(s->stats().stored,
+            s->stats().discarded + s->stats().evicted + s->count());
+}
+
+TEST(BufferBudgetTest, EvictionRacesIdleCheckSafely) {
+  FakePolicyEnv env;
+  // Two-phase arms an idle check per entry. Evict an entry while its check
+  // is pending, let the wheel advance: the cancelled check must not fire,
+  // and a re-stored id gets a fresh lifecycle.
+  auto s = make_store_of<TwoPhasePolicy>(
+      env, BufferBudget{0, 1},
+      TwoPhaseParams{Duration::millis(40), 0.0, Duration::infinite()});
+  s->store(make_data(1, 1));
+  env.advance(Duration::millis(10));
+  s->store(make_data(1, 2));  // evicts {1,1} mid idle-countdown
+  EXPECT_EQ(s->stats().evicted, 1u);
+  s->store(make_data(1, 1));  // re-admitted: evicts {1,2}, fresh timer
+  EXPECT_EQ(s->stats().evicted, 2u);
+  env.advance(Duration::millis(60));  // C=0: idle check discards {1,1}
+  EXPECT_FALSE(s->has(MessageId{1, 1}));
+  EXPECT_EQ(s->stats().discarded, 1u);
+  EXPECT_EQ(env.sim().pending_count(), 0u);  // nothing dangling
+}
+
+TEST(BufferBudgetTest, DrainForHandoffInteractsWithFullStore) {
+  FakePolicyEnv env;
+  auto s = make_store_of<TwoPhasePolicy>(
+      env, BufferBudget{0, 3},
+      TwoPhaseParams{Duration::millis(40), 0.0, Duration::infinite()});
+  s->accept_handoff(make_data(1, 1));  // long-term
+  s->store(make_data(1, 2));           // short-term
+  s->accept_handoff(make_data(1, 3));  // long-term; store now at budget
+  auto drained = s->drain_for_handoff();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(s->count(), 1u);
+  EXPECT_EQ(s->stats().handed_off, 2u);
+  // The drain freed budget: new admissions (and handoffs) fit again without
+  // evicting the remaining short-term entry.
+  EXPECT_EQ(s->accept_handoff(make_data(1, 4)), Admission::kStored);
+  EXPECT_EQ(s->store(make_data(1, 5)), Admission::kStored);
+  EXPECT_EQ(s->stats().evicted, 0u);
+  // One more admission at budget evicts the short-term entry, never the
+  // handed-off long-term copy.
+  EXPECT_EQ(s->store(make_data(1, 6)), Admission::kStored);
+  EXPECT_FALSE(s->has(MessageId{1, 2}));
+  EXPECT_TRUE(s->has(MessageId{1, 4}));
+}
+
+TEST(BufferBudgetTest, BudgetStateVisibleThroughEnv) {
+  FakePolicyEnv env;
+  auto s = make_store_of<BufferEverythingPolicy>(env, bytes_budget(4096));
+  s->store(make_data(1, 1, 100));
+  BudgetState bs = env.budget();
+  EXPECT_EQ(bs.bytes, s->bytes());
+  EXPECT_EQ(bs.count, 1u);
+  EXPECT_EQ(bs.limit.max_bytes, 4096u);
+  EXPECT_FALSE(bs.limit.unlimited());
+}
+
+TEST(BufferBudgetTest, UnlimitedByDefault) {
+  EXPECT_TRUE(BufferBudget{}.unlimited());
+  EXPECT_FALSE((BufferBudget{1, 0}).unlimited());
+  EXPECT_FALSE((BufferBudget{0, 1}).unlimited());
 }
 
 // -------------------------------------------------------------- two-phase ----
@@ -97,179 +287,170 @@ TwoPhaseParams tp(Duration idle, double c,
 
 TEST(TwoPhaseTest, IdleMessageDiscardedAfterThresholdWhenCZero) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
-  p.bind(&env);
-  p.store(make_data(1, 1));
+  auto s = make_store_of<TwoPhasePolicy>(env, {}, tp(Duration::millis(40), 0.0));
+  s->store(make_data(1, 1));
   env.advance(Duration::millis(39));
-  EXPECT_TRUE(p.has(MessageId{1, 1}));
+  EXPECT_TRUE(s->has(MessageId{1, 1}));
   env.advance(Duration::millis(2));
-  EXPECT_FALSE(p.has(MessageId{1, 1}));
+  EXPECT_FALSE(s->has(MessageId{1, 1}));
 }
 
 TEST(TwoPhaseTest, RequestFeedbackExtendsShortTermBuffering) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
-  p.bind(&env);
+  auto s = make_store_of<TwoPhasePolicy>(env, {}, tp(Duration::millis(40), 0.0));
   MessageId id{1, 1};
-  p.store(make_data(1, 1));
+  s->store(make_data(1, 1));
   // Keep poking every 30 ms: the idle threshold never elapses.
   for (int i = 0; i < 5; ++i) {
     env.advance(Duration::millis(30));
-    p.on_request_seen(id);
-    EXPECT_TRUE(p.has(id));
+    s->on_request_seen(id);
+    EXPECT_TRUE(s->has(id));
   }
   // Silence for T: now it goes.
   env.advance(Duration::millis(41));
-  EXPECT_FALSE(p.has(id));
+  EXPECT_FALSE(s->has(id));
 }
 
 TEST(TwoPhaseTest, AlwaysPromotedWhenCEqualsRegionSize) {
   FakePolicyEnv env(/*region_size=*/10);
-  TwoPhasePolicy p(tp(Duration::millis(10), 10.0));  // C/n = 1
-  p.bind(&env);
-  p.store(make_data(1, 1));
+  auto s = make_store_of<TwoPhasePolicy>(env, {}, tp(Duration::millis(10), 10.0));
+  s->store(make_data(1, 1));
   env.advance(Duration::millis(20));
-  EXPECT_TRUE(p.has(MessageId{1, 1}));
-  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+  EXPECT_TRUE(s->has(MessageId{1, 1}));
+  EXPECT_TRUE(s->is_long_term(MessageId{1, 1}));
 }
 
 TEST(TwoPhaseTest, PromotionProbabilityIsCOverN) {
   FakePolicyEnv env(/*region_size=*/10, /*self=*/0, /*seed=*/99);
-  TwoPhasePolicy p(tp(Duration::millis(5), 3.0));  // P = 0.3
-  p.bind(&env);
+  auto s = make_store_of<TwoPhasePolicy>(env, {}, tp(Duration::millis(5), 3.0));
   const int n = 4000;
-  for (std::uint64_t s = 1; s <= n; ++s) p.store(make_data(1, s));
+  for (std::uint64_t q = 1; q <= n; ++q) s->store(make_data(1, q));
   env.advance(Duration::millis(10));
-  double kept = static_cast<double>(p.count()) / n;
+  double kept = static_cast<double>(s->count()) / n;
   EXPECT_NEAR(kept, 0.3, 0.03);
-  EXPECT_EQ(p.stats().promoted_long_term, p.count());
+  EXPECT_EQ(s->stats().promoted_long_term, s->count());
 }
 
 TEST(TwoPhaseTest, LongTermTtlEventuallyDiscards) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(tp(Duration::millis(10), 10.0, Duration::millis(100)));
-  p.bind(&env);
-  p.store(make_data(1, 1));
+  auto s = make_store_of<TwoPhasePolicy>(
+      env, {}, tp(Duration::millis(10), 10.0, Duration::millis(100)));
+  s->store(make_data(1, 1));
   env.advance(Duration::millis(20));  // promoted at ~10ms
-  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+  EXPECT_TRUE(s->is_long_term(MessageId{1, 1}));
   env.advance(Duration::millis(200));
-  EXPECT_FALSE(p.has(MessageId{1, 1}));
+  EXPECT_FALSE(s->has(MessageId{1, 1}));
 }
 
 TEST(TwoPhaseTest, LongTermTtlRefreshedByRequests) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(tp(Duration::millis(10), 10.0, Duration::millis(100)));
-  p.bind(&env);
+  auto s = make_store_of<TwoPhasePolicy>(
+      env, {}, tp(Duration::millis(10), 10.0, Duration::millis(100)));
   MessageId id{1, 1};
-  p.store(make_data(1, 1));
+  s->store(make_data(1, 1));
   env.advance(Duration::millis(20));
-  ASSERT_TRUE(p.is_long_term(id));
+  ASSERT_TRUE(s->is_long_term(id));
   // Requests every 80 ms keep it alive past several TTLs.
   for (int i = 0; i < 4; ++i) {
     env.advance(Duration::millis(80));
-    p.on_request_seen(id);
+    s->on_request_seen(id);
   }
-  EXPECT_TRUE(p.has(id));
+  EXPECT_TRUE(s->has(id));
   env.advance(Duration::millis(150));
-  EXPECT_FALSE(p.has(id));
+  EXPECT_FALSE(s->has(id));
 }
 
 TEST(TwoPhaseTest, HandoffAcceptedAsLongTermImmediately) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(tp(Duration::millis(10), 0.0));  // would never survive idle
-  p.bind(&env);
-  p.accept_handoff(make_data(1, 1));
-  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+  auto s = make_store_of<TwoPhasePolicy>(env, {},
+                                         tp(Duration::millis(10), 0.0));
+  s->accept_handoff(make_data(1, 1));
+  EXPECT_TRUE(s->is_long_term(MessageId{1, 1}));
   env.advance(Duration::millis(100));
-  EXPECT_TRUE(p.has(MessageId{1, 1}));  // no idle discard for long-term
+  EXPECT_TRUE(s->has(MessageId{1, 1}));  // no idle discard for long-term
 }
 
 TEST(TwoPhaseTest, HandoffUpgradesExistingShortTermEntry) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
-  p.bind(&env);
-  p.store(make_data(1, 1));
-  EXPECT_FALSE(p.is_long_term(MessageId{1, 1}));
-  p.accept_handoff(make_data(1, 1));
-  EXPECT_TRUE(p.is_long_term(MessageId{1, 1}));
+  auto s = make_store_of<TwoPhasePolicy>(env, {},
+                                         tp(Duration::millis(40), 0.0));
+  s->store(make_data(1, 1));
+  EXPECT_FALSE(s->is_long_term(MessageId{1, 1}));
+  EXPECT_EQ(s->accept_handoff(make_data(1, 1)), Admission::kDuplicate);
+  EXPECT_TRUE(s->is_long_term(MessageId{1, 1}));
   env.advance(Duration::millis(100));
-  EXPECT_TRUE(p.has(MessageId{1, 1}));  // upgraded entries survive idling
+  EXPECT_TRUE(s->has(MessageId{1, 1}));  // upgraded entries survive idling
 }
 
 TEST(TwoPhaseTest, DrainForHandoffReturnsOnlyLongTerm) {
   FakePolicyEnv env;
-  TwoPhasePolicy p(tp(Duration::millis(40), 0.0));
-  p.bind(&env);
-  p.store(make_data(1, 1));             // short-term
-  p.accept_handoff(make_data(1, 2));    // long-term
-  p.accept_handoff(make_data(1, 3));    // long-term
-  auto drained = p.drain_for_handoff();
+  auto s = make_store_of<TwoPhasePolicy>(env, {},
+                                         tp(Duration::millis(40), 0.0));
+  s->store(make_data(1, 1));             // short-term
+  s->accept_handoff(make_data(1, 2));    // long-term
+  s->accept_handoff(make_data(1, 3));    // long-term
+  auto drained = s->drain_for_handoff();
   EXPECT_EQ(drained.size(), 2u);
-  EXPECT_FALSE(p.has(MessageId{1, 2}));
-  EXPECT_FALSE(p.has(MessageId{1, 3}));
-  EXPECT_TRUE(p.has(MessageId{1, 1}));  // short-term entry not transferred
-  EXPECT_EQ(p.stats().handed_off, 2u);
+  EXPECT_FALSE(s->has(MessageId{1, 2}));
+  EXPECT_FALSE(s->has(MessageId{1, 3}));
+  EXPECT_TRUE(s->has(MessageId{1, 1}));  // short-term entry not transferred
+  EXPECT_EQ(s->stats().handed_off, 2u);
 }
 
 // -------------------------------------------------------------- fixed-time ----
 
 TEST(FixedTimeTest, DiscardsExactlyAfterTtl) {
   FakePolicyEnv env;
-  FixedTimePolicy p(Duration::millis(100));
-  p.bind(&env);
-  p.store(make_data(1, 1));
+  auto s = make_store_of<FixedTimePolicy>(env, {}, Duration::millis(100));
+  s->store(make_data(1, 1));
   env.advance(Duration::millis(99));
-  EXPECT_TRUE(p.has(MessageId{1, 1}));
+  EXPECT_TRUE(s->has(MessageId{1, 1}));
   env.advance(Duration::millis(2));
-  EXPECT_FALSE(p.has(MessageId{1, 1}));
+  EXPECT_FALSE(s->has(MessageId{1, 1}));
 }
 
 TEST(FixedTimeTest, RequestsDoNotExtendLifetime) {
   FakePolicyEnv env;
-  FixedTimePolicy p(Duration::millis(100));
-  p.bind(&env);
+  auto s = make_store_of<FixedTimePolicy>(env, {}, Duration::millis(100));
   MessageId id{1, 1};
-  p.store(make_data(1, 1));
+  s->store(make_data(1, 1));
   for (int i = 0; i < 9; ++i) {
     env.advance(Duration::millis(10));
-    p.on_request_seen(id);
+    s->on_request_seen(id);
   }
   env.advance(Duration::millis(15));
-  EXPECT_FALSE(p.has(id));  // Bimodal's policy ignores demand
+  EXPECT_FALSE(s->has(id));  // Bimodal's policy ignores demand
 }
 
 TEST(FixedTimeTest, StaggeredStoresExpireIndependently) {
   FakePolicyEnv env;
-  FixedTimePolicy p(Duration::millis(50));
-  p.bind(&env);
-  p.store(make_data(1, 1));
+  auto s = make_store_of<FixedTimePolicy>(env, {}, Duration::millis(50));
+  s->store(make_data(1, 1));
   env.advance(Duration::millis(30));
-  p.store(make_data(1, 2));
+  s->store(make_data(1, 2));
   env.advance(Duration::millis(25));  // t=55: first gone, second alive
-  EXPECT_FALSE(p.has(MessageId{1, 1}));
-  EXPECT_TRUE(p.has(MessageId{1, 2}));
+  EXPECT_FALSE(s->has(MessageId{1, 1}));
+  EXPECT_TRUE(s->has(MessageId{1, 2}));
 }
 
 // ------------------------------------------------------- buffer-everything ----
 
 TEST(BufferEverythingTest, NeverDiscards) {
   FakePolicyEnv env;
-  BufferEverythingPolicy p;
-  p.bind(&env);
-  for (std::uint64_t s = 1; s <= 100; ++s) p.store(make_data(1, s));
+  auto s = make_store_of<BufferEverythingPolicy>(env, {});
+  for (std::uint64_t q = 1; q <= 100; ++q) s->store(make_data(1, q));
   env.advance(Duration::seconds(100));
-  EXPECT_EQ(p.count(), 100u);
-  EXPECT_EQ(p.stats().discarded, 0u);
+  EXPECT_EQ(s->count(), 100u);
+  EXPECT_EQ(s->stats().discarded, 0u);
 }
 
 TEST(BufferEverythingTest, DrainsEverythingOnHandoff) {
   FakePolicyEnv env;
-  BufferEverythingPolicy p;
-  p.bind(&env);
-  for (std::uint64_t s = 1; s <= 10; ++s) p.store(make_data(1, s));
-  auto drained = p.drain_for_handoff();
+  auto s = make_store_of<BufferEverythingPolicy>(env, {});
+  for (std::uint64_t q = 1; q <= 10; ++q) s->store(make_data(1, q));
+  auto drained = s->drain_for_handoff();
   EXPECT_EQ(drained.size(), 10u);
-  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(s->count(), 0u);
 }
 
 // ------------------------------------------------------------- hash-based ----
@@ -295,8 +476,8 @@ TEST(HashBasedTest, BuffererSetVariesByMessage) {
   std::vector<MemberId> members(50);
   for (std::size_t i = 0; i < 50; ++i) members[i] = static_cast<MemberId>(i);
   std::set<std::vector<MemberId>> sets;
-  for (std::uint64_t s = 1; s <= 30; ++s) {
-    sets.insert(hash_bufferers(MessageId{1, s}, members, 5));
+  for (std::uint64_t q = 1; q <= 30; ++q) {
+    sets.insert(hash_bufferers(MessageId{1, q}, members, 5));
   }
   EXPECT_GT(sets.size(), 25u);  // essentially always different
 }
@@ -306,8 +487,8 @@ TEST(HashBasedTest, SelectionIsBalancedAcrossMembers) {
   for (std::size_t i = 0; i < 20; ++i) members[i] = static_cast<MemberId>(i);
   std::map<MemberId, int> load;
   const int msgs = 5000;
-  for (std::uint64_t s = 1; s <= msgs; ++s) {
-    for (MemberId m : hash_bufferers(MessageId{1, s}, members, 4)) ++load[m];
+  for (std::uint64_t q = 1; q <= msgs; ++q) {
+    for (MemberId m : hash_bufferers(MessageId{1, q}, members, 4)) ++load[m];
   }
   // Expected load per member: msgs * 4 / 20 = 1000.
   for (const auto& [m, c] : load) {
@@ -327,42 +508,46 @@ TEST(HashBasedTest, SelectedMemberKeepsOthersDropAfterGrace) {
   std::vector<MemberId> members(10);
   for (std::size_t i = 0; i < 10; ++i) members[i] = static_cast<MemberId>(i);
   std::uint64_t selected_seq = 0, unselected_seq = 0;
-  for (std::uint64_t s = 1; s < 100 && (!selected_seq || !unselected_seq); ++s) {
-    auto set = hash_bufferers(MessageId{1, s}, members, 3);
+  for (std::uint64_t q = 1; q < 100 && (!selected_seq || !unselected_seq); ++q) {
+    auto set = hash_bufferers(MessageId{1, q}, members, 3);
     bool mine = std::find(set.begin(), set.end(), MemberId{0}) != set.end();
-    if (mine && !selected_seq) selected_seq = s;
-    if (!mine && !unselected_seq) unselected_seq = s;
+    if (mine && !selected_seq) selected_seq = q;
+    if (!mine && !unselected_seq) unselected_seq = q;
   }
   ASSERT_NE(selected_seq, 0u);
   ASSERT_NE(unselected_seq, 0u);
 
   FakePolicyEnv env(/*region_size=*/10, /*self=*/0);
-  HashBasedPolicy p(HashBasedParams{3, Duration::millis(40),
-                                    Duration::infinite()});
-  p.bind(&env);
-  p.store(make_data(1, selected_seq));
-  p.store(make_data(1, unselected_seq));
-  EXPECT_TRUE(p.is_long_term(MessageId{1, selected_seq}));
-  EXPECT_FALSE(p.is_long_term(MessageId{1, unselected_seq}));
+  auto policy = std::make_unique<HashBasedPolicy>(
+      HashBasedParams{3, Duration::millis(40), Duration::infinite()});
+  HashBasedPolicy* hp = policy.get();
+  BufferStore s(std::move(policy));
+  s.bind(&env);
+  s.store(make_data(1, selected_seq));
+  s.store(make_data(1, unselected_seq));
+  EXPECT_TRUE(s.is_long_term(MessageId{1, selected_seq}));
+  EXPECT_FALSE(s.is_long_term(MessageId{1, unselected_seq}));
   env.advance(Duration::millis(50));
-  EXPECT_TRUE(p.has(MessageId{1, selected_seq}));
-  EXPECT_FALSE(p.has(MessageId{1, unselected_seq}));  // grace expired
-  EXPECT_GT(p.hash_evaluations(), 0u);
+  EXPECT_TRUE(s.has(MessageId{1, selected_seq}));
+  EXPECT_FALSE(s.has(MessageId{1, unselected_seq}));  // grace expired
+  EXPECT_GT(hp->hash_evaluations(), 0u);
 }
 
 // --------------------------------------------------------------- stability ----
 
 TEST(StabilityPolicyTest, DiscardsOnlyBelowStableFrontier) {
   FakePolicyEnv env;
-  StabilityPolicy p;
-  p.bind(&env);
-  for (std::uint64_t s = 1; s <= 10; ++s) p.store(make_data(1, s));
-  p.store(make_data(2, 1));  // different source unaffected
-  p.mark_stable_below(1, 6);
-  for (std::uint64_t s = 1; s <= 5; ++s) EXPECT_FALSE(p.has(MessageId{1, s}));
-  for (std::uint64_t s = 6; s <= 10; ++s) EXPECT_TRUE(p.has(MessageId{1, s}));
-  EXPECT_TRUE(p.has(MessageId{2, 1}));
-  EXPECT_TRUE(p.needs_history_exchange());
+  auto policy = std::make_unique<StabilityPolicy>();
+  StabilityPolicy* sp = policy.get();
+  BufferStore s(std::move(policy));
+  s.bind(&env);
+  for (std::uint64_t q = 1; q <= 10; ++q) s.store(make_data(1, q));
+  s.store(make_data(2, 1));  // different source unaffected
+  sp->mark_stable_below(1, 6);
+  for (std::uint64_t q = 1; q <= 5; ++q) EXPECT_FALSE(s.has(MessageId{1, q}));
+  for (std::uint64_t q = 6; q <= 10; ++q) EXPECT_TRUE(s.has(MessageId{1, q}));
+  EXPECT_TRUE(s.has(MessageId{2, 1}));
+  EXPECT_TRUE(sp->needs_history_exchange());
 }
 
 TEST(StabilityTrackerTest, FrontierIsMinimumOverMembers) {
@@ -421,10 +606,42 @@ TEST(FactoryTest, MakesEveryKind) {
        {PolicyKind::kTwoPhase, PolicyKind::kFixedTime,
         PolicyKind::kBufferEverything, PolicyKind::kHashBased,
         PolicyKind::kStability}) {
-    auto p = make_policy(kind);
+    PolicySpec spec = default_spec(kind);
+    EXPECT_EQ(kind_of(spec), kind);
+    auto p = make_policy(spec);
     ASSERT_NE(p, nullptr);
     EXPECT_STREQ(p->name(), to_string(kind));
+    auto s = make_store(spec, BufferBudget{1024, 8});
+    ASSERT_NE(s, nullptr);
+    EXPECT_STREQ(s->name(), to_string(kind));
+    EXPECT_EQ(s->budget().max_bytes, 1024u);
   }
+}
+
+TEST(FactoryTest, KindFromNameRoundTrips) {
+  for (PolicyKind kind :
+       {PolicyKind::kTwoPhase, PolicyKind::kFixedTime,
+        PolicyKind::kBufferEverything, PolicyKind::kHashBased,
+        PolicyKind::kStability}) {
+    PolicyKind parsed;
+    ASSERT_TRUE(kind_from_name(to_string(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  PolicyKind parsed;
+  EXPECT_FALSE(kind_from_name("bogus", parsed));
+}
+
+TEST(FactoryTest, SpecsAreSelfDescribing) {
+  EXPECT_EQ(describe(TwoPhaseParams{Duration::millis(40), 6.0,
+                                    Duration::infinite()}),
+            "two-phase(T=40ms, C=6, ttl=inf)");
+  EXPECT_EQ(describe(FixedTimeParams{Duration::millis(120)}),
+            "fixed-time(ttl=120ms)");
+  EXPECT_EQ(describe(BufferEverythingParams{}), "buffer-everything()");
+  EXPECT_EQ(describe(HashBasedParams{4, Duration::millis(20),
+                                     Duration::infinite()}),
+            "hash-based(k=4, grace=20ms, ttl=inf)");
+  EXPECT_EQ(describe(StabilityParams{}), "stability()");
 }
 
 }  // namespace

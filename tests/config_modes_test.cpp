@@ -67,7 +67,7 @@ TEST(StabilityPlusAntiEntropy, HistoryMessagesServeBothRoles) {
   ClusterConfig cc;
   cc.region_sizes = {8};
   cc.seed = 402;
-  cc.policy = buffer::PolicyKind::kStability;
+  cc.policy = buffer::StabilityParams{};
   cc.protocol.history_interval = Duration::millis(10);
   cc.protocol.anti_entropy = true;
   cc.protocol.anti_entropy_interval = Duration::millis(15);

@@ -140,7 +140,7 @@ TEST(ControlLoss, RecoveryRetriesThroughLostRequestsAndRepairs) {
   cc.region_sizes = {20};
   cc.control_loss = 0.3;  // 30% of requests/repairs vanish
   cc.seed = 105;
-  cc.policy_params.two_phase.C = 12.0;  // hold copies through the noise
+  std::get<buffer::TwoPhaseParams>(cc.policy).C = 12.0;  // hold copies through the noise
   Cluster cluster(cc);
   std::vector<MemberId> holders = {0, 1, 2, 3, 4};
   MessageId id = cluster.inject(0, 1, holders);
@@ -190,7 +190,7 @@ TEST(Soak, FullStackWithChurnLossAndFailureDetection) {
   cc.control_loss = 0.02;
   cc.jitter = 0.2;
   cc.seed = 108;
-  cc.policy_params.two_phase.C = 8.0;
+  std::get<buffer::TwoPhaseParams>(cc.policy).C = 8.0;
   cc.protocol.lambda = 2.0;
   cc.protocol.measure_rtt = true;
   Cluster cluster(cc);

@@ -240,7 +240,7 @@ TEST(EndpointSearch, RemoteRequestForUnknownMessageStartsRecovery) {
   // Pin C = n so the lone holder always survives its idle decision; with
   // one slow random prober, a holder can otherwise legitimately idle out
   // before a probe refreshes it (the paper's acknowledged race).
-  cc.policy_params.two_phase.C = 10.0;
+  std::get<buffer::TwoPhaseParams>(cc.policy).C = 10.0;
   Cluster cluster(cc);
   MessageId id{0, 1};
   cluster.inject_data_to(0, 1, std::vector<MemberId>{3});  // only member 3
@@ -258,9 +258,7 @@ TEST(EndpointSearch, RemoteRequestForUnknownMessageStartsRecovery) {
 
 TEST(EndpointHashDirect, RecoveryTargetsHashBufferers) {
   ClusterConfig cc = single_region(20, 15);
-  cc.policy = buffer::PolicyKind::kHashBased;
-  cc.policy_params.hash.k = 4;
-  cc.policy_params.hash.grace = Duration::millis(40);
+  cc.policy = buffer::HashBasedParams{4, Duration::millis(40)};
   cc.protocol.lookup = BuffererLookup::kHashDirect;
   cc.protocol.hash_k = 4;
   Cluster cluster(cc);
@@ -284,8 +282,7 @@ TEST(EndpointHashDirect, RecoveryTargetsHashBufferers) {
 
 TEST(EndpointHashDirect, MissingMemberRecoversViaHashedSetWithoutSearch) {
   ClusterConfig cc = single_region(20, 16);
-  cc.policy = buffer::PolicyKind::kHashBased;
-  cc.policy_params.hash.k = 4;
+  cc.policy = buffer::HashBasedParams{4};
   cc.protocol.lookup = BuffererLookup::kHashDirect;
   cc.protocol.hash_k = 4;
   Cluster cluster(cc);
@@ -301,7 +298,7 @@ TEST(EndpointHashDirect, MissingMemberRecoversViaHashedSetWithoutSearch) {
 
 TEST(EndpointStability, HistoryExchangeDiscardsStableMessages) {
   ClusterConfig cc = single_region(8, 17);
-  cc.policy = buffer::PolicyKind::kStability;
+  cc.policy = buffer::StabilityParams{};
   cc.protocol.history_interval = Duration::millis(10);
   Cluster cluster(cc);
   std::vector<MemberId> all = cluster.region_members(0);
@@ -318,7 +315,7 @@ TEST(EndpointStability, HistoryExchangeDiscardsStableMessages) {
 
 TEST(EndpointStability, UnstableMessageIsKept) {
   ClusterConfig cc = single_region(8, 18);
-  cc.policy = buffer::PolicyKind::kStability;
+  cc.policy = buffer::StabilityParams{};
   cc.protocol.history_interval = Duration::millis(10);
   cc.protocol.max_attempts = 1;  // keep the missing member from recovering
   cc.control_loss = 1.0;         // all requests/repairs lost

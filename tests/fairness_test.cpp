@@ -46,9 +46,7 @@ TEST(Fairness, HashBasedLoadAlsoBalanced) {
   ClusterConfig cc;
   cc.region_sizes = {30};
   cc.seed = 302;
-  cc.policy = buffer::PolicyKind::kHashBased;
-  cc.policy_params.hash.k = 6;
-  cc.policy_params.hash.grace = Duration::millis(20);
+  cc.policy = buffer::HashBasedParams{6, Duration::millis(20)};
   cc.protocol.lookup = BuffererLookup::kHashDirect;
   Cluster cluster(cc);
   std::vector<MemberId> all = cluster.region_members(0);
@@ -71,7 +69,7 @@ TEST(BurstLoss, RecoveryConvergesUnderGilbertElliottControlLoss) {
   ClusterConfig cc;
   cc.region_sizes = {25};
   cc.seed = 303;
-  cc.policy_params.two_phase.C = 12.0;
+  std::get<buffer::TwoPhaseParams>(cc.policy).C = 12.0;
   Cluster cluster(cc);
   // Bursty control-plane loss: good state clean, bad state drops 80%,
   // ~10% of time in bad state.
@@ -141,7 +139,7 @@ TEST(StabilityWithChurn, LeaverNoLongerGatesStability) {
   ClusterConfig cc;
   cc.region_sizes = {8};
   cc.seed = 306;
-  cc.policy = buffer::PolicyKind::kStability;
+  cc.policy = buffer::StabilityParams{};
   cc.protocol.history_interval = Duration::millis(10);
   Cluster cluster(cc);
   // Member 7 never receives the message and then leaves; stability must

@@ -169,6 +169,42 @@ TEST(ExperimentsTest, StreamScenarioProducesTraffic) {
   EXPECT_GT(o.repair_msgs, 0u);    // 20% loss needed repairs
 }
 
+TEST(ExperimentsTest, CapacityPointUnlimitedMatchesUnbudgetedRun) {
+  StreamScenario sc;
+  sc.region_size = 20;
+  sc.messages = 10;
+  sc.data_loss = 0.2;
+  sc.seed = 15;
+  PolicyOutcome plain = run_stream_scenario(buffer::PolicyKind::kTwoPhase, sc);
+  CapacityOutcome cap =
+      run_capacity_point(0, buffer::PolicyKind::kTwoPhase, sc);
+  // budget = unlimited is the identity: same seed, same RNG draws, same
+  // outcome as the unbudgeted scenario.
+  EXPECT_EQ(cap.delivered_fraction, plain.delivered_fraction);
+  EXPECT_EQ(cap.recovery_success, plain.recovery_success);
+  EXPECT_EQ(cap.mean_recovery_ms, plain.mean_recovery_ms);
+  EXPECT_EQ(cap.evictions, 0u);
+  EXPECT_EQ(cap.rejected, 0u);
+}
+
+TEST(ExperimentsTest, StarvedBudgetForcesEvictionsAndHurtsRecovery) {
+  StreamScenario sc;
+  sc.region_size = 20;
+  sc.messages = 20;
+  sc.data_loss = 0.2;
+  sc.seed = 15;
+  CapacityOutcome unlimited =
+      run_capacity_point(0, buffer::PolicyKind::kTwoPhase, sc);
+  // Budget of ~1 wire frame (a 256 B payload encodes to 271 B): nearly
+  // every admission evicts the previous message, so repair requests mostly
+  // find nothing.
+  CapacityOutcome starved =
+      run_capacity_point(300, buffer::PolicyKind::kTwoPhase, sc);
+  EXPECT_GT(starved.evictions, 0u);
+  EXPECT_LT(starved.recovery_success, unlimited.recovery_success);
+  EXPECT_LT(starved.delivered_fraction, unlimited.delivered_fraction);
+}
+
 TEST(ExperimentsTest, NoRequestProbabilityMatchesFormula) {
   double mc = simulate_no_request_probability(100, 0.5, 50000, 16);
   EXPECT_NEAR(mc, 0.605, 0.02);  // (1-1/99)^50

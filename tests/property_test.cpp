@@ -31,7 +31,7 @@ TEST_P(ReliabilitySweep, EveryMessageReachesEveryMember) {
   cc.data_loss = p.data_loss;
   cc.seed = p.seed;
   // Generous C: the reliability guarantee is probabilistic in C (§5).
-  cc.policy_params.two_phase.C = 8.0;
+  std::get<buffer::TwoPhaseParams>(cc.policy).C = 8.0;
   Cluster cluster(cc);
   std::vector<MessageId> ids;
   for (int i = 0; i < 4; ++i) {
@@ -91,7 +91,7 @@ TEST_P(HierarchySweep, CrossRegionRecoveryConverges) {
   cc.region_sizes = p.regions;
   cc.data_loss = p.data_loss;
   cc.seed = p.seed;
-  cc.policy_params.two_phase.C = 8.0;
+  std::get<buffer::TwoPhaseParams>(cc.policy).C = 8.0;
   cc.protocol.lambda = 2.0;
   Cluster cluster(cc);
   std::vector<MessageId> ids;
@@ -136,7 +136,7 @@ TEST_P(PoissonSweep, LongTermBuffererCountMatchesPoisson) {
   ClusterConfig cc;
   cc.region_sizes = {50};
   cc.seed = static_cast<std::uint64_t>(C * 1000) + 17;
-  cc.policy_params.two_phase.C = C;
+  std::get<buffer::TwoPhaseParams>(cc.policy).C = C;
   Cluster cluster(cc);
   std::vector<MemberId> all = cluster.region_members(0);
   const int messages = 60;

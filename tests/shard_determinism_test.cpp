@@ -26,6 +26,7 @@ struct RunDigest {
   TimePoint final_now;
   std::size_t total_buffered = 0;
   std::size_t lanes = 0;
+  std::uint64_t evictions = 0;  // summed store stats (budgeted runs only)
 };
 
 RunDigest run_workload(std::size_t shards) {
@@ -106,6 +107,70 @@ TEST(ShardDeterminism, SameResultsForShards124) {
 
   expect_identical(s1, s2, "shards=1 vs shards=2");
   expect_identical(s1, s4, "shards=1 vs shards=4");
+}
+
+RunDigest run_budgeted_workload(std::size_t shards) {
+  // Same multi-region churny stream, but under a per-member buffer budget
+  // small enough to force evictions: the eviction protocol (policy victim
+  // picks + store removals) must be as shard-count-invariant as the rest of
+  // the pipeline.
+  ClusterConfig cc;
+  cc.region_sizes = {6, 5, 4, 5};
+  cc.seed = 2027;
+  cc.data_loss = 0.20;
+  cc.control_loss = 0.02;
+  cc.jitter = 0.15;
+  cc.codec_roundtrip = true;
+  cc.shards = shards;
+  cc.protocol.buffer_budget = buffer::BufferBudget{256, 0};  // ~4 frames
+  Cluster cluster(cc);
+
+  for (int i = 0; i < 8; ++i) {
+    cluster.schedule_script(
+        TimePoint::zero() + Duration::millis(20) * i,
+        [&cluster] {
+          cluster.endpoint(0).multicast(std::vector<std::uint8_t>(48, 0x2D));
+        });
+  }
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(70),
+                          [&cluster] { cluster.leave(8); });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(110),
+                          [&cluster] { cluster.crash(12); });
+
+  cluster.run_for(Duration::seconds(1));
+  cluster.run_until_quiet(Duration::seconds(2));
+
+  RunDigest d;
+  const RecordingSink& m = cluster.metrics();
+  d.counters = m.counters();
+  d.deliveries = m.deliveries();
+  d.stores = m.stores();
+  d.discards = m.discards();
+  d.promotions = m.promotions();
+  d.recovery_latencies = m.recovery_latencies();
+  d.traffic = cluster.network().stats();
+  d.events_fired = cluster.events_fired();
+  d.final_now = cluster.now();
+  d.total_buffered = cluster.total_buffered();
+  d.lanes = cluster.lane_count();
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    d.evictions += cluster.endpoint(m).buffer().stats().evicted;
+  }
+  return d;
+}
+
+TEST(ShardDeterminism, EvictionEnabledRunsAreShardCountInvariant) {
+  RunDigest s1 = run_budgeted_workload(1);
+  RunDigest s2 = run_budgeted_workload(2);
+  RunDigest s4 = run_budgeted_workload(4);
+
+  // Evictions must actually have happened or the contract is vacuous.
+  ASSERT_GT(s1.evictions, 0u);
+
+  expect_identical(s1, s2, "budgeted shards=1 vs shards=2");
+  expect_identical(s1, s4, "budgeted shards=1 vs shards=4");
+  EXPECT_EQ(s1.evictions, s2.evictions);
+  EXPECT_EQ(s1.evictions, s4.evictions);
 }
 
 TEST(ShardDeterminism, RepeatedRunIsReproducible) {

@@ -1,8 +1,10 @@
 // Shared test fixture: a PolicyEnv backed by a private Simulator, for
-// exercising buffer policies in isolation from the protocol.
+// exercising buffer stores + retention policies in isolation from the
+// protocol.
 #pragma once
 
 #include "buffer/policy.h"
+#include "buffer/store.h"
 #include "sim/simulator.h"
 
 namespace rrmp::testing {
@@ -29,10 +31,17 @@ class FakePolicyEnv final : public buffer::PolicyEnv {
     return members_;
   }
   MemberId self() const override { return self_; }
+  buffer::BudgetState budget() const override {
+    return store_ != nullptr ? store_->budget_state()
+                             : buffer::PolicyEnv::budget();
+  }
 
   void set_members(std::vector<MemberId> members) {
     members_ = std::move(members);
   }
+
+  /// Make budget() report `store`'s state (as the endpoint's env does).
+  void attach_store(const buffer::BufferStore* store) { store_ = store; }
 
   sim::Simulator& sim() { return sim_; }
   void advance(Duration d) { sim_.run_until(sim_.now() + d); }
@@ -42,6 +51,7 @@ class FakePolicyEnv final : public buffer::PolicyEnv {
   RandomEngine rng_;
   MemberId self_;
   std::vector<MemberId> members_;
+  const buffer::BufferStore* store_ = nullptr;
 };
 
 inline proto::Data make_data(std::uint32_t source, std::uint64_t seq,

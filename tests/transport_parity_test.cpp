@@ -21,7 +21,8 @@ TEST(TransportParity, SameScenarioSameDeliveriesOnBothTransports) {
   cc.seed = 2024;
   cc.data_loss = 0.3;
   cc.intra_rtt = Duration::millis(4);
-  cc.policy_params.two_phase.idle_threshold = Duration::millis(16);
+  std::get<buffer::TwoPhaseParams>(cc.policy).idle_threshold =
+      Duration::millis(16);
   cc.protocol.session_interval = Duration::millis(10);
   Cluster sim_run(cc);
   std::vector<MessageId> sim_ids;
@@ -39,7 +40,7 @@ TEST(TransportParity, SameScenarioSameDeliveriesOnBothTransports) {
   uc.seed = 2024;
   uc.data_loss = 0.3;
   uc.protocol = cc.protocol;
-  uc.policy_params = cc.policy_params;
+  uc.policy = cc.policy;
   std::unique_ptr<UdpRuntime> udp;
   try {
     udp = std::make_unique<UdpRuntime>(topo, uc);
@@ -75,8 +76,7 @@ TEST(TransportParity, BufferPolicyBehavesIdenticallyAtProtocolLevel) {
   uc.base_port = 39800;
   uc.seed = 7;
   uc.protocol.session_interval = Duration::millis(10);
-  uc.policy_params.two_phase.idle_threshold = Duration::millis(16);
-  uc.policy_params.two_phase.C = 3.0;
+  uc.policy = buffer::TwoPhaseParams{Duration::millis(16), 3.0};
   std::unique_ptr<UdpRuntime> udp;
   try {
     udp = std::make_unique<UdpRuntime>(topo, uc);

@@ -22,7 +22,8 @@ UdpRuntimeConfig fast_config(std::uint16_t port, std::uint64_t seed) {
   cfg.base_port = port;
   cfg.seed = seed;
   cfg.protocol.session_interval = Duration::millis(20);
-  cfg.policy_params.two_phase.idle_threshold = Duration::millis(16);
+  std::get<buffer::TwoPhaseParams>(cfg.policy).idle_threshold =
+      Duration::millis(16);
   return cfg;
 }
 
@@ -83,7 +84,7 @@ TEST(UdpRuntime, CrossRegionRepairOverSockets) {
 TEST(UdpRuntime, TwoPhaseIdleDiscardHappensInRealTime) {
   net::Topology topo = fast_topology({6});
   UdpRuntimeConfig cfg = fast_config(38400, 4);
-  cfg.policy_params.two_phase.C = 0.0;  // discard at idle, keep nothing
+  std::get<buffer::TwoPhaseParams>(cfg.policy).C = 0.0;  // keep nothing
   auto rt = try_make(topo, cfg);
   if (!rt) GTEST_SKIP() << "UDP sockets unavailable";
   MessageId id = rt->endpoint(0).multicast({1});
