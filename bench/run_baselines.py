@@ -25,6 +25,7 @@ import time
 # The paper-figure reproductions that constitute the baseline trajectory.
 FIG_BENCHES = [
     "bench_ext_capacity_sweep",
+    "bench_ext_coordination_sweep",
     "bench_fig3_longterm_distribution",
     "bench_fig4_no_bufferer",
     "bench_fig6_shortterm_buffering",

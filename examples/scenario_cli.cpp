@@ -36,6 +36,10 @@ struct Options {
   std::int64_t grace_ms = 40;      // hash-based non-bufferer grace
   std::size_t buffer_bytes = 0;    // per-member byte budget, 0 = unlimited
   std::size_t buffer_count = 0;    // per-member entry budget, 0 = unlimited
+  bool coordinate = false;         // cooperative region-wide budgets
+  std::int64_t digest_ms = 20;     // BufferDigest gossip period
+  std::size_t redundancy = 2;      // replicas before an entry is expendable
+  bool no_shed = false;            // disable sole-copy shed handoffs
   double lambda = 1.0;
   std::uint64_t seed = 1;
   std::size_t payload = 256;
@@ -63,6 +67,13 @@ void print_usage() {
       "                        (0 = unlimited)\n"
       "  --buffer-count=N      per-member buffer budget in messages\n"
       "                        (0 = unlimited)\n"
+      "  --coordinate          cooperative region-wide budgets: digest\n"
+      "                        gossip, replica-aware eviction, shed handoffs\n"
+      "  --digest-interval=MS  BufferDigest gossip period (20)\n"
+      "  --redundancy=N        known replicas before an entry is an\n"
+      "                        eviction-preferred victim (2)\n"
+      "  --no-shed             keep coordination but disable sole-copy\n"
+      "                        shed handoffs\n"
       "  --lambda=X            expected remote requests per regional loss (1)\n"
       "  --payload=BYTES       message payload size (256)\n"
       "  --interval=MS         send interval (5)\n"
@@ -120,6 +131,20 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.buffer_bytes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (eat("--buffer-count=", v)) {
       opt.buffer_count = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg == "--coordinate") {
+      opt.coordinate = true;
+    } else if (eat("--digest-interval=", v)) {
+      opt.digest_ms = std::strtoll(v.c_str(), nullptr, 10);
+      if (opt.digest_ms <= 0) {
+        // A non-positive period would reschedule digest_tick at the same
+        // virtual instant forever and the simulation would never advance.
+        std::fprintf(stderr, "--digest-interval must be positive\n");
+        return false;
+      }
+    } else if (eat("--redundancy=", v)) {
+      opt.redundancy = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg == "--no-shed") {
+      opt.no_shed = true;
     } else if (eat("--lambda=", v)) {
       opt.lambda = std::strtod(v.c_str(), nullptr);
     } else if (eat("--payload=", v)) {
@@ -183,6 +208,11 @@ int main(int argc, char** argv) {
   cc.policy = spec_from_options(kind, opt);
   cc.protocol.buffer_budget =
       buffer::BufferBudget{opt.buffer_bytes, opt.buffer_count};
+  cc.protocol.buffer_coordination.enabled = opt.coordinate;
+  cc.protocol.buffer_coordination.digest_interval =
+      Duration::millis(opt.digest_ms);
+  cc.protocol.buffer_coordination.redundancy_threshold = opt.redundancy;
+  cc.protocol.buffer_coordination.shed_sole_copies = !opt.no_shed;
   cc.protocol.lambda = opt.lambda;
   cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
                            ? BuffererLookup::kHashDirect
@@ -201,6 +231,8 @@ int main(int argc, char** argv) {
                 cc.protocol.buffer_budget.max_bytes,
                 cc.protocol.buffer_budget.max_count);
   }
+  std::printf("coordination: %s\n",
+              buffer::describe(cc.protocol.buffer_coordination).c_str());
 
   harness::Cluster cluster(cc);
 
@@ -223,12 +255,13 @@ int main(int argc, char** argv) {
     if (!cluster.all_received(MessageId{0, s})) ++undelivered;
   }
   std::size_t peak = 0, peak_bytes = 0;
-  std::uint64_t evictions = 0, rejected = 0;
+  std::uint64_t evictions = 0, sheds = 0, rejected = 0;
   for (MemberId m = 0; m < cluster.size(); ++m) {
     const buffer::BufferStats& bs = cluster.endpoint(m).buffer().stats();
     peak = std::max(peak, bs.peak_count);
     peak_bytes = std::max(peak_bytes, bs.peak_bytes);
     evictions += bs.evicted;
+    sheds += bs.shed;
     rejected += bs.rejected;
   }
   std::vector<double> rec_ms;
@@ -264,6 +297,7 @@ int main(int argc, char** argv) {
   table.add_row({"peak buffer B/member",
                  analysis::Table::num(static_cast<std::uint64_t>(peak_bytes))});
   table.add_row({"evictions", analysis::Table::num(evictions)});
+  table.add_row({"shed handoffs", analysis::Table::num(sheds)});
   table.add_row({"rejected stores", analysis::Table::num(rejected)});
   table.add_row({"residual buffered msgs",
                  analysis::Table::num(

@@ -1,0 +1,121 @@
+// Cooperative region-wide buffer budgets.
+//
+// PR 4 gave each member an isolated BufferBudget, but under pressure members
+// still evict blindly: a member may drop the region's *last* copy of a
+// message while a neighbor holds a redundant one. Coordination closes that
+// gap with three pieces, all approximate and all cheap:
+//
+//   1. Digest gossip — every digest_interval each member multicasts a
+//      proto::BufferDigest (held MessageId ranges + bytes in use) within its
+//      region. Each BufferStore folds neighbors' digests into a DigestTable,
+//      giving it an approximate replica count per buffered entry and a view
+//      of where free buffer capacity lives.
+//   2. Cost-aware eviction — RetentionPolicy::pick_victims prefers victims
+//      with >= redundancy_threshold known regional replicas (self included)
+//      and protects sole-copy entries, falling back to the PR 4 order
+//      (short-term first, LRU, MessageId tie-break) among equals.
+//   3. Shed handoff — when pressure forces a sole-copy entry out anyway, the
+//      store pushes it to the least-loaded digest-advertised neighbor
+//      (proto::Shed) before discarding, so the copy moves instead of dying.
+//
+// Everything is gated on CoordinationParams::enabled: disabled, no digest is
+// ever sent, no replica count consulted, and eviction is bit-identical to
+// the uncoordinated PR 4 protocol.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "proto/messages.h"
+
+namespace rrmp::buffer {
+
+struct CoordinationParams {
+  /// Master switch; everything below is inert when false.
+  bool enabled = false;
+  /// Period of the per-member BufferDigest regional multicast. Keep it at or
+  /// below the policies' retention timescales (idle threshold T, TTLs) or
+  /// the replica counts are stale by the time eviction consults them.
+  Duration digest_interval = Duration::millis(20);
+  /// Entries with at least this many known regional replicas (self plus
+  /// digest-advertised neighbors) are preferred eviction victims — unless
+  /// this member is the entry's elected keeper. Among those victims, higher
+  /// replica counts evict first; below the threshold (and for keepers and
+  /// sole copies) the uncoordinated order applies.
+  std::size_t redundancy_threshold = 2;
+  /// Push sole-copy victims to the least-loaded digest-advertised neighbor
+  /// (proto::Shed) before discarding them.
+  bool shed_sole_copies = true;
+
+  friend bool operator==(const CoordinationParams&,
+                         const CoordinationParams&) = default;
+};
+
+/// One store's view of its region neighbors' advertised buffer contents.
+/// Keyed by member id in an ordered map so every derived decision (replica
+/// counts, least-loaded neighbor) is deterministic across runs and shard
+/// counts.
+class DigestTable {
+ public:
+  /// Replace `peer`'s advertisement (the digest stream is idempotent:
+  /// every digest carries the peer's full held set).
+  void update(MemberId peer, std::uint64_t bytes_in_use,
+              std::vector<proto::DigestRange> ranges);
+
+  /// Drop `peer`'s advertisement (left/crashed).
+  void forget(MemberId peer);
+
+  /// Drop every advertisement whose peer is not in `alive`. Called each
+  /// digest period with the current region view: a departed member's last
+  /// digest must not keep inflating replica counts (tricking survivors
+  /// into evicting what is now the region's last copy) or keep winning
+  /// keeper elections it can no longer honour.
+  void retain(const std::vector<MemberId>& alive);
+
+  void clear() { peers_.clear(); }
+
+  std::size_t peer_count() const { return peers_.size(); }
+  bool has_peer(MemberId peer) const { return peers_.count(peer) != 0; }
+
+  /// Number of neighbors currently advertising `id` (never negative by
+  /// construction: it is a count over the table, not a maintained delta).
+  std::size_t holders_of(const MessageId& id) const;
+
+  /// True iff `self` is the entry's designated keeper: the member with the
+  /// smallest rendezvous hash (buffer::hash_score) among self plus every
+  /// advertising neighbor. Exactly one member of any agreeing holder set
+  /// elects itself keeper, so redundant copies converge to one protected
+  /// copy per entry instead of every holder evicting "the redundant one"
+  /// simultaneously; rendezvous hashing spreads keeper duty evenly.
+  bool keeper_is(const MessageId& id, MemberId self) const;
+
+  /// holders_of + keeper_is in a single table scan — pick_victims consults
+  /// both per entry on the eviction hot path, and the advertising peers
+  /// that decide them are the same rows.
+  struct HolderInfo {
+    std::size_t holders = 0;  // neighbors advertising the id
+    bool keeper = true;       // self wins the rendezvous election
+  };
+  HolderInfo holder_info(const MessageId& id, MemberId self) const;
+
+  /// Advertised bytes in use for `peer`; 0 if unknown.
+  std::uint64_t advertised_bytes(MemberId peer) const;
+
+  /// The advertising peer with the least bytes in use, restricted to
+  /// `alive` and excluding `exclude`; ties break on the smaller MemberId.
+  /// kInvalidMember when no advertised peer qualifies.
+  MemberId least_loaded(const std::vector<MemberId>& alive,
+                        MemberId exclude) const;
+
+ private:
+  struct PeerDigest {
+    std::uint64_t bytes_in_use = 0;
+    std::vector<proto::DigestRange> ranges;
+  };
+  std::map<MemberId, PeerDigest> peers_;
+};
+
+}  // namespace rrmp::buffer

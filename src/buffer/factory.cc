@@ -102,6 +102,13 @@ std::string describe(const PolicySpec& spec) {
       spec);
 }
 
+std::string describe(const CoordinationParams& coordination) {
+  if (!coordination.enabled) return "uncoordinated";
+  return "coordinated(digest=" + duration_str(coordination.digest_interval) +
+         ", redundancy>=" + std::to_string(coordination.redundancy_threshold) +
+         ", shed=" + (coordination.shed_sole_copies ? "on" : "off") + ")";
+}
+
 std::unique_ptr<RetentionPolicy> make_policy(const PolicySpec& spec) {
   return std::visit(
       [](const auto& params) -> std::unique_ptr<RetentionPolicy> {
@@ -122,8 +129,10 @@ std::unique_ptr<RetentionPolicy> make_policy(const PolicySpec& spec) {
 }
 
 std::unique_ptr<BufferStore> make_store(const PolicySpec& spec,
-                                        BufferBudget budget) {
-  return std::make_unique<BufferStore>(make_policy(spec), budget);
+                                        BufferBudget budget,
+                                        CoordinationParams coordination) {
+  return std::make_unique<BufferStore>(make_policy(spec), budget,
+                                       coordination);
 }
 
 }  // namespace rrmp::buffer

@@ -55,11 +55,16 @@ bool kind_from_name(const std::string& name, PolicyKind& out);
 /// printed by scenario_cli's run header and useful in logs.
 std::string describe(const PolicySpec& spec);
 
+/// Companion one-liner for the coordination knobs, e.g.
+/// "coordinated(digest=20ms, redundancy>=2, shed=on)" or "uncoordinated".
+std::string describe(const CoordinationParams& coordination);
+
 std::unique_ptr<RetentionPolicy> make_policy(const PolicySpec& spec);
 
-/// A store wired to a fresh policy for `spec` under `budget` (still
-/// unbound; the owner calls bind()).
+/// A store wired to a fresh policy for `spec` under `budget` with the given
+/// coordination knobs (still unbound; the owner calls bind()).
 std::unique_ptr<BufferStore> make_store(const PolicySpec& spec,
-                                        BufferBudget budget = {});
+                                        BufferBudget budget = {},
+                                        CoordinationParams coordination = {});
 
 }  // namespace rrmp::buffer

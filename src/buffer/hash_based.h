@@ -75,7 +75,19 @@ class HashBasedPolicy final : public RetentionPolicy {
 
   void on_stored(const MessageId& id) override;
 
+  /// A transferred copy (leave-time handoff or coordination shed) is a
+  /// responsibility we accept even though the hash set does not select us
+  /// — the sender chose us by load, not by hash, and may have discarded
+  /// the region's last copy on the strength of it. Without this override
+  /// the default (on_stored) would arm the non-bufferer grace timer and
+  /// quietly destroy the copy the transfer was meant to preserve (the
+  /// §3.4 awkwardness of handoff under deterministic schemes, resolved in
+  /// favour of keeping the copy).
+  void on_handoff(const MessageId& id) override;
+
  private:
+  void grace_expired(const MessageId& id);
+
   HashBasedParams params_;
   BuffererSelector selector_;  // reused across stores: no per-message allocs
   std::uint64_t hash_evaluations_ = 0;

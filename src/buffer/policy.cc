@@ -28,13 +28,25 @@ struct Candidate {
   std::size_t bytes;
   TimePoint last_activity;
   bool long_term;
+  /// Expendability rank from the coordination cost model: 0 for protected
+  /// entries (sole copies, designated keepers, everything when coordination
+  /// is off — the comparator then degenerates to the uncoordinated order),
+  /// otherwise the entry's known regional replica count, so the most
+  /// replicated redundant entry is evicted first.
+  std::size_t replica_rank = 0;
 };
 
-/// The deterministic expendability order: short-term entries before
-/// long-term ones (long-term copies are the region's recovery capital),
-/// least-recently-active first, ties broken by ascending MessageId so every
-/// member and every shard count evicts the same victims in the same order.
+/// The deterministic expendability order. With coordination, the replica
+/// cost model ranks first: the more known regional replicas an entry has
+/// (up to the redundancy threshold) the more expendable it is, so sole
+/// copies are protected until nothing redundant remains. Within a replica
+/// class — and always, when coordination is off — the PR 4 order applies:
+/// short-term entries before long-term ones (long-term copies are the
+/// region's recovery capital), least-recently-active first, ties broken by
+/// ascending MessageId so every member and every shard count evicts the
+/// same victims in the same order.
 bool more_expendable(const Candidate& a, const Candidate& b) {
+  if (a.replica_rank != b.replica_rank) return a.replica_rank > b.replica_rank;
   if (a.long_term != b.long_term) return !a.long_term;
   if (a.last_activity != b.last_activity) {
     return a.last_activity < b.last_activity;
@@ -45,6 +57,56 @@ bool more_expendable(const Candidate& a, const Candidate& b) {
 }  // namespace
 
 EvictionPlan RetentionPolicy::pick_victims(const EvictionDemand& need) {
+  // Replica counts are consulted only under coordination; uncoordinated
+  // stores keep every rank at 0 and reproduce the PR 4 plan bit-for-bit.
+  // Coordinated, an entry is expendable (rank = its replica count, most
+  // replicated first) only when it is redundant (>= redundancy_threshold
+  // known replicas) AND this member is not its designated keeper — the
+  // keeper election stops all holders of a redundant entry from evicting
+  // it simultaneously. Sole copies and keeper copies rank 0 (protected).
+  //
+  // Ranking an entry costs a digest-table scan (holder_info), so the
+  // coordinated path computes every rank exactly once: one snapshot pass
+  // feeds both the single-victim fast path (min, no sort) and, only when
+  // the demand needs more, the full sort. The uncoordinated path keeps
+  // the PR 3 allocation-free steady-state scan.
+  const bool coordinated = store().coordination_enabled();
+  const std::size_t threshold = store().coordination().redundancy_threshold;
+  auto rank_of = [&](const MessageId& id) -> std::size_t {
+    // Called only for currently-stored entries, so our copy always counts.
+    DigestTable::HolderInfo info =
+        store().digests().holder_info(id, env().self());
+    std::size_t replicas = 1 + info.holders;
+    if (replicas < threshold || info.keeper) return 0;
+    return replicas;
+  };
+  if (coordinated) {
+    std::vector<Candidate> candidates;
+    candidates.reserve(store().count());
+    store().for_each_entry([&](const BufferStore::EntryView& e) {
+      candidates.push_back(
+          {e.id, e.bytes, e.last_activity, e.long_term, rank_of(e.id)});
+    });
+    if (candidates.empty()) return {};
+    const Candidate& best = *std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& a, const Candidate& b) {
+          return more_expendable(a, b);
+        });
+    if (best.bytes >= need.bytes && need.entries <= 1) {
+      return {{best.id}};
+    }
+    std::sort(candidates.begin(), candidates.end(), more_expendable);
+    EvictionPlan plan;
+    std::size_t freed_bytes = 0, freed_entries = 0;
+    for (const Candidate& c : candidates) {
+      if (freed_bytes >= need.bytes && freed_entries >= need.entries) break;
+      plan.victims.push_back(c.id);
+      freed_bytes += c.bytes;
+      ++freed_entries;
+    }
+    return plan;
+  }
   // Fast path for the steady state (incoming message ~= evicted message):
   // one allocation-free linear pass finds the single most expendable entry;
   // if evicting it satisfies the demand, that is the whole plan. Only
@@ -52,7 +114,7 @@ EvictionPlan RetentionPolicy::pick_victims(const EvictionDemand& need) {
   // snapshot + sort.
   std::optional<Candidate> best;
   store().for_each_entry([&](const BufferStore::EntryView& e) {
-    Candidate c{e.id, e.bytes, e.last_activity, e.long_term};
+    Candidate c{e.id, e.bytes, e.last_activity, e.long_term, 0};
     if (!best || more_expendable(c, *best)) best = c;
   });
   if (!best) return {};
@@ -62,7 +124,7 @@ EvictionPlan RetentionPolicy::pick_victims(const EvictionDemand& need) {
   std::vector<Candidate> candidates;
   candidates.reserve(store().count());
   store().for_each_entry([&](const BufferStore::EntryView& e) {
-    candidates.push_back({e.id, e.bytes, e.last_activity, e.long_term});
+    candidates.push_back({e.id, e.bytes, e.last_activity, e.long_term, 0});
   });
   std::sort(candidates.begin(), candidates.end(), more_expendable);
   EvictionPlan plan;

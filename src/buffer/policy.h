@@ -76,7 +76,9 @@ enum class BufferEvent {
   kPromotedLongTerm,   // survived the idle decision (two-phase) or handoff
   kDiscarded,          // message left the buffer by policy decision
   kHandedOff,          // message left via handoff to another member
-  kEvicted,            // message left under budget pressure
+  kEvicted,            // message left under budget pressure (copy lost here)
+  kShedHandoff,        // budget pressure, but the copy was pushed to a
+                       // neighbor (best-effort, like a leave-time handoff)
 };
 
 struct BufferStats {
@@ -84,8 +86,17 @@ struct BufferStats {
   std::uint64_t discarded = 0;
   std::uint64_t promoted_long_term = 0;
   std::uint64_t handed_off = 0;
-  /// Departures forced by the budget (admission made room).
+  /// Departures forced by the budget (admission made room). Excludes shed
+  /// handoffs: an eviction loses this member's copy, a shed relocates it.
   std::uint64_t evicted = 0;
+  /// Budget-forced departures that were pushed to a neighbor instead of
+  /// discarded (cooperative coordination only). Kept separate from
+  /// `evicted` so capacity reports don't conflate departures with a
+  /// surviving copy in flight from ones where the copy is simply lost.
+  /// Counted at send time: like a leave-time Handoff, the transfer is
+  /// fire-and-forget, so a shed frame lost to control loss (or refused by
+  /// the receiver's own budget) still counts here.
+  std::uint64_t shed = 0;
   /// Admissions refused outright (message larger than the whole budget).
   std::uint64_t rejected = 0;
   std::size_t peak_count = 0;
@@ -141,7 +152,13 @@ class RetentionPolicy {
   /// Choose eviction victims for an admission under budget pressure. The
   /// base implementation is the deterministic default every bundled policy
   /// uses: short-term entries before long-term ones, least-recently-active
-  /// first, ties broken by ascending MessageId.
+  /// first, ties broken by ascending MessageId. When the owning store runs
+  /// with coordination enabled and neighbor digests are known, a replica
+  /// cost model ranks first: entries with >= redundancy_threshold known
+  /// regional replicas whose keeper is another member are preferred
+  /// victims (most replicated first), while keeper copies and sole-copy
+  /// entries are protected (evicted only when nothing redundant remains);
+  /// the uncoordinated order breaks ties within each rank.
   virtual EvictionPlan pick_victims(const EvictionDemand& need);
 
  protected:

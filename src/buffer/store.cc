@@ -18,8 +18,8 @@ struct IdLess {
 }  // namespace
 
 BufferStore::BufferStore(std::unique_ptr<RetentionPolicy> policy,
-                         BufferBudget budget)
-    : policy_(std::move(policy)), budget_(budget) {
+                         BufferBudget budget, CoordinationParams coordination)
+    : policy_(std::move(policy)), budget_(budget), coordination_(coordination) {
   if (policy_ == nullptr) {
     throw std::invalid_argument("BufferStore: null policy");
   }
@@ -49,6 +49,7 @@ Admission BufferStore::insert(const proto::Data& msg, bool via_handoff) {
     if (via_handoff && !it->long_term) {
       // A handed-off copy upgrades a short-term entry: the leaver was a
       // long-term bufferer, so the responsibility transfers to us.
+      it->via_handoff = true;
       promote_long_term(msg.id);
     }
     return Admission::kDuplicate;
@@ -67,6 +68,7 @@ Admission BufferStore::insert(const proto::Data& msg, bool via_handoff) {
   e.bytes = size;
   e.stored_at = env_->now();
   e.last_activity = e.stored_at;
+  e.via_handoff = via_handoff;
   bytes_ += size;
   ++stats_.stored;
   stats_.peak_count = std::max(stats_.peak_count, entries_.size());
@@ -100,7 +102,7 @@ bool BufferStore::make_room(std::size_t incoming_bytes) {
       const Entry* e = find(victim);
       if (e == nullptr) continue;  // plan may name already-departed ids
       std::size_t freed = e->bytes;
-      discard(victim, BufferEvent::kEvicted);
+      remove_victim(victim);
       need.bytes -= std::min(need.bytes, freed);
       need.entries -= std::min<std::size_t>(need.entries, 1);
     }
@@ -113,6 +115,59 @@ bool BufferStore::make_room(std::size_t incoming_bytes) {
     apply_plan(policy_->RetentionPolicy::pick_victims(need));
   }
   return need.bytes == 0 && need.entries == 0;
+}
+
+void BufferStore::remove_victim(const MessageId& victim) {
+  // A sole copy under pressure moves to the least-loaded advertised
+  // neighbor instead of dying, when coordination permits and a transport is
+  // wired up. Everything else (and every fallback) is a plain eviction.
+  //
+  // Anti-ping-pong damping: a copy that itself arrived via handoff/shed
+  // must age one digest period before it can be shed onward. Without the
+  // gate, two saturated members ping-pong transferred sole copies at
+  // network RTT rate forever; with it, every copy makes at most one hop
+  // per digest period after its first, and each hop re-decides against
+  // fresh digests. Locally-received copies shed freely — the first hop is
+  // where the recovery value is, and the receiver admits them as
+  // handoff-provenance, closing the cycle.
+  if (coordination_.enabled && coordination_.shed_sole_copies &&
+      shed_handler_ && digests_.holders_of(victim) == 0) {
+    const Entry* e = find(victim);
+    if (e != nullptr &&
+        (!e->via_handoff ||
+         env_->now() - e->stored_at >= coordination_.digest_interval)) {
+      MemberId target =
+          digests_.least_loaded(env_->region_members(), env_->self());
+      if (target != kInvalidMember && shed_handler_(e->data, target)) {
+        discard(victim, BufferEvent::kShedHandoff);
+        return;
+      }
+    }
+  }
+  discard(victim, BufferEvent::kEvicted);
+}
+
+std::size_t BufferStore::known_replicas(const MessageId& id) const {
+  if (find(id) == nullptr) return 0;
+  return 1 + digests_.holders_of(id);
+}
+
+proto::BufferDigest BufferStore::build_digest() const {
+  proto::BufferDigest d;
+  d.member = env_->self();
+  d.bytes_in_use = bytes_;
+  for (const Entry& e : entries_) {  // ascending id order
+    if (!d.ranges.empty()) {
+      proto::DigestRange& last = d.ranges.back();
+      if (last.source == e.data.id.source &&
+          e.data.id.seq == last.first_seq + last.count) {
+        ++last.count;
+        continue;
+      }
+    }
+    d.ranges.push_back({e.data.id.source, e.data.id.seq, 1});
+  }
+  return d;
 }
 
 void BufferStore::on_request_seen(const MessageId& id) {
@@ -197,6 +252,7 @@ void BufferStore::discard(const MessageId& id, BufferEvent reason) {
   switch (reason) {
     case BufferEvent::kHandedOff: ++stats_.handed_off; break;
     case BufferEvent::kEvicted: ++stats_.evicted; break;
+    case BufferEvent::kShedHandoff: ++stats_.shed; break;
     default: ++stats_.discarded; break;
   }
   entries_.erase(it);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "buffer/budget.h"
+#include "buffer/coordination.h"
 #include "buffer/policy.h"
 #include "proto/messages.h"
 
@@ -45,10 +46,12 @@ enum class Admission {
 
 class BufferStore {
  public:
-  /// The store owns its policy. `budget` defaults to unlimited, which
-  /// reproduces the original unbounded policies bit-for-bit.
+  /// The store owns its policy. `budget` defaults to unlimited and
+  /// `coordination` to disabled, which reproduces the original unbounded,
+  /// uncoordinated policies bit-for-bit.
   explicit BufferStore(std::unique_ptr<RetentionPolicy> policy,
-                       BufferBudget budget = {});
+                       BufferBudget budget = {},
+                       CoordinationParams coordination = {});
   ~BufferStore();
 
   BufferStore(const BufferStore&) = delete;
@@ -98,6 +101,33 @@ class BufferStore {
   const BufferBudget& budget() const { return budget_; }
   BudgetState budget_state() const { return {bytes_, entries_.size(), budget_}; }
 
+  // --- region coordination (cooperative budgets) -------------------------
+
+  const CoordinationParams& coordination() const { return coordination_; }
+  bool coordination_enabled() const { return coordination_.enabled; }
+
+  /// Neighbor digest view; fed by the endpoint's BufferDigest handler and
+  /// consulted by cost-aware eviction and the shed path.
+  DigestTable& digests() { return digests_; }
+  const DigestTable& digests() const { return digests_; }
+
+  /// Approximate region replica count of a *buffered* entry: our copy plus
+  /// every neighbor currently advertising `id`. Returns 0 when `id` is not
+  /// buffered here.
+  std::size_t known_replicas(const MessageId& id) const;
+
+  /// This member's digest advertisement: bytes in use plus the held id set
+  /// compressed into maximal per-source runs (entries are id-sorted, so one
+  /// ascending pass suffices).
+  proto::BufferDigest build_digest() const;
+
+  /// Transport hook for the shed path: called with a sole-copy victim and
+  /// the chosen least-loaded neighbor; returns true once the copy was sent
+  /// (the store then records the departure as a shed, not an eviction).
+  /// Unset or returning false falls back to a plain eviction.
+  using ShedHandler = std::function<bool(const proto::Data&, MemberId target)>;
+  void set_shed_handler(ShedHandler fn) { shed_handler_ = std::move(fn); }
+
   /// Read-only snapshot of one entry's retention state.
   struct EntryView {
     MessageId id;
@@ -143,6 +173,11 @@ class BufferStore {
     TimePoint stored_at;
     TimePoint last_activity;
     bool long_term = false;
+    /// Arrived via a leave-time Handoff or a Shed (or was upgraded by
+    /// one): such a copy is a transferred responsibility, and the shed
+    /// path refuses to bounce it onward until it has aged one digest
+    /// period (anti-ping-pong damping, see remove_victim).
+    bool via_handoff = false;
     std::uint64_t timer = 0;  // pending policy timer for this entry, if any
   };
 
@@ -150,6 +185,9 @@ class BufferStore {
   /// Evict per the policy's plan until `msg` fits. Returns false when the
   /// message can never fit (larger than the whole budget).
   bool make_room(std::size_t incoming_bytes);
+  /// Remove one budget-pressure victim: shed sole copies to a neighbor when
+  /// coordination allows it, evict otherwise.
+  void remove_victim(const MessageId& victim);
   Entry* find(const MessageId& id);
   const Entry* find(const MessageId& id) const;
   void notify(const MessageId& id, BufferEvent ev, bool long_term);
@@ -157,6 +195,9 @@ class BufferStore {
 
   std::unique_ptr<RetentionPolicy> policy_;
   BufferBudget budget_;
+  CoordinationParams coordination_;
+  DigestTable digests_;
+  ShedHandler shed_handler_;
   PolicyEnv* env_ = nullptr;
   Observer observer_;
   std::vector<Entry> entries_;  // sorted by data.id: deterministic iteration

@@ -34,8 +34,14 @@ void TwoPhasePolicy::arm_idle_check(const MessageId& id) {
 
 void TwoPhasePolicy::idle_check(const MessageId& id) {
   auto v = store().view(id);
-  if (!v || v->long_term) return;
-  store().set_entry_timer(id, 0);
+  if (!v) return;
+  store().set_entry_timer(id, 0);  // this check's handle is spent either way
+  if (v->long_term) {
+    // Upgraded (handoff) while the idle check was pending: the entry owes
+    // the long-term lifecycle now, not another idle decision.
+    arm_long_term_ttl(id);
+    return;
+  }
   TimePoint idle_at = v->last_activity + params_.idle_threshold;
   if (env().now() < idle_at) {
     // A request arrived since this check was armed; try again later.

@@ -311,6 +311,7 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
   cc.region_sizes = {scenario.region_size};
   cc.policy = spec_for(kind, defaults);
   cc.protocol.buffer_budget = scenario.budget;
+  cc.protocol.buffer_coordination = scenario.coordination;
   cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
                            ? BuffererLookup::kHashDirect
                            : BuffererLookup::kRandomized;
@@ -366,6 +367,7 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
     peak = std::max(peak, bs.peak_count);
     peak_bytes = std::max(peak_bytes, bs.peak_bytes);
     out.evictions += bs.evicted;
+    out.sheds += bs.shed;
     out.rejected += bs.rejected;
     open += cluster.endpoint(m).active_recoveries();
   }
@@ -397,11 +399,12 @@ PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
   using MT = proto::MessageType;
   for (MT t : {MT::kSession, MT::kLocalRequest, MT::kRemoteRequest,
                MT::kSearchRequest, MT::kSearchFound, MT::kGossip, MT::kHistory,
-               MT::kHandoff}) {
+               MT::kHandoff, MT::kBufferDigest, MT::kShed}) {
     out.control_msgs += by_type(t);
     out.control_bytes += bytes_by_type(t);
   }
   out.repair_msgs = by_type(MT::kRepair) + by_type(MT::kRegionalRepair);
+  out.digest_msgs = by_type(MT::kBufferDigest);
   return out;
 }
 
@@ -422,6 +425,32 @@ CapacityOutcome run_capacity_point(std::size_t budget_bytes,
   out.evictions = o.evictions;
   out.rejected = o.rejected;
   out.unrecovered = o.unrecovered;
+  out.peak_bytes_per_member = o.peak_bytes_per_member;
+  return out;
+}
+
+// ------------------------------------- Extension: budget coordination ----
+
+CoordinationOutcome run_coordination_point(std::size_t budget_bytes,
+                                           bool coordinate,
+                                           buffer::PolicyKind kind,
+                                           const StreamScenario& scenario,
+                                           const ExperimentDefaults& defaults) {
+  StreamScenario s = scenario;
+  s.budget.max_bytes = budget_bytes;
+  s.coordination.enabled = coordinate;
+  PolicyOutcome o = run_stream_scenario(kind, s, defaults);
+  CoordinationOutcome out;
+  out.budget_bytes = budget_bytes;
+  out.coordinated = coordinate;
+  out.delivered_fraction = o.delivered_fraction;
+  out.recovery_success = o.recovery_success;
+  out.mean_recovery_ms = o.mean_recovery_ms;
+  out.evictions = o.evictions;
+  out.sheds = o.sheds;
+  out.rejected = o.rejected;
+  out.unrecovered = o.unrecovered;
+  out.digest_msgs = o.digest_msgs;
   out.peak_bytes_per_member = o.peak_bytes_per_member;
   return out;
 }

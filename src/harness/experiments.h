@@ -137,6 +137,9 @@ struct StreamScenario {
   std::uint64_t seed = 1;
   /// Per-member buffer budget (zero fields = unlimited, the paper's runs).
   buffer::BufferBudget budget;
+  /// Cooperative region-wide budget coordination (disabled = PR 4
+  /// uncoordinated behaviour, bit for bit).
+  buffer::CoordinationParams coordination;
 };
 
 struct PolicyOutcome {
@@ -154,10 +157,14 @@ struct PolicyOutcome {
   /// nothing was lost).
   double recovery_success = 1.0;
   std::uint64_t evictions = 0;  // budget-forced departures across members
+  std::uint64_t sheds = 0;      // budget-forced departures relocated to a
+                                // neighbor (coordination only) — counted
+                                // apart from evictions: these copies survive
   std::uint64_t rejected = 0;   // admissions refused (msg > whole budget)
   std::uint64_t control_msgs = 0;   // requests/search/session/history/gossip
   std::uint64_t control_bytes = 0;
   std::uint64_t repair_msgs = 0;
+  std::uint64_t digest_msgs = 0;    // BufferDigest multicasts (coordination)
 };
 
 PolicyOutcome run_stream_scenario(buffer::PolicyKind kind,
@@ -186,6 +193,32 @@ CapacityOutcome run_capacity_point(std::size_t budget_bytes,
                                    buffer::PolicyKind kind,
                                    const StreamScenario& scenario,
                                    const ExperimentDefaults& defaults = {});
+
+// ---- Extension: cooperative budget coordination -----------------------------
+
+/// One point of the coordination sweep: the capacity-sweep scenario under a
+/// per-member byte budget, with or without cooperative region-wide budgets
+/// (digest gossip + replica-aware eviction + shed handoffs). The paired
+/// runs ask the tentpole question directly: at the same budget, does
+/// coordinating *where* the region keeps its copies recover more losses
+/// than members evicting blindly?
+struct CoordinationOutcome {
+  std::size_t budget_bytes = 0;  // 0 = unlimited
+  bool coordinated = false;
+  double delivered_fraction = 0.0;
+  double recovery_success = 1.0;
+  double mean_recovery_ms = 0.0;
+  std::uint64_t evictions = 0;   // copies lost to budget pressure
+  std::uint64_t sheds = 0;       // copies relocated instead of lost
+  std::uint64_t rejected = 0;
+  std::uint64_t unrecovered = 0;
+  std::uint64_t digest_msgs = 0;  // coordination control overhead
+  double peak_bytes_per_member = 0.0;
+};
+
+CoordinationOutcome run_coordination_point(
+    std::size_t budget_bytes, bool coordinate, buffer::PolicyKind kind,
+    const StreamScenario& scenario, const ExperimentDefaults& defaults = {});
 
 // ---- Ablation A5: handoff under churn --------------------------------------
 

@@ -73,6 +73,20 @@ void encode_body(ByteWriter& w, const History& m) {
     for (std::uint64_t word : s.bitmap) w.put_u64(word);
   }
 }
+void encode_body(ByteWriter& w, const BufferDigest& m) {
+  w.put_u32(m.member);
+  w.put_u64(m.bytes_in_use);
+  w.put_varint(m.ranges.size());
+  for (const DigestRange& r : m.ranges) {
+    w.put_u32(r.source);
+    w.put_u64(r.first_seq);
+    w.put_varint(r.count);
+  }
+}
+void encode_body(ByteWriter& w, const Shed& m) {
+  w.put_u32(m.from);
+  encode_body(w, m.message);
+}
 
 bool decode_body(ByteReader& r, Data& m) {
   m.id = get_message_id(r);
@@ -151,6 +165,25 @@ bool decode_body(ByteReader& r, History& m) {
   }
   return r.ok();
 }
+bool decode_body(ByteReader& r, BufferDigest& m) {
+  m.member = r.get_u32();
+  m.bytes_in_use = r.get_u64();
+  std::uint64_t n = r.get_varint();
+  if (!r.ok() || n > kMaxRepeated) return false;
+  m.ranges.resize(n);
+  for (DigestRange& dr : m.ranges) {
+    dr.source = r.get_u32();
+    dr.first_seq = r.get_u64();
+    dr.count = r.get_varint();
+    // An empty run advertises nothing; a well-formed digest never emits one.
+    if (!r.ok() || dr.count == 0) return false;
+  }
+  return r.ok();
+}
+bool decode_body(ByteReader& r, Shed& m) {
+  m.from = r.get_u32();
+  return decode_body(r, m.message);
+}
 
 template <typename T>
 std::optional<Message> decode_as(ByteReader& r) {
@@ -174,6 +207,8 @@ std::optional<Message> decode_from(ByteReader& r) {
     case MessageType::kHandoff: return decode_as<Handoff>(r);
     case MessageType::kGossip: return decode_as<Gossip>(r);
     case MessageType::kHistory: return decode_as<History>(r);
+    case MessageType::kBufferDigest: return decode_as<BufferDigest>(r);
+    case MessageType::kShed: return decode_as<Shed>(r);
   }
   return std::nullopt;
 }
@@ -227,6 +262,12 @@ std::size_t size_body(const History& m) {
   }
   return n;
 }
+std::size_t size_body(const BufferDigest& m) {
+  std::size_t n = 4 + 8 + varint_size(m.ranges.size());
+  for (const DigestRange& r : m.ranges) n += 4 + 8 + varint_size(r.count);
+  return n;
+}
+std::size_t size_body(const Shed& m) { return 4 + size_body(m.message); }
 
 }  // namespace
 
@@ -250,6 +291,9 @@ MessageType type_of(const Message& m) {
         if constexpr (std::is_same_v<T, Handoff>) return MessageType::kHandoff;
         if constexpr (std::is_same_v<T, Gossip>) return MessageType::kGossip;
         if constexpr (std::is_same_v<T, History>) return MessageType::kHistory;
+        if constexpr (std::is_same_v<T, BufferDigest>)
+          return MessageType::kBufferDigest;
+        if constexpr (std::is_same_v<T, Shed>) return MessageType::kShed;
       },
       m);
 }
@@ -267,6 +311,8 @@ const char* type_name(MessageType t) {
     case MessageType::kHandoff: return "HANDOFF";
     case MessageType::kGossip: return "GOSSIP";
     case MessageType::kHistory: return "HISTORY";
+    case MessageType::kBufferDigest: return "BUFFER_DIGEST";
+    case MessageType::kShed: return "SHED";
   }
   return "UNKNOWN";
 }

@@ -137,10 +137,44 @@ struct History {
   friend bool operator==(const History&, const History&) = default;
 };
 
+/// One contiguous run of buffered message ids from a single source:
+/// [first_seq, first_seq + count). Buffered sets are dense in practice
+/// (streams are sequential), so a handful of ranges covers a whole store.
+struct DigestRange {
+  MemberId source = kInvalidMember;
+  std::uint64_t first_seq = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const DigestRange&, const DigestRange&) = default;
+};
+
+/// Compact per-member buffer digest — the gossip/heartbeat extension behind
+/// cooperative region-wide budgets: held MessageId ranges plus bytes in
+/// use, multicast within the region every digest period so each member
+/// learns an approximate replica count per buffered entry and where free
+/// buffer capacity lives.
+struct BufferDigest {
+  MemberId member = kInvalidMember;
+  std::uint64_t bytes_in_use = 0;
+  std::vector<DigestRange> ranges;
+
+  friend bool operator==(const BufferDigest&, const BufferDigest&) = default;
+};
+
+/// Shed/handoff: a member over budget pushes a sole-copy entry (no other
+/// region member advertises it) to the least-loaded digest-advertised
+/// neighbor instead of silently discarding the region's last copy.
+struct Shed {
+  MemberId from = kInvalidMember;
+  Data message;
+
+  friend bool operator==(const Shed&, const Shed&) = default;
+};
+
 using Message =
     std::variant<Data, Session, LocalRequest, RemoteRequest, Repair,
                  RegionalRepair, SearchRequest, SearchFound, Handoff, Gossip,
-                 History>;
+                 History, BufferDigest, Shed>;
 
 /// Stable wire tags; never renumber.
 enum class MessageType : std::uint8_t {
@@ -155,6 +189,8 @@ enum class MessageType : std::uint8_t {
   kHandoff = 9,
   kGossip = 10,
   kHistory = 11,
+  kBufferDigest = 12,
+  kShed = 13,
 };
 
 MessageType type_of(const Message& m);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "buffer/budget.h"
+#include "buffer/coordination.h"
 #include "common/time.h"
 
 namespace rrmp {
@@ -65,6 +66,13 @@ struct Config {
   /// treats buffer memory as the scarce resource — this is that resource
   /// made an explicit, tunable quantity.
   buffer::BufferBudget buffer_budget;
+
+  /// Cooperative region-wide budget coordination (see
+  /// buffer::CoordinationParams): periodic BufferDigest gossip within the
+  /// region, replica-aware eviction, and shed handoffs of sole-copy entries
+  /// under pressure. Disabled by default — the uncoordinated protocol is
+  /// bit-identical to the budgeted PR 4 behaviour.
+  buffer::CoordinationParams buffer_coordination;
 
   /// How a member locates a bufferer for a *discarded* message (§3.3).
   /// kRandomSearch is the paper's scheme; kMulticastQuery is the rejected

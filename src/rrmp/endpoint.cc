@@ -15,6 +15,19 @@ bool contains(const std::vector<MemberId>& v, MemberId m) {
   return std::find(v.begin(), v.end(), m) != v.end();
 }
 
+/// Applied before any member is built from the config, so the BufferStore
+/// (whose anti-ping-pong age gate reads digest_interval) and the digest
+/// timer can never disagree about the clamped value. A non-positive period
+/// would re-arm digest_tick at the same instant forever, wedging the event
+/// loop, and would silently disable the store's shed damping.
+Config sanitized(Config c) {
+  if (c.buffer_coordination.enabled &&
+      c.buffer_coordination.digest_interval <= Duration::zero()) {
+    c.buffer_coordination.digest_interval = Duration::micros(1);
+  }
+  return c;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- Env ----
@@ -49,10 +62,13 @@ Endpoint::Endpoint(IHost& host, Config config,
                    std::unique_ptr<buffer::RetentionPolicy> policy,
                    MetricsSink* metrics)
     : host_(host),
-      cfg_(config),
+      cfg_(sanitized(std::move(config))),
       env_(*this),
+      // cfg_, not config: the store must see the sanitized coordination
+      // knobs (cfg_ is declared before store_, so it is built first).
       store_(std::make_unique<buffer::BufferStore>(std::move(policy),
-                                                   config.buffer_budget)),
+                                                   cfg_.buffer_budget,
+                                                   cfg_.buffer_coordination)),
       metrics_(metrics != nullptr ? metrics : &null_sink_) {
   store_->bind(&env_);
   store_->set_observer(
@@ -67,6 +83,7 @@ Endpoint::Endpoint(IHost& host, Config config,
           case buffer::BufferEvent::kDiscarded:
           case buffer::BufferEvent::kHandedOff:
           case buffer::BufferEvent::kEvicted:
+          case buffer::BufferEvent::kShedHandoff:
             this->metrics().on_buffer_discarded(self(), id, host_.now(), long_term);
             break;
         }
@@ -81,6 +98,16 @@ Endpoint::Endpoint(IHost& host, Config config,
     anti_entropy_timer_ =
         schedule(cfg_.anti_entropy_interval, [this] { anti_entropy_tick(); });
   }
+  if (cfg_.buffer_coordination.enabled) {
+    store_->set_shed_handler([this](const proto::Data& d, MemberId target) {
+      if (!active_) return false;
+      this->metrics().on_handoff_sent(self(), target, 1, host_.now());
+      host_.send(target, proto::Message{proto::Shed{self(), d}});
+      return true;
+    });
+    digest_timer_ = schedule(cfg_.buffer_coordination.digest_interval,
+                             [this] { digest_tick(); });
+  }
 }
 
 Endpoint::~Endpoint() {
@@ -94,6 +121,7 @@ void Endpoint::halt() {
   cancel(session_timer_);
   cancel(history_timer_);
   cancel(anti_entropy_timer_);
+  cancel(digest_timer_);
   for (auto& [id, task] : recoveries_) {
     cancel(task.local_timer);
     cancel(task.remote_timer);
@@ -179,6 +207,9 @@ void Endpoint::handle_message(const proto::Message& msg, MemberId from) {
         if constexpr (std::is_same_v<T, proto::Handoff>) handle_handoff(m, from);
         if constexpr (std::is_same_v<T, proto::Gossip>) handle_gossip(m, from);
         if constexpr (std::is_same_v<T, proto::History>) handle_history(m, from);
+        if constexpr (std::is_same_v<T, proto::BufferDigest>)
+          handle_buffer_digest(m, from);
+        if constexpr (std::is_same_v<T, proto::Shed>) handle_shed(m, from);
       },
       msg);
 }
@@ -440,6 +471,26 @@ void Endpoint::handle_handoff(const proto::Handoff& h, MemberId from) {
 void Endpoint::handle_gossip(const proto::Gossip& g, MemberId from) {
   (void)from;
   if (gossip_fd_) gossip_fd_->handle_gossip(g);
+}
+
+void Endpoint::handle_buffer_digest(const proto::BufferDigest& d,
+                                    MemberId from) {
+  (void)from;
+  if (!cfg_.buffer_coordination.enabled) return;
+  if (d.member == self()) return;  // only neighbors count as replicas
+  store_->digests().update(d.member, d.bytes_in_use, d.ranges);
+}
+
+void Endpoint::handle_shed(const proto::Shed& s, MemberId from) {
+  (void)from;
+  if (!cfg_.buffer_coordination.enabled) return;
+  // The neighbor is about to discard the region's (believed) last copy; we
+  // inherit the bufferer responsibility, exactly like a leave-time handoff:
+  // deliver if never received, then keep the copy long-term.
+  if (!tracker(s.message.id.source).has(s.message.id.seq)) {
+    accept(s.message, /*from_remote_region=*/false);
+  }
+  store_->accept_handoff(s.message);
 }
 
 void Endpoint::handle_history(const proto::History& h, MemberId from) {
@@ -723,6 +774,19 @@ void Endpoint::history_tick() {
     host_.multicast_region(proto::Message{std::move(h)});
   }
   history_timer_ = schedule(cfg_.history_interval, [this] { history_tick(); });
+}
+
+void Endpoint::digest_tick() {
+  digest_timer_ = kNoTimer;
+  // Departed members must stop counting as replica holders or keepers:
+  // prune their advertisements against the current view, bounding the
+  // staleness of any dead digest at one period.
+  store_->digests().retain(host_.local_view().members());
+  // Advertise even when empty: a zero bytes_in_use digest is exactly what
+  // makes this member the least-loaded shed target.
+  host_.multicast_region(proto::Message{store_->build_digest()});
+  digest_timer_ = schedule(cfg_.buffer_coordination.digest_interval,
+                           [this] { digest_tick(); });
 }
 
 void Endpoint::anti_entropy_tick() {

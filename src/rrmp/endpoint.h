@@ -18,6 +18,10 @@
 //  - random search for a bufferer of a discarded message (§3.3), terminated
 //    by an "I have the message" regional multicast,
 //  - long-term buffer handoff on voluntary leave (§3.2),
+//  - optional cooperative region-wide budgets: periodic BufferDigest gossip
+//    advertising the held id set + bytes in use, replica-aware eviction, and
+//    shed handoffs pushing sole-copy entries to the least-loaded neighbor
+//    under budget pressure (Config::buffer_coordination),
 //  - optional deterministic hash-direct lookup instead of randomized
 //    search, reproducing the authors' earlier scheme [11] (§3.4),
 //  - optional history exchange driving the stability-detection baseline.
@@ -168,6 +172,8 @@ class Endpoint {
   void handle_handoff(const proto::Handoff& h, MemberId from);
   void handle_gossip(const proto::Gossip& g, MemberId from);
   void handle_history(const proto::History& h, MemberId from);
+  void handle_buffer_digest(const proto::BufferDigest& d, MemberId from);
+  void handle_shed(const proto::Shed& s, MemberId from);
 
   // Reception path shared by data/repair/regional-repair/handoff.
   // Returns true if the message was new.
@@ -210,6 +216,9 @@ class Endpoint {
   // Session messages (sender only).
   void session_tick();
 
+  // Cooperative budget coordination: periodic regional digest multicast.
+  void digest_tick();
+
   // Helpers.
   void serve_waiters(const proto::Data& d);
   void satisfy_searches(const proto::Data& d);
@@ -237,6 +246,7 @@ class Endpoint {
   TimerHandle session_timer_ = kNoTimer;
   TimerHandle history_timer_ = kNoTimer;
   TimerHandle anti_entropy_timer_ = kNoTimer;
+  TimerHandle digest_timer_ = kNoTimer;
 
   std::map<MemberId, SequenceTracker> trackers_;
   std::unordered_map<MessageId, RecoveryTask> recoveries_;

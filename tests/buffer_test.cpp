@@ -261,6 +261,115 @@ TEST(BufferBudgetTest, DrainForHandoffInteractsWithFullStore) {
   EXPECT_TRUE(s->has(MessageId{1, 4}));
 }
 
+TEST(BufferBudgetTest, ShedHandoffsCountedSeparatelyFromEvictions) {
+  // Capacity reports must distinguish recoverable departures (the copy
+  // moved to a neighbor) from lost ones (the copy died). One run forces
+  // both: a sole-copy victim is shed, a digest-advertised victim is
+  // evicted, and the two stats never bleed into each other — nor into the
+  // policy-discard or leave-handoff counters.
+  FakePolicyEnv env(/*region_size=*/4, /*self=*/0, /*seed=*/3);
+  CoordinationParams coord;
+  coord.enabled = true;
+  // Entries younger than one digest period are evicted, never shed (the
+  // anti-ping-pong age gate); keep the period below the test's advances.
+  coord.digest_interval = Duration::millis(1);
+  auto store = std::make_unique<BufferStore>(
+      std::make_unique<BufferEverythingPolicy>(), BufferBudget{0, 2}, coord);
+  store->bind(&env);
+  env.attach_store(store.get());
+  std::size_t shed_sends = 0;
+  store->set_shed_handler([&](const proto::Data&, MemberId) {
+    ++shed_sends;
+    return true;
+  });
+  std::vector<std::pair<MessageId, BufferEvent>> events;
+  store->set_observer([&](const MessageId& id, BufferEvent ev, bool) {
+    events.emplace_back(id, ev);
+  });
+
+  store->digests().update(2, 0, {});  // an empty neighbor: the shed target
+  store->store(make_data(1, 1));      // sole copy
+  env.advance(Duration::millis(1));
+  store->store(make_data(1, 2));
+  store->store(make_data(1, 3));  // pressure: sole-copy LRU {1,1} sheds
+  EXPECT_EQ(store->stats().shed, 1u);
+  EXPECT_EQ(store->stats().evicted, 0u);
+  EXPECT_EQ(shed_sends, 1u);
+  EXPECT_TRUE(std::count(events.begin(), events.end(),
+                         std::pair<MessageId, BufferEvent>{
+                             {1, 1}, BufferEvent::kShedHandoff}) == 1);
+
+  store->digests().update(2, 0, {{1, 2, 1}});  // {1,2} now redundant
+  store->store(make_data(1, 4));               // pressure: evicts {1,2}
+  EXPECT_EQ(store->stats().shed, 1u);     // unchanged
+  EXPECT_EQ(store->stats().evicted, 1u);  // the lost departure
+  EXPECT_EQ(shed_sends, 1u);
+
+  // The other departure kinds stay in their own columns.
+  store->force_discard(MessageId{1, 3});
+  EXPECT_EQ(store->stats().discarded, 1u);
+  auto drained = store->drain_for_handoff();
+  EXPECT_EQ(store->stats().handed_off, drained.size());
+  EXPECT_EQ(store->stats().shed, 1u);
+  EXPECT_EQ(store->stats().evicted, 1u);
+  // Conservation across all five exits.
+  EXPECT_EQ(store->stats().stored,
+            store->count() + store->stats().discarded +
+                store->stats().evicted + store->stats().shed +
+                store->stats().handed_off);
+}
+
+TEST(BufferBudgetTest, ShedFallsBackToEvictionWithoutTargetOrHandler) {
+  // No digest-advertised neighbor (or no transport): the sole copy is
+  // evicted, never silently dropped on the floor mid-admission.
+  FakePolicyEnv env(/*region_size=*/4, /*self=*/0, /*seed=*/3);
+  CoordinationParams coord;
+  coord.enabled = true;
+  coord.digest_interval = Duration::millis(1);
+  auto store = std::make_unique<BufferStore>(
+      std::make_unique<BufferEverythingPolicy>(), BufferBudget{0, 1}, coord);
+  store->bind(&env);
+  env.attach_store(store.get());
+  store->store(make_data(1, 1));
+  env.advance(Duration::millis(2));
+  store->store(make_data(1, 2));  // no handler, empty digest table
+  EXPECT_EQ(store->stats().evicted, 1u);
+  EXPECT_EQ(store->stats().shed, 0u);
+  EXPECT_TRUE(store->has(MessageId{1, 2}));
+
+  // A handler that declines (transport down) falls back the same way.
+  store->set_shed_handler([](const proto::Data&, MemberId) { return false; });
+  store->digests().update(2, 0, {});
+  env.advance(Duration::millis(2));
+  store->store(make_data(1, 3));
+  EXPECT_EQ(store->stats().evicted, 2u);
+  EXPECT_EQ(store->stats().shed, 0u);
+
+  // And a handoff-received copy younger than one digest period is never
+  // offered at all, even with a willing handler and target: the
+  // anti-ping-pong gate stops a just-shed copy from bouncing onward.
+  std::size_t offered = 0;
+  store->set_shed_handler([&](const proto::Data&, MemberId) {
+    ++offered;
+    return true;
+  });
+  env.advance(Duration::millis(2));
+  store->force_discard(MessageId{1, 3});
+  store->accept_handoff(make_data(1, 4));  // a neighbor's shed just landed
+  store->store(make_data(1, 5));           // pressure this same instant
+  EXPECT_EQ(offered, 0u);
+  EXPECT_EQ(store->stats().shed, 0u);
+  EXPECT_FALSE(store->has(MessageId{1, 4}));  // evicted, not bounced
+
+  // Aged past one digest period, the same provenance becomes sheddable.
+  store->force_discard(MessageId{1, 5});
+  store->accept_handoff(make_data(1, 6));
+  env.advance(Duration::millis(2));
+  store->store(make_data(1, 7));
+  EXPECT_EQ(offered, 1u);
+  EXPECT_EQ(store->stats().shed, 1u);
+}
+
 TEST(BufferBudgetTest, BudgetStateVisibleThroughEnv) {
   FakePolicyEnv env;
   auto s = make_store_of<BufferEverythingPolicy>(env, bytes_budget(4096));
@@ -531,6 +640,47 @@ TEST(HashBasedTest, SelectedMemberKeepsOthersDropAfterGrace) {
   EXPECT_TRUE(s.has(MessageId{1, selected_seq}));
   EXPECT_FALSE(s.has(MessageId{1, unselected_seq}));  // grace expired
   EXPECT_GT(hp->hash_evaluations(), 0u);
+}
+
+TEST(HashBasedTest, HandoffSurvivesDespiteNotBeingHashSelected) {
+  // A transferred copy (leave handoff or coordination shed) lands on a
+  // member chosen by load, not by hash. The policy must accept the
+  // responsibility: neither the fresh-insert path nor a grace timer
+  // already pending on a short-term duplicate may destroy the copy the
+  // transfer was meant to preserve.
+  std::vector<MemberId> members(10);
+  for (std::size_t i = 0; i < 10; ++i) members[i] = static_cast<MemberId>(i);
+  std::uint64_t unselected_seq = 0;
+  for (std::uint64_t q = 1; q < 100 && !unselected_seq; ++q) {
+    auto set = hash_bufferers(MessageId{1, q}, members, 3);
+    if (std::find(set.begin(), set.end(), MemberId{0}) == set.end()) {
+      unselected_seq = q;
+    }
+  }
+  ASSERT_NE(unselected_seq, 0u);
+
+  // Fresh insert via handoff: long-term immediately, no grace discard.
+  FakePolicyEnv env(/*region_size=*/10, /*self=*/0);
+  auto s = make_store_of<HashBasedPolicy>(
+      env, {}, HashBasedParams{3, Duration::millis(40), Duration::infinite()});
+  s->accept_handoff(make_data(1, unselected_seq));
+  EXPECT_TRUE(s->is_long_term(MessageId{1, unselected_seq}));
+  env.advance(Duration::millis(100));
+  EXPECT_TRUE(s->has(MessageId{1, unselected_seq}));
+
+  // Grace pending, then upgraded by a handoff: the grace expiry must spare
+  // the now-long-term entry.
+  FakePolicyEnv env2(/*region_size=*/10, /*self=*/0);
+  auto s2 = make_store_of<HashBasedPolicy>(
+      env2, {}, HashBasedParams{3, Duration::millis(40), Duration::infinite()});
+  s2->store(make_data(1, unselected_seq));  // non-bufferer: grace armed
+  env2.advance(Duration::millis(10));
+  EXPECT_EQ(s2->accept_handoff(make_data(1, unselected_seq)),
+            Admission::kDuplicate);
+  EXPECT_TRUE(s2->is_long_term(MessageId{1, unselected_seq}));
+  env2.advance(Duration::millis(100));  // grace fires mid-way; must spare it
+  EXPECT_TRUE(s2->has(MessageId{1, unselected_seq}));
+  EXPECT_EQ(env2.sim().pending_count(), 0u);  // spent handle was cleared
 }
 
 // --------------------------------------------------------------- stability ----

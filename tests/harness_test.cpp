@@ -205,6 +205,47 @@ TEST(ExperimentsTest, StarvedBudgetForcesEvictionsAndHurtsRecovery) {
   EXPECT_LT(starved.delivered_fraction, unlimited.delivered_fraction);
 }
 
+TEST(ExperimentsTest, CoordinationPointDisabledMatchesCapacityPoint) {
+  // run_coordination_point(coordinate=false) IS the PR 4 capacity
+  // experiment: same seed, same RNG draws, same outcome — the uncoordinated
+  // column of the coordination sweep and the capacity sweep are one
+  // experiment, not two that happen to agree.
+  StreamScenario sc;
+  sc.region_size = 20;
+  sc.messages = 20;
+  sc.data_loss = 0.2;
+  sc.seed = 15;
+  CapacityOutcome cap =
+      run_capacity_point(600, buffer::PolicyKind::kTwoPhase, sc);
+  CoordinationOutcome unc = run_coordination_point(
+      600, /*coordinate=*/false, buffer::PolicyKind::kTwoPhase, sc);
+  EXPECT_EQ(unc.delivered_fraction, cap.delivered_fraction);
+  EXPECT_EQ(unc.recovery_success, cap.recovery_success);
+  EXPECT_EQ(unc.mean_recovery_ms, cap.mean_recovery_ms);
+  EXPECT_EQ(unc.evictions, cap.evictions);
+  EXPECT_EQ(unc.sheds, 0u);
+  EXPECT_EQ(unc.digest_msgs, 0u);
+}
+
+TEST(ExperimentsTest, CoordinationImprovesStarvedRecovery) {
+  // The tentpole claim at unit scale: same starved budget, coordination on
+  // vs off — the cooperative run sheds sole copies instead of losing them
+  // and recovers at least as many losses, strictly more here.
+  StreamScenario sc;
+  sc.region_size = 20;
+  sc.messages = 20;
+  sc.data_loss = 0.2;
+  sc.seed = 15;
+  CoordinationOutcome unc = run_coordination_point(
+      600, /*coordinate=*/false, buffer::PolicyKind::kTwoPhase, sc);
+  CoordinationOutcome coord = run_coordination_point(
+      600, /*coordinate=*/true, buffer::PolicyKind::kTwoPhase, sc);
+  ASSERT_LT(unc.recovery_success, 1.0);  // pressure is real
+  EXPECT_GT(coord.recovery_success, unc.recovery_success);
+  EXPECT_GT(coord.sheds, 0u);
+  EXPECT_GT(coord.digest_msgs, 0u);
+}
+
 TEST(ExperimentsTest, NoRequestProbabilityMatchesFormula) {
   double mc = simulate_no_request_probability(100, 0.5, 50000, 16);
   EXPECT_NEAR(mc, 0.605, 0.02);  // (1-1/99)^50

@@ -104,6 +104,25 @@ TEST(CodecTest, HistoryRoundTrip) {
   EXPECT_EQ(round_trip(h), h);
 }
 
+TEST(CodecTest, BufferDigestRoundTrip) {
+  BufferDigest d;
+  d.member = 17;
+  d.bytes_in_use = 123456789;
+  d.ranges = {{1, 5, 3}, {1, 100, 1}, {2, 1, 40}};
+  EXPECT_EQ(round_trip(d), d);
+}
+
+TEST(CodecTest, EmptyBufferDigestRoundTrip) {
+  // A member advertising an empty buffer (it is the ideal shed target).
+  BufferDigest d{9, 0, {}};
+  EXPECT_EQ(round_trip(d), d);
+}
+
+TEST(CodecTest, ShedRoundTrip) {
+  Shed s{4, Data{MessageId{2, 77}, {1, 2, 3, 4}}};
+  EXPECT_EQ(round_trip(s), s);
+}
+
 TEST(CodecTest, TypeTagsAreStable) {
   // Wire compatibility: these values must never change.
   EXPECT_EQ(static_cast<int>(type_of(Message{Data{}})), 1);
@@ -117,14 +136,16 @@ TEST(CodecTest, TypeTagsAreStable) {
   EXPECT_EQ(static_cast<int>(type_of(Message{Handoff{}})), 9);
   EXPECT_EQ(static_cast<int>(type_of(Message{Gossip{}})), 10);
   EXPECT_EQ(static_cast<int>(type_of(Message{History{}})), 11);
+  EXPECT_EQ(static_cast<int>(type_of(Message{BufferDigest{}})), 12);
+  EXPECT_EQ(static_cast<int>(type_of(Message{Shed{}})), 13);
 }
 
 TEST(CodecTest, TypeNamesAreDistinct) {
   std::set<std::string> names;
-  for (int t = 1; t <= 11; ++t) {
+  for (int t = 1; t <= 13; ++t) {
     names.insert(type_name(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 13u);
 }
 
 TEST(CodecTest, EncodedSizeMatchesEncoding) {
@@ -150,6 +171,8 @@ TEST(CodecTest, EncodedSizeMatchesEncodingForEveryType) {
                        Data{MessageId{1, 2}, std::vector<std::uint8_t>(200, 2)}}}},
       Message{Gossip{1, {{2, 3}, {4, 5}}}},
       Message{History{1, {SourceHistory{2, 10, {0xFF, 0x00}}}}},
+      Message{BufferDigest{3, 1ULL << 33, {{1, 5, 127}, {2, 1, 128}}}},
+      Message{Shed{4, Data{MessageId{1, 2}, std::vector<std::uint8_t>(128, 9)}}},
   };
   for (const Message& m : msgs) {
     EXPECT_EQ(encoded_size(m), encode(m).size()) << type_name(m);
@@ -221,6 +244,8 @@ TEST(CodecFuzzTest, EveryTruncationOfEveryTypeRejected) {
       Message{Handoff{{Data{MessageId{1, 1}, {1}}}}},
       Message{Gossip{1, {Heartbeat{2, 3}}}},
       Message{History{1, {SourceHistory{1, 2, {0xFF}}}}},
+      Message{BufferDigest{1, 64, {DigestRange{1, 2, 3}}}},
+      Message{Shed{1, Data{MessageId{1, 1}, {7, 8}}}},
   };
   for (const Message& m : msgs) {
     auto bytes = encode(m);
@@ -304,7 +329,7 @@ void append_message_id(std::vector<std::uint8_t>& bytes, std::uint32_t source,
 
 TEST(CodecNegativeTest, EveryGarbageTypeByteRejected) {
   for (int tag = 0; tag <= 255; ++tag) {
-    if (tag >= 1 && tag <= 11) continue;  // valid wire tags
+    if (tag >= 1 && tag <= 13) continue;  // valid wire tags
     std::vector<std::uint8_t> lone = {static_cast<std::uint8_t>(tag)};
     EXPECT_FALSE(decode(lone).has_value()) << "bare tag " << tag;
     std::vector<std::uint8_t> padded(17, 0x00);
@@ -316,7 +341,7 @@ TEST(CodecNegativeTest, EveryGarbageTypeByteRejected) {
 TEST(CodecNegativeTest, EveryValidTagWithEmptyBodyRejected) {
   // Every message type has a non-empty body, so a bare valid tag is always
   // a truncated frame.
-  for (int tag = 1; tag <= 11; ++tag) {
+  for (int tag = 1; tag <= 13; ++tag) {
     std::vector<std::uint8_t> bytes = {static_cast<std::uint8_t>(tag)};
     EXPECT_FALSE(decode(bytes).has_value()) << "tag " << tag;
   }
@@ -396,6 +421,132 @@ TEST(CodecNegativeTest, NestedHandoffPayloadTruncationRejected) {
   append_varint(bytes, 5);
   bytes.push_back(0x43);          // second Data claims 5 bytes, has 1
   EXPECT_FALSE(decode(bytes).has_value());
+}
+
+// -------------------- coordination frames: golden vectors + hostile input ----
+//
+// Byte-exact encode vectors pin the BufferDigest/Shed wire layout (tag,
+// little-endian fixed ints, varint counts) the way the Data/Repair corpus
+// pins the original frames: any codec change that moves a byte fails here,
+// not in an interop incident.
+
+TEST(CodecGoldenTest, BufferDigestEncodesByteExact) {
+  BufferDigest d;
+  d.member = 5;
+  d.bytes_in_use = 0x1234;
+  d.ranges = {{2, 7, 3}, {3, 1, 200}};
+
+  std::vector<std::uint8_t> want = {12};  // kBufferDigest
+  append_u32(want, 5);                    // member
+  append_u64(want, 0x1234);               // bytes_in_use
+  append_varint(want, 2);                 // range count
+  append_u32(want, 2);                    // range 0: source
+  append_u64(want, 7);                    //          first_seq
+  append_varint(want, 3);                 //          count (1-byte varint)
+  append_u32(want, 3);                    // range 1: source
+  append_u64(want, 1);                    //          first_seq
+  append_varint(want, 200);               //          count (2-byte varint)
+  EXPECT_EQ(encode(Message{d}), want);
+  EXPECT_EQ(encoded_size(Message{d}), want.size());
+  auto decoded = decode(want);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<BufferDigest>(*decoded), d);
+}
+
+TEST(CodecGoldenTest, EmptyBufferDigestEncodesByteExact) {
+  BufferDigest d{9, 0, {}};
+  std::vector<std::uint8_t> want = {12};
+  append_u32(want, 9);
+  append_u64(want, 0);
+  append_varint(want, 0);
+  EXPECT_EQ(encode(Message{d}), want);
+}
+
+TEST(CodecGoldenTest, ShedEncodesByteExact) {
+  Shed s{9, Data{MessageId{3, 99}, {0xAA, 0xBB}}};
+  std::vector<std::uint8_t> want = {13};  // kShed
+  append_u32(want, 9);                    // from
+  append_message_id(want, 3, 99);         // nested Data: id
+  append_varint(want, 2);                 //              payload length
+  want.push_back(0xAA);
+  want.push_back(0xBB);
+  EXPECT_EQ(encode(Message{s}), want);
+  EXPECT_EQ(encoded_size(Message{s}), want.size());
+  auto decoded = decode(want);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Shed>(*decoded), s);
+}
+
+TEST(CodecNegativeTest, HostileDigestRangeCountRejected) {
+  // A digest claiming 2^40 ranges: rejected at the bounds check, never
+  // allocated.
+  std::vector<std::uint8_t> bytes = {12};  // kBufferDigest
+  append_u32(bytes, 1);                    // member
+  append_u64(bytes, 64);                   // bytes_in_use
+  append_varint(bytes, 1ULL << 40);        // range count
+  EXPECT_FALSE(decode(bytes).has_value());
+
+  // Just above the cap, with a well-formed varint.
+  std::vector<std::uint8_t> capped = {12};
+  append_u32(capped, 1);
+  append_u64(capped, 64);
+  append_varint(capped, kMaxRepeated + 1);
+  EXPECT_FALSE(decode(capped).has_value());
+}
+
+TEST(CodecNegativeTest, ZeroLengthDigestRangeRejected) {
+  // count = 0 advertises nothing; a well-formed digest never emits it, so
+  // decode treats it as hostile rather than silently carrying dead ranges.
+  std::vector<std::uint8_t> bytes = {12};  // kBufferDigest
+  append_u32(bytes, 1);
+  append_u64(bytes, 64);
+  append_varint(bytes, 1);  // one range
+  append_u32(bytes, 2);     // source
+  append_u64(bytes, 5);     // first_seq
+  append_varint(bytes, 0);  // count = 0
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecNegativeTest, DigestTruncatedMidRangeRejected) {
+  // The advertised range count exceeds the ranges actually present.
+  std::vector<std::uint8_t> bytes = {12};  // kBufferDigest
+  append_u32(bytes, 1);
+  append_u64(bytes, 64);
+  append_varint(bytes, 2);  // claims two ranges
+  append_u32(bytes, 2);
+  append_u64(bytes, 5);
+  append_varint(bytes, 3);  // only one follows
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecNegativeTest, ShedHostilePayloadLengthRejected) {
+  // A Shed whose nested Data claims 2^40 payload bytes.
+  std::vector<std::uint8_t> bytes = {13};  // kShed
+  append_u32(bytes, 4);                    // from
+  append_message_id(bytes, 1, 2);
+  append_varint(bytes, 1ULL << 40);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecNegativeTest, ShedTrailingGarbageRejected) {
+  auto bytes = encode(Message{Shed{1, Data{MessageId{1, 1}, {7}}}});
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecFuzzTest, RandomMutationOfValidDigestNeverCrashes) {
+  RandomEngine rng(0xD16E57);
+  auto base = encode(Message{BufferDigest{3, 512, {{1, 1, 16}, {2, 9, 4}}}});
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto bytes = base;
+    std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] = static_cast<std::uint8_t>(rng.next_u32());
+    auto decoded = decode(bytes);
+    if (decoded) {
+      (void)encode(*decoded);
+    }
+  }
 }
 
 }  // namespace

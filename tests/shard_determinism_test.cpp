@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "harness/cluster.h"
+#include "test_env.h"
 
 namespace rrmp::harness {
 namespace {
@@ -27,6 +28,7 @@ struct RunDigest {
   std::size_t total_buffered = 0;
   std::size_t lanes = 0;
   std::uint64_t evictions = 0;  // summed store stats (budgeted runs only)
+  std::uint64_t sheds = 0;      // summed shed handoffs (coordinated runs)
 };
 
 RunDigest run_workload(std::size_t shards) {
@@ -171,6 +173,123 @@ TEST(ShardDeterminism, EvictionEnabledRunsAreShardCountInvariant) {
   expect_identical(s1, s4, "budgeted shards=1 vs shards=4");
   EXPECT_EQ(s1.evictions, s2.evictions);
   EXPECT_EQ(s1.evictions, s4.evictions);
+}
+
+RunDigest run_coordinated_workload(std::size_t shards) {
+  // The budgeted churny stream again, now with cooperative region-wide
+  // budgets: digest gossip, replica-aware (keeper-elected) eviction, and
+  // shed handoffs — the first cross-member control loop in the buffer
+  // subsystem. Its victim ordering depends on digest tables built from
+  // received multicasts, so the whole loop must be as shard-count-invariant
+  // as the rest of the pipeline.
+  ClusterConfig cc;
+  cc.region_sizes = {6, 5, 4, 5};
+  cc.seed = 2028;
+  cc.data_loss = 0.20;
+  cc.control_loss = 0.02;
+  cc.jitter = 0.15;
+  cc.codec_roundtrip = true;
+  cc.shards = shards;
+  cc.protocol.buffer_budget = buffer::BufferBudget{256, 0};  // ~4 frames
+  cc.protocol.buffer_coordination.enabled = true;
+  cc.protocol.buffer_coordination.digest_interval = Duration::millis(15);
+  Cluster cluster(cc);
+
+  for (int i = 0; i < 8; ++i) {
+    cluster.schedule_script(
+        TimePoint::zero() + Duration::millis(20) * i,
+        [&cluster] {
+          cluster.endpoint(0).multicast(std::vector<std::uint8_t>(48, 0x2D));
+        });
+  }
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(70),
+                          [&cluster] { cluster.leave(8); });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(110),
+                          [&cluster] { cluster.crash(12); });
+
+  cluster.run_for(Duration::seconds(1));
+  cluster.run_until_quiet(Duration::seconds(2));
+
+  RunDigest d;
+  const RecordingSink& m = cluster.metrics();
+  d.counters = m.counters();
+  d.deliveries = m.deliveries();
+  d.stores = m.stores();
+  d.discards = m.discards();
+  d.promotions = m.promotions();
+  d.recovery_latencies = m.recovery_latencies();
+  d.traffic = cluster.network().stats();
+  d.events_fired = cluster.events_fired();
+  d.final_now = cluster.now();
+  d.total_buffered = cluster.total_buffered();
+  d.lanes = cluster.lane_count();
+  for (MemberId mem = 0; mem < cluster.size(); ++mem) {
+    d.evictions += cluster.endpoint(mem).buffer().stats().evicted;
+    d.sheds += cluster.endpoint(mem).buffer().stats().shed;
+  }
+  return d;
+}
+
+TEST(ShardDeterminism, CoordinationEnabledRunsAreShardCountInvariant) {
+  RunDigest s1 = run_coordinated_workload(1);
+  RunDigest s2 = run_coordinated_workload(2);
+  RunDigest s4 = run_coordinated_workload(4);
+
+  // The coordination machinery must actually have run: digests were
+  // multicast and budget pressure both evicted and shed.
+  std::size_t digest_idx =
+      static_cast<std::size_t>(proto::MessageType::kBufferDigest);
+  ASSERT_GT(s1.traffic.sends_by_type[digest_idx], 0u);
+  ASSERT_GT(s1.evictions + s1.sheds, 0u);
+
+  expect_identical(s1, s2, "coordinated shards=1 vs shards=2");
+  expect_identical(s1, s4, "coordinated shards=1 vs shards=4");
+  EXPECT_EQ(s1.evictions, s2.evictions);
+  EXPECT_EQ(s1.evictions, s4.evictions);
+  EXPECT_EQ(s1.sheds, s2.sheds);
+  EXPECT_EQ(s1.sheds, s4.sheds);
+}
+
+TEST(ShardDeterminism, SoleCopyProtectedWhenRedundantVictimAvailable) {
+  // Regression for the coordination cost model, at the store level: under
+  // pressure, a digest-advertised (redundant) entry is evicted even though
+  // the uncoordinated order (LRU) would have picked the sole-copy entry.
+  using rrmp::testing::FakePolicyEnv;
+  using rrmp::testing::make_data;
+  FakePolicyEnv env(/*region_size=*/4, /*self=*/0, /*seed=*/5);
+  buffer::CoordinationParams coord;
+  coord.enabled = true;
+  coord.shed_sole_copies = false;  // isolate eviction ordering from the shed
+  auto store = buffer::make_store(buffer::BufferEverythingParams{},
+                                  buffer::BufferBudget{0, 2}, coord);
+  store->bind(&env);
+  env.attach_store(store.get());
+
+  store->store(make_data(1, 1));  // sole copy, least recently active
+  env.advance(Duration::millis(1));
+  store->store(make_data(1, 2));  // fresher, but advertised by neighbor 3
+  store->digests().update(3, 50, {{1, 2, 1}});
+  ASSERT_EQ(store->known_replicas(MessageId{1, 2}), 2u);
+
+  store->store(make_data(1, 3));  // pressure: must evict the redundant {1,2}
+  EXPECT_TRUE(store->has(MessageId{1, 1}));   // sole copy survives
+  EXPECT_FALSE(store->has(MessageId{1, 2}));  // redundant copy went
+  EXPECT_TRUE(store->has(MessageId{1, 3}));
+
+  // The identical sequence uncoordinated evicts the LRU sole copy instead —
+  // the behaviour the cost model exists to prevent.
+  FakePolicyEnv env2(/*region_size=*/4, /*self=*/0, /*seed=*/5);
+  auto plain = buffer::make_store(buffer::BufferEverythingParams{},
+                                  buffer::BufferBudget{0, 2});
+  plain->bind(&env2);
+  env2.attach_store(plain.get());
+  plain->store(make_data(1, 1));
+  env2.advance(Duration::millis(1));
+  plain->store(make_data(1, 2));
+  plain->digests().update(3, 50, {{1, 2, 1}});  // known but ignored: disabled
+  plain->store(make_data(1, 3));
+  EXPECT_FALSE(plain->has(MessageId{1, 1}));
+  EXPECT_TRUE(plain->has(MessageId{1, 2}));
 }
 
 TEST(ShardDeterminism, RepeatedRunIsReproducible) {
