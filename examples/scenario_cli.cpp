@@ -40,6 +40,11 @@ struct Options {
   std::int64_t digest_ms = 20;     // BufferDigest gossip period
   std::size_t redundancy = 2;      // replicas before an entry is expendable
   bool no_shed = false;            // disable sole-copy shed handoffs
+  bool flow = false;               // windowed send admission (flow control)
+  std::size_t window = 32;         // outstanding-frame window per sender
+  std::size_t target_budget = 0;   // outstanding-byte cap, 0 = frames only
+  std::int64_t ack_ms = 10;        // CreditAck feedback period
+  bool no_backpressure = false;    // disable occupancy-driven window halving
   double lambda = 1.0;
   std::uint64_t seed = 1;
   std::size_t payload = 256;
@@ -74,6 +79,14 @@ void print_usage() {
       "                        eviction-preferred victim (2)\n"
       "  --no-shed             keep coordination but disable sole-copy\n"
       "                        shed handoffs\n"
+      "  --flow                windowed send admission with credit-based\n"
+      "                        feedback (CreditAck gossip)\n"
+      "  --window=N            outstanding-frame window per sender (32)\n"
+      "  --target-budget=N     cap on outstanding wire bytes per sender\n"
+      "                        (0 = frames-only windowing)\n"
+      "  --ack-interval=MS     CreditAck feedback period (10)\n"
+      "  --no-backpressure     keep flow control but disable the\n"
+      "                        occupancy-driven window halving\n"
       "  --lambda=X            expected remote requests per regional loss (1)\n"
       "  --payload=BYTES       message payload size (256)\n"
       "  --interval=MS         send interval (5)\n"
@@ -145,6 +158,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.redundancy = std::strtoull(v.c_str(), nullptr, 10);
     } else if (arg == "--no-shed") {
       opt.no_shed = true;
+    } else if (arg == "--flow") {
+      opt.flow = true;
+    } else if (eat("--window=", v)) {
+      opt.window = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--target-budget=", v)) {
+      opt.target_budget = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--ack-interval=", v)) {
+      opt.ack_ms = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (arg == "--no-backpressure") {
+      opt.no_backpressure = true;
     } else if (eat("--lambda=", v)) {
       opt.lambda = std::strtod(v.c_str(), nullptr);
     } else if (eat("--payload=", v)) {
@@ -160,6 +183,40 @@ bool parse_args(int argc, char** argv, Options& opt) {
       return false;
     }
   }
+  return true;
+}
+
+/// Cross-knob sanity checks. parse_args catches per-flag syntax; this
+/// rejects combinations that would silently produce a meaningless run.
+bool validate(const Options& opt) {
+  auto fail = [](const char* msg) {
+    std::fprintf(stderr, "%s\n", msg);
+    return false;
+  };
+  if (opt.messages == 0) return fail("--messages must be positive");
+  if (opt.payload == 0) return fail("--payload must be positive");
+  if (opt.interval_ms <= 0) return fail("--interval must be positive");
+  if (opt.drain_ms < 0) return fail("--drain must be non-negative");
+  if (opt.loss < 0.0 || opt.loss > 1.0) {
+    return fail("--loss must be a probability in [0, 1]");
+  }
+  if (opt.control_loss < 0.0 || opt.control_loss > 1.0) {
+    return fail("--control-loss must be a probability in [0, 1]");
+  }
+  if (opt.lambda < 0.0) return fail("--lambda must be non-negative");
+  if (opt.coordinate && opt.buffer_bytes == 0 && opt.buffer_count == 0) {
+    // Digest gossip, replica-aware eviction and shed handoffs all act on
+    // budget *pressure*; with unlimited buffers nothing ever evicts, so the
+    // run silently measures the uncoordinated protocol plus gossip traffic.
+    return fail(
+        "--coordinate requires a buffer budget (--buffer-bytes and/or "
+        "--buffer-count): with unlimited buffers there is no pressure to "
+        "coordinate");
+  }
+  if (opt.flow && opt.window == 0) {
+    return fail("--window must be positive: a zero window can never send");
+  }
+  if (opt.ack_ms <= 0) return fail("--ack-interval must be positive");
   return true;
 }
 
@@ -193,6 +250,7 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
+  if (!validate(opt)) return 2;
   buffer::PolicyKind kind;
   if (!buffer::kind_from_name(opt.policy, kind)) {
     std::fprintf(stderr, "unknown policy '%s'\n", opt.policy.c_str());
@@ -213,6 +271,11 @@ int main(int argc, char** argv) {
       Duration::millis(opt.digest_ms);
   cc.protocol.buffer_coordination.redundancy_threshold = opt.redundancy;
   cc.protocol.buffer_coordination.shed_sole_copies = !opt.no_shed;
+  cc.protocol.flow.enabled = opt.flow;
+  cc.protocol.flow.window_size = static_cast<std::uint32_t>(opt.window);
+  cc.protocol.flow.target_budget_bytes = opt.target_budget;
+  cc.protocol.flow.ack_interval = Duration::millis(opt.ack_ms);
+  cc.protocol.flow.backpressure = !opt.no_backpressure;
   cc.protocol.lambda = opt.lambda;
   cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
                            ? BuffererLookup::kHashDirect
@@ -233,6 +296,15 @@ int main(int argc, char** argv) {
   }
   std::printf("coordination: %s\n",
               buffer::describe(cc.protocol.buffer_coordination).c_str());
+  if (opt.flow) {
+    std::printf("flow: window %zu frames, target budget %zu B (0 = frames "
+                "only), ack every %lld ms, backpressure %s\n",
+                opt.window, opt.target_budget,
+                static_cast<long long>(opt.ack_ms),
+                opt.no_backpressure ? "off" : "on");
+  } else {
+    std::printf("flow: off\n");
+  }
 
   harness::Cluster cluster(cc);
 
@@ -299,6 +371,10 @@ int main(int argc, char** argv) {
   table.add_row({"evictions", analysis::Table::num(evictions)});
   table.add_row({"shed handoffs", analysis::Table::num(sheds)});
   table.add_row({"rejected stores", analysis::Table::num(rejected)});
+  if (opt.flow) {
+    table.add_row({"deferred sends", analysis::Table::num(c.sends_deferred)});
+    table.add_row({"credit acks", analysis::Table::num(c.credit_acks_sent)});
+  }
   table.add_row({"residual buffered msgs",
                  analysis::Table::num(
                      static_cast<std::uint64_t>(cluster.total_buffered()))});

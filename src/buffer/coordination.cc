@@ -7,9 +7,11 @@
 namespace rrmp::buffer {
 
 void DigestTable::update(MemberId peer, std::uint64_t bytes_in_use,
-                         std::vector<proto::DigestRange> ranges) {
+                         std::vector<proto::DigestRange> ranges,
+                         std::uint64_t window_outstanding) {
   PeerDigest& d = peers_[peer];
   d.bytes_in_use = bytes_in_use;
+  d.window_outstanding = window_outstanding;
   d.ranges = std::move(ranges);
 }
 
@@ -73,6 +75,17 @@ DigestTable::HolderInfo DigestTable::holder_info(const MessageId& id,
 std::uint64_t DigestTable::advertised_bytes(MemberId peer) const {
   auto it = peers_.find(peer);
   return it == peers_.end() ? 0 : it->second.bytes_in_use;
+}
+
+std::uint64_t DigestTable::advertised_outstanding(MemberId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.window_outstanding;
+}
+
+std::uint64_t DigestTable::region_outstanding() const {
+  std::uint64_t total = 0;
+  for (const auto& [peer, d] : peers_) total += d.window_outstanding;
+  return total;
 }
 
 MemberId DigestTable::least_loaded(const std::vector<MemberId>& alive,

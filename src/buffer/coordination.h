@@ -61,9 +61,12 @@ struct CoordinationParams {
 class DigestTable {
  public:
   /// Replace `peer`'s advertisement (the digest stream is idempotent:
-  /// every digest carries the peer's full held set).
+  /// every digest carries the peer's full held set). `window_outstanding`
+  /// is the peer's advertised flow-control window occupancy (0 when flow
+  /// control is off at the peer).
   void update(MemberId peer, std::uint64_t bytes_in_use,
-              std::vector<proto::DigestRange> ranges);
+              std::vector<proto::DigestRange> ranges,
+              std::uint64_t window_outstanding = 0);
 
   /// Drop `peer`'s advertisement (left/crashed).
   void forget(MemberId peer);
@@ -104,6 +107,13 @@ class DigestTable {
   /// Advertised bytes in use for `peer`; 0 if unknown.
   std::uint64_t advertised_bytes(MemberId peer) const;
 
+  /// Advertised flow-window occupancy for `peer`; 0 if unknown.
+  std::uint64_t advertised_outstanding(MemberId peer) const;
+
+  /// Sum of advertised window occupancy across all peers: the region's
+  /// in-flight send load as the digest gossip sees it.
+  std::uint64_t region_outstanding() const;
+
   /// The advertising peer with the least bytes in use, restricted to
   /// `alive` and excluding `exclude`; ties break on the smaller MemberId.
   /// kInvalidMember when no advertised peer qualifies.
@@ -113,6 +123,7 @@ class DigestTable {
  private:
   struct PeerDigest {
     std::uint64_t bytes_in_use = 0;
+    std::uint64_t window_outstanding = 0;
     std::vector<proto::DigestRange> ranges;
   };
   std::map<MemberId, PeerDigest> peers_;

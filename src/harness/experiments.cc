@@ -455,6 +455,80 @@ CoordinationOutcome run_coordination_point(std::size_t budget_bytes,
   return out;
 }
 
+// --------------------------------- Extension: flash-crowd overload ----
+
+OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,
+                                   const OverloadScenario& scenario,
+                                   const ExperimentDefaults& defaults) {
+  ClusterConfig cc = base_config(defaults);
+  cc.region_sizes = {scenario.region_size};
+  cc.protocol.buffer_budget.max_bytes = scenario.budget_bytes;
+  cc.protocol.buffer_coordination.enabled = true;
+  cc.protocol.buffer_coordination.digest_interval = Duration::millis(10);
+  cc.protocol.flow.enabled = flow_on;
+  cc.protocol.flow.window_size = scenario.window_size;
+  cc.protocol.flow.target_budget_bytes = scenario.target_budget_bytes;
+  cc.protocol.flow.ack_interval = scenario.ack_interval;
+  cc.data_loss = scenario.data_loss;
+  cc.seed = scenario.seed;
+  Cluster cluster(cc);
+
+  // Flash crowd: every sender fires at the *same* instants.
+  std::size_t n = std::min(senders, scenario.region_size);
+  for (std::size_t i = 0; i < scenario.messages_per_sender; ++i) {
+    TimePoint at =
+        TimePoint::zero() + scenario.send_interval * static_cast<std::int64_t>(i);
+    for (MemberId s = 0; s < static_cast<MemberId>(n); ++s) {
+      cluster.schedule_script(at, [&cluster, s,
+                                   bytes = scenario.payload_bytes] {
+        cluster.endpoint(s).multicast(std::vector<std::uint8_t>(bytes, 0x5A));
+      });
+    }
+  }
+  Duration total = scenario.send_interval *
+                       static_cast<std::int64_t>(scenario.messages_per_sender) +
+                   scenario.drain;
+  cluster.run_for(total);
+
+  OverloadOutcome out;
+  out.senders = n;
+  out.flow_on = flow_on;
+  std::vector<double> per_sender;
+  std::size_t fully = 0;
+  for (MemberId s = 0; s < static_cast<MemberId>(n); ++s) {
+    std::size_t got = 0;
+    for (std::uint64_t seq = 1; seq <= scenario.messages_per_sender; ++seq) {
+      if (cluster.all_received(MessageId{s, seq})) ++got;
+    }
+    per_sender.push_back(static_cast<double>(got));
+    fully += got;
+  }
+  std::size_t streamed = n * scenario.messages_per_sender;
+  out.goodput = streamed == 0 ? 1.0
+                              : static_cast<double>(fully) /
+                                    static_cast<double>(streamed);
+  // Jain's index: (sum x)^2 / (n * sum x^2); 1.0 for the degenerate
+  // nothing-delivered case (no sender was favoured over another).
+  double sum = 0.0, sumsq = 0.0;
+  for (double x : per_sender) {
+    sum += x;
+    sumsq += x * x;
+  }
+  out.fairness = sumsq == 0.0 ? 1.0
+                              : (sum * sum) / (static_cast<double>(n) * sumsq);
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    const buffer::BufferStats& bs = cluster.endpoint(m).buffer().stats();
+    out.evictions += bs.evicted;
+    out.sheds += bs.shed;
+    out.rejected += bs.rejected;
+    out.unrecovered += cluster.endpoint(m).active_recoveries();
+  }
+  out.deferred = cluster.metrics().counters().sends_deferred;
+  out.credit_msgs = cluster.network().stats().sends_by_type[static_cast<
+      std::size_t>(proto::MessageType::kCreditAck)];
+  return out;
+}
+
 // ----------------------------------------------------------- Ablation A5 ----
 
 ChurnOutcome run_churn_handoff(bool with_handoff, std::size_t region_size,

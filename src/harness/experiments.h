@@ -220,6 +220,49 @@ CoordinationOutcome run_coordination_point(
     std::size_t budget_bytes, bool coordinate, buffer::PolicyKind kind,
     const StreamScenario& scenario, const ExperimentDefaults& defaults = {});
 
+// ---- Extension: flash-crowd overload (flow control) -------------------------
+
+/// A flash crowd: `senders` members of one region all stream
+/// `messages_per_sender` multicasts at the same instants into tight
+/// per-member buffer budgets (coordination on). Without flow control every
+/// budget overruns simultaneously and the region sheds copies it then cannot
+/// recover; with it, windows pace the senders to what receivers absorb.
+struct OverloadScenario {
+  std::size_t region_size = 24;
+  std::size_t messages_per_sender = 30;
+  Duration send_interval = Duration::millis(2);
+  double data_loss = 0.05;
+  std::size_t payload_bytes = 512;
+  /// Post-stream settle time. Must cover the credit-paced tail: a windowed
+  /// sender still holds queued frames when the unpaced schedule ends.
+  Duration drain = Duration::millis(1500);
+  std::uint64_t seed = 1;
+  std::size_t budget_bytes = 4096;  // per-member buffer budget
+  std::uint32_t window_size = 8;
+  std::size_t target_budget_bytes = 0;  // 0 = frames-only windowing
+  Duration ack_interval = Duration::millis(5);
+};
+
+struct OverloadOutcome {
+  std::size_t senders = 0;
+  bool flow_on = false;
+  /// Fraction of all streamed messages every region member received.
+  double goodput = 0.0;
+  /// Jain's fairness index over per-sender fully-delivered counts (1 =
+  /// perfectly even, 1/senders = one sender got everything through).
+  double fairness = 1.0;
+  std::uint64_t deferred = 0;     // multicasts queued awaiting credit
+  std::uint64_t credit_msgs = 0;  // CreditAck multicasts on the wire
+  std::uint64_t evictions = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unrecovered = 0;
+};
+
+OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,
+                                   const OverloadScenario& scenario,
+                                   const ExperimentDefaults& defaults = {});
+
 // ---- Ablation A5: handoff under churn --------------------------------------
 
 struct ChurnOutcome {

@@ -76,6 +76,7 @@ void encode_body(ByteWriter& w, const History& m) {
 void encode_body(ByteWriter& w, const BufferDigest& m) {
   w.put_u32(m.member);
   w.put_u64(m.bytes_in_use);
+  w.put_varint(m.window_outstanding);
   w.put_varint(m.ranges.size());
   for (const DigestRange& r : m.ranges) {
     w.put_u32(r.source);
@@ -86,6 +87,16 @@ void encode_body(ByteWriter& w, const BufferDigest& m) {
 void encode_body(ByteWriter& w, const Shed& m) {
   w.put_u32(m.from);
   encode_body(w, m.message);
+}
+void encode_body(ByteWriter& w, const CreditAck& m) {
+  w.put_u32(m.member);
+  w.put_u64(m.bytes_in_use);
+  w.put_u64(m.budget_bytes);
+  w.put_varint(m.cursors.size());
+  for (const ReceiveCursor& c : m.cursors) {
+    w.put_u32(c.source);
+    w.put_varint(c.cursor);
+  }
 }
 
 bool decode_body(ByteReader& r, Data& m) {
@@ -168,6 +179,7 @@ bool decode_body(ByteReader& r, History& m) {
 bool decode_body(ByteReader& r, BufferDigest& m) {
   m.member = r.get_u32();
   m.bytes_in_use = r.get_u64();
+  m.window_outstanding = r.get_varint();
   std::uint64_t n = r.get_varint();
   if (!r.ok() || n > kMaxRepeated) return false;
   m.ranges.resize(n);
@@ -183,6 +195,19 @@ bool decode_body(ByteReader& r, BufferDigest& m) {
 bool decode_body(ByteReader& r, Shed& m) {
   m.from = r.get_u32();
   return decode_body(r, m.message);
+}
+bool decode_body(ByteReader& r, CreditAck& m) {
+  m.member = r.get_u32();
+  m.bytes_in_use = r.get_u64();
+  m.budget_bytes = r.get_u64();
+  std::uint64_t n = r.get_varint();
+  if (!r.ok() || n > kMaxRepeated) return false;
+  m.cursors.resize(n);
+  for (ReceiveCursor& c : m.cursors) {
+    c.source = r.get_u32();
+    c.cursor = r.get_varint();
+  }
+  return r.ok();
 }
 
 template <typename T>
@@ -209,6 +234,7 @@ std::optional<Message> decode_from(ByteReader& r) {
     case MessageType::kHistory: return decode_as<History>(r);
     case MessageType::kBufferDigest: return decode_as<BufferDigest>(r);
     case MessageType::kShed: return decode_as<Shed>(r);
+    case MessageType::kCreditAck: return decode_as<CreditAck>(r);
   }
   return std::nullopt;
 }
@@ -263,11 +289,17 @@ std::size_t size_body(const History& m) {
   return n;
 }
 std::size_t size_body(const BufferDigest& m) {
-  std::size_t n = 4 + 8 + varint_size(m.ranges.size());
+  std::size_t n = 4 + 8 + varint_size(m.window_outstanding) +
+                  varint_size(m.ranges.size());
   for (const DigestRange& r : m.ranges) n += 4 + 8 + varint_size(r.count);
   return n;
 }
 std::size_t size_body(const Shed& m) { return 4 + size_body(m.message); }
+std::size_t size_body(const CreditAck& m) {
+  std::size_t n = 4 + 8 + 8 + varint_size(m.cursors.size());
+  for (const ReceiveCursor& c : m.cursors) n += 4 + varint_size(c.cursor);
+  return n;
+}
 
 }  // namespace
 
@@ -294,6 +326,8 @@ MessageType type_of(const Message& m) {
         if constexpr (std::is_same_v<T, BufferDigest>)
           return MessageType::kBufferDigest;
         if constexpr (std::is_same_v<T, Shed>) return MessageType::kShed;
+        if constexpr (std::is_same_v<T, CreditAck>)
+          return MessageType::kCreditAck;
       },
       m);
 }
@@ -313,6 +347,7 @@ const char* type_name(MessageType t) {
     case MessageType::kHistory: return "HISTORY";
     case MessageType::kBufferDigest: return "BUFFER_DIGEST";
     case MessageType::kShed: return "SHED";
+    case MessageType::kCreditAck: return "CREDIT_ACK";
   }
   return "UNKNOWN";
 }

@@ -152,10 +152,14 @@ struct DigestRange {
 /// cooperative region-wide budgets: held MessageId ranges plus bytes in
 /// use, multicast within the region every digest period so each member
 /// learns an approximate replica count per buffered entry and where free
-/// buffer capacity lives.
+/// buffer capacity lives. `window_outstanding` additionally advertises the
+/// member's own flow-control window occupancy (outstanding unacknowledged
+/// Data frames; 0 when flow control is off), making send pressure visible
+/// region-wide alongside buffer pressure.
 struct BufferDigest {
   MemberId member = kInvalidMember;
   std::uint64_t bytes_in_use = 0;
+  std::uint64_t window_outstanding = 0;
   std::vector<DigestRange> ranges;
 
   friend bool operator==(const BufferDigest&, const BufferDigest&) = default;
@@ -171,10 +175,34 @@ struct Shed {
   friend bool operator==(const Shed&, const Shed&) = default;
 };
 
+/// One per-source receive cursor inside a CreditAck: the highest sequence
+/// of `source`'s stream this member has received *contiguously* (0 = none).
+/// Cursor advances release send credits at the source (flow control).
+struct ReceiveCursor {
+  MemberId source = kInvalidMember;
+  std::uint64_t cursor = 0;
+
+  friend bool operator==(const ReceiveCursor&, const ReceiveCursor&) = default;
+};
+
+/// Periodic receiver-side flow-control feedback, multicast within the
+/// region every ack_interval: per-source receive cursors (the credit
+/// release signal, Derecho-style num_received counters) plus the member's
+/// buffer occupancy and budget so senders can judge back-pressure
+/// (DFI-style target accounting). Only sent when flow control is enabled.
+struct CreditAck {
+  MemberId member = kInvalidMember;
+  std::uint64_t bytes_in_use = 0;
+  std::uint64_t budget_bytes = 0;  // 0 = unlimited
+  std::vector<ReceiveCursor> cursors;
+
+  friend bool operator==(const CreditAck&, const CreditAck&) = default;
+};
+
 using Message =
     std::variant<Data, Session, LocalRequest, RemoteRequest, Repair,
                  RegionalRepair, SearchRequest, SearchFound, Handoff, Gossip,
-                 History, BufferDigest, Shed>;
+                 History, BufferDigest, Shed, CreditAck>;
 
 /// Stable wire tags; never renumber.
 enum class MessageType : std::uint8_t {
@@ -191,6 +219,7 @@ enum class MessageType : std::uint8_t {
   kHistory = 11,
   kBufferDigest = 12,
   kShed = 13,
+  kCreditAck = 14,
 };
 
 MessageType type_of(const Message& m);

@@ -6,6 +6,7 @@
 #include "buffer/budget.h"
 #include "buffer/coordination.h"
 #include "common/time.h"
+#include "rrmp/flow_control.h"
 
 namespace rrmp {
 
@@ -73,6 +74,14 @@ struct Config {
   /// under pressure. Disabled by default — the uncoordinated protocol is
   /// bit-identical to the budgeted PR 4 behaviour.
   buffer::CoordinationParams buffer_coordination;
+
+  /// Windowed send admission with credit-based feedback (see
+  /// FlowControlParams): per-sender slot-ring windows over outstanding Data
+  /// frames, receive cursors piggybacked on periodic CreditAck feedback,
+  /// DFI-style per-target byte budgets, and region-aware back-pressure fed
+  /// by the BufferDigest gossip. Disabled by default — the unpaced protocol
+  /// is bit-identical to the pre-flow-control behaviour.
+  FlowControlParams flow;
 
   /// How a member locates a bufferer for a *discarded* message (§3.3).
   /// kRandomSearch is the paper's scheme; kMulticastQuery is the rejected

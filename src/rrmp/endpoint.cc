@@ -5,6 +5,7 @@
 
 #include "buffer/hash_based.h"
 #include "common/logging.h"
+#include "proto/codec.h"
 
 namespace rrmp {
 namespace {
@@ -25,6 +26,7 @@ Config sanitized(Config c) {
       c.buffer_coordination.digest_interval <= Duration::zero()) {
     c.buffer_coordination.digest_interval = Duration::micros(1);
   }
+  c.flow = rrmp::sanitized(c.flow);
   return c;
 }
 
@@ -69,7 +71,10 @@ Endpoint::Endpoint(IHost& host, Config config,
       store_(std::make_unique<buffer::BufferStore>(std::move(policy),
                                                    cfg_.buffer_budget,
                                                    cfg_.buffer_coordination)),
-      metrics_(metrics != nullptr ? metrics : &null_sink_) {
+      metrics_(metrics != nullptr ? metrics : &null_sink_),
+      // Our own budget doubles as the fallback yardstick for peers that
+      // advertise occupancy without a budget (BufferDigest gossip).
+      flow_(cfg_.flow, cfg_.buffer_budget.max_bytes) {
   store_->bind(&env_);
   store_->set_observer(
       [this](const MessageId& id, buffer::BufferEvent ev, bool long_term) {
@@ -101,12 +106,21 @@ Endpoint::Endpoint(IHost& host, Config config,
   if (cfg_.buffer_coordination.enabled) {
     store_->set_shed_handler([this](const proto::Data& d, MemberId target) {
       if (!active_) return false;
+      // The least-loaded neighbor is picked from digest advertisements,
+      // which lag the view by up to one period: a member that just left can
+      // still look like the best target. A shed to a departed member is a
+      // silently lost copy counted as "moved" — fall back to plain eviction
+      // (return false) so the accounting stays honest.
+      if (!host_.local_view().contains(target)) return false;
       this->metrics().on_handoff_sent(self(), target, 1, host_.now());
       host_.send(target, proto::Message{proto::Shed{self(), d}});
       return true;
     });
     digest_timer_ = schedule(cfg_.buffer_coordination.digest_interval,
                              [this] { digest_tick(); });
+  }
+  if (cfg_.flow.enabled) {
+    credit_timer_ = schedule(cfg_.flow.ack_interval, [this] { credit_tick(); });
   }
 }
 
@@ -122,6 +136,9 @@ void Endpoint::halt() {
   cancel(history_timer_);
   cancel(anti_entropy_timer_);
   cancel(digest_timer_);
+  cancel(credit_timer_);
+  send_queue_.clear();
+  flow_unacked_.clear();
   for (auto& [id, task] : recoveries_) {
     cancel(task.local_timer);
     cancel(task.remote_timer);
@@ -166,15 +183,61 @@ void Endpoint::enable_gossip_fd(GossipConfig config,
 // ----------------------------------------------------------- app API ----
 
 MessageId Endpoint::multicast(std::vector<std::uint8_t> payload) {
-  MessageId id{self(), ++send_seq_};
+  if (!cfg_.flow.enabled) {
+    MessageId id{self(), ++send_seq_};
+    next_app_seq_ = send_seq_;
+    proto::Data d{id, std::move(payload)};
+    accept(d, /*from_remote_region=*/false);
+    host_.ip_multicast(proto::Message{d});
+    if (session_timer_ == kNoTimer) {
+      session_timer_ =
+          schedule(cfg_.session_interval, [this] { session_tick(); });
+    }
+    return id;
+  }
+  // Flow-controlled path: the id is assigned now (the application's send
+  // order is the wire order), but transmission waits for window credit.
+  MessageId id{self(), ++next_app_seq_};
   proto::Data d{id, std::move(payload)};
+  if (send_queue_.empty() &&
+      flow_admits(proto::encoded_size(proto::Message{d}))) {
+    transmit_frame(std::move(d));
+  } else {
+    flow_.note_deferred();
+    metrics().on_send_deferred(self(), id, host_.now());
+    send_queue_.push_back(std::move(d));
+  }
+  return id;
+}
+
+bool Endpoint::flow_admits(std::size_t bytes) const {
+  // Alone in the region there is no peer to grant credit — windowing would
+  // wedge the stream after window_size frames, so it does not apply.
+  if (host_.local_view().size() <= 1) return true;
+  return flow_.may_send(bytes);
+}
+
+void Endpoint::transmit_frame(proto::Data d) {
+  assert(d.id.seq == send_seq_ + 1 && "queue drains in id order");
+  send_seq_ = d.id.seq;
+  std::size_t bytes = proto::encoded_size(proto::Message{d});
   accept(d, /*from_remote_region=*/false);
-  host_.ip_multicast(proto::Message{d});
+  flow_unacked_.push_back(d);
+  host_.ip_multicast(proto::Message{std::move(d)});
+  flow_.on_frame_sent(send_seq_, bytes);
   if (session_timer_ == kNoTimer) {
     session_timer_ =
         schedule(cfg_.session_interval, [this] { session_tick(); });
   }
-  return id;
+}
+
+void Endpoint::drain_send_queue() {
+  while (!send_queue_.empty() &&
+         flow_admits(proto::encoded_size(proto::Message{send_queue_.front()}))) {
+    proto::Data d = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    transmit_frame(std::move(d));
+  }
 }
 
 void Endpoint::session_tick() {
@@ -210,6 +273,8 @@ void Endpoint::handle_message(const proto::Message& msg, MemberId from) {
         if constexpr (std::is_same_v<T, proto::BufferDigest>)
           handle_buffer_digest(m, from);
         if constexpr (std::is_same_v<T, proto::Shed>) handle_shed(m, from);
+        if constexpr (std::is_same_v<T, proto::CreditAck>)
+          handle_credit_ack(m, from);
       },
       msg);
 }
@@ -478,7 +543,29 @@ void Endpoint::handle_buffer_digest(const proto::BufferDigest& d,
   (void)from;
   if (!cfg_.buffer_coordination.enabled) return;
   if (d.member == self()) return;  // only neighbors count as replicas
-  store_->digests().update(d.member, d.bytes_in_use, d.ranges);
+  store_->digests().update(d.member, d.bytes_in_use, d.ranges,
+                           d.window_outstanding);
+  if (cfg_.flow.enabled) {
+    // The digest doubles as an occupancy report: a neighbor nearing its
+    // budget sheds credit from our window before eviction pressure hits it.
+    flow_.on_peer_occupancy(d.member, d.bytes_in_use, d.window_outstanding);
+    drain_send_queue();
+  }
+}
+
+void Endpoint::handle_credit_ack(const proto::CreditAck& a, MemberId from) {
+  (void)from;
+  if (!cfg_.flow.enabled) return;
+  if (a.member == self()) return;  // the regional multicast loops back
+  // Every acking region peer bounds our window, whether or not it has
+  // received anything of our stream yet (absent cursor = nothing, 0).
+  std::uint64_t cursor = 0;
+  for (const proto::ReceiveCursor& c : a.cursors) {
+    if (c.source == self()) cursor = c.cursor;
+  }
+  flow_.on_cursor(a.member, cursor);
+  flow_.on_peer_budget(a.member, a.bytes_in_use, a.budget_bytes);
+  drain_send_queue();
 }
 
 void Endpoint::handle_shed(const proto::Shed& s, MemberId from) {
@@ -784,9 +871,69 @@ void Endpoint::digest_tick() {
   store_->digests().retain(host_.local_view().members());
   // Advertise even when empty: a zero bytes_in_use digest is exactly what
   // makes this member the least-loaded shed target.
-  host_.multicast_region(proto::Message{store_->build_digest()});
+  proto::BufferDigest d = store_->build_digest();
+  if (cfg_.flow.enabled) d.window_outstanding = flow_.outstanding();
+  host_.multicast_region(proto::Message{std::move(d)});
   digest_timer_ = schedule(cfg_.buffer_coordination.digest_interval,
                            [this] { digest_tick(); });
+}
+
+void Endpoint::credit_tick() {
+  credit_timer_ = kNoTimer;
+  const membership::RegionView& view = host_.local_view();
+  // A departed peer's last cursor must not wedge the window floor, and its
+  // occupancy must not pin phantom back-pressure.
+  flow_.retain_peers(view.members());
+  if (view.size() > 1) {
+    proto::CreditAck ack;
+    ack.member = self();
+    ack.bytes_in_use = store_->bytes();
+    ack.budget_bytes = cfg_.buffer_budget.max_bytes;
+    for (const auto& [source, tr] : trackers_) {
+      if (source == self()) continue;  // a sender grants itself no credit
+      ack.cursors.push_back(
+          proto::ReceiveCursor{source, tr.next_expected() - 1});
+    }
+    metrics().on_credit_ack_sent(self(), host_.now());
+    host_.multicast_region(proto::Message{std::move(ack)});
+    // A flow-controlled sender keeps its own unacknowledged frames alive:
+    // touching them each tick holds them active (never idle-discarded,
+    // last in LRU eviction order), so a receiver stuck on a lost frame can
+    // always repair from the source and its cursor — and with it our
+    // window — can always advance. Without this, one frame evicted
+    // region-wide wedges the window forever.
+    for (std::uint64_t s = flow_.window_floor() + 1; s <= flow_.send_seq();
+         ++s) {
+      store_->on_request_seen(MessageId{self(), s});
+    }
+    // Frames the whole region has acknowledged need no retransmission copy.
+    while (!flow_unacked_.empty() &&
+           flow_unacked_.front().id.seq <= flow_.window_floor()) {
+      flow_unacked_.pop_front();
+    }
+    // Sender-driven retransmission: when the floor sits still for several
+    // ticks with frames outstanding, some receiver is stuck on the frame
+    // just past it — usually because its own recovery gave up while copies
+    // were scarce (the shared buffer may have evicted every copy, including
+    // ours). The retransmission deque still holds it: re-multicast;
+    // duplicates are ignored and the stuck cursors advance.
+    if (flow_.outstanding() > 0 && flow_.window_floor() == stall_floor_) {
+      if (++stall_ticks_ >= kStallRetransmitTicks) {
+        stall_ticks_ = 0;
+        if (!flow_unacked_.empty() &&
+            flow_unacked_.front().id.seq == stall_floor_ + 1) {
+          host_.ip_multicast(proto::Message{flow_unacked_.front()});
+        }
+      }
+    } else {
+      stall_floor_ = flow_.window_floor();
+      stall_ticks_ = 0;
+    }
+  }
+  // Pruning departed peers (or the view shrinking to just us) may have
+  // freed credit even without new acks.
+  drain_send_queue();
+  credit_timer_ = schedule(cfg_.flow.ack_interval, [this] { credit_tick(); });
 }
 
 void Endpoint::anti_entropy_tick() {

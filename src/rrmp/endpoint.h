@@ -30,6 +30,7 @@
 // code runs on the discrete-event simulator and on loopback UDP sockets.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -42,6 +43,7 @@
 #include "buffer/stability.h"
 #include "buffer/store.h"
 #include "rrmp/config.h"
+#include "rrmp/flow_control.h"
 #include "rrmp/gossip_fd.h"
 #include "rrmp/host.h"
 #include "rrmp/metrics.h"
@@ -66,7 +68,10 @@ class Endpoint {
   // --- application interface -----------------------------------------
 
   /// Multicast a new message to the whole group (this member is the
-  /// sender). Returns the assigned id.
+  /// sender). Returns the assigned id. With flow control enabled
+  /// (Config::flow), a frame that exceeds the send window is queued and
+  /// transmitted — in id order — as peer credit arrives; the id is
+  /// assigned immediately either way.
   MessageId multicast(std::vector<std::uint8_t> payload);
 
   /// Called once for each distinct message received (any order).
@@ -99,6 +104,11 @@ class Endpoint {
   std::size_t active_searches() const { return searches_.size(); }
   std::size_t waiter_count() const { return waiters_.size(); }
   std::uint64_t highest_sent() const { return send_seq_; }
+
+  /// Flow-control window state (meaningful when config.flow.enabled).
+  const FlowController& flow() const { return flow_; }
+  /// Frames admitted by multicast() but not yet transmitted (window full).
+  std::size_t queued_sends() const { return send_queue_.size(); }
 
   /// Missing sequence numbers currently known for `source`.
   std::vector<std::uint64_t> missing_from(MemberId source) const;
@@ -174,6 +184,7 @@ class Endpoint {
   void handle_history(const proto::History& h, MemberId from);
   void handle_buffer_digest(const proto::BufferDigest& d, MemberId from);
   void handle_shed(const proto::Shed& s, MemberId from);
+  void handle_credit_ack(const proto::CreditAck& a, MemberId from);
 
   // Reception path shared by data/repair/regional-repair/handoff.
   // Returns true if the message was new.
@@ -219,6 +230,16 @@ class Endpoint {
   // Cooperative budget coordination: periodic regional digest multicast.
   void digest_tick();
 
+  // Flow control (Config::flow): periodic CreditAck multicast + queue drain.
+  void credit_tick();
+  /// True when the window admits a frame of `bytes` right now (always true
+  /// when alone in the region: there is no peer to grant credit).
+  bool flow_admits(std::size_t bytes) const;
+  /// Assign the wire sequence, deliver locally, and transmit one frame.
+  void transmit_frame(proto::Data d);
+  /// Transmit queued frames while credit allows.
+  void drain_send_queue();
+
   // Helpers.
   void serve_waiters(const proto::Data& d);
   void satisfy_searches(const proto::Data& d);
@@ -243,10 +264,35 @@ class Endpoint {
   // dead token instead of dereferencing a freed `this`.
   std::shared_ptr<bool> alive_token_ = std::make_shared<bool>(true);
   std::uint64_t send_seq_ = 0;  // last sequence sent (this member as sender)
+  /// Last sequence *assigned* by multicast(). With flow control off this
+  /// always equals send_seq_; with it on, ids in (send_seq_, next_app_seq_]
+  /// sit in send_queue_ awaiting credit. Session messages announce only
+  /// send_seq_ — an unsent frame must not be reported as a loss.
+  std::uint64_t next_app_seq_ = 0;
   TimerHandle session_timer_ = kNoTimer;
   TimerHandle history_timer_ = kNoTimer;
   TimerHandle anti_entropy_timer_ = kNoTimer;
   TimerHandle digest_timer_ = kNoTimer;
+  TimerHandle credit_timer_ = kNoTimer;
+
+  // Flow control state (inert when cfg_.flow.enabled is false).
+  FlowController flow_;
+  std::deque<proto::Data> send_queue_;  // admitted, not yet transmitted
+  /// Stall detection for sender-driven retransmission: the window floor as
+  /// of the last credit tick, and how many ticks it has sat still with
+  /// frames outstanding. Receiver-side recovery can give up (max_attempts)
+  /// while our pinned copy of the blocking frame still exists — without a
+  /// sender retransmit that one frame wedges the window forever.
+  std::uint64_t stall_floor_ = 0;
+  std::uint32_t stall_ticks_ = 0;
+  static constexpr std::uint32_t kStallRetransmitTicks = 3;
+  /// Transmitted frames not yet below the window floor, oldest first. The
+  /// sender is the retransmission source of last resort for its own window:
+  /// the BufferStore may evict these copies under budget pressure (they
+  /// compete with every other sender's frames), but the window cannot move
+  /// past a frame some receiver never got. Bounded by the window size plus
+  /// any transient floor drop, i.e. a handful of frames.
+  std::deque<proto::Data> flow_unacked_;
 
   std::map<MemberId, SequenceTracker> trackers_;
   std::unordered_map<MessageId, RecoveryTask> recoveries_;

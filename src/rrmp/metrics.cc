@@ -38,6 +38,8 @@ RecordingSink::Counters& RecordingSink::Counters::operator+=(
   regional_multicasts += o.regional_multicasts;
   relays_suppressed += o.relays_suppressed;
   handoffs += o.handoffs;
+  sends_deferred += o.sends_deferred;
+  credit_acks_sent += o.credit_acks_sent;
   return *this;
 }
 
@@ -223,6 +225,16 @@ void RecordingSink::on_handoff_sent(MemberId, MemberId, std::size_t,
                                     TimePoint) {
   ++revision_;
   ++counters_.handoffs;
+}
+
+void RecordingSink::on_send_deferred(MemberId, const MessageId&, TimePoint) {
+  ++revision_;
+  ++counters_.sends_deferred;
+}
+
+void RecordingSink::on_credit_ack_sent(MemberId, TimePoint) {
+  ++revision_;
+  ++counters_.credit_acks_sent;
 }
 
 }  // namespace rrmp

@@ -48,6 +48,13 @@ class MetricsSink {
   virtual void on_relay_suppressed(MemberId, const MessageId&, TimePoint) {}
   virtual void on_handoff_sent(MemberId /*from*/, MemberId /*to*/,
                                std::size_t /*messages*/, TimePoint) {}
+
+  /// Flow control: multicast() admitted a frame but the send window was
+  /// full, so it was queued instead of transmitted.
+  virtual void on_send_deferred(MemberId, const MessageId&, TimePoint) {}
+  /// Flow control: one periodic CreditAck multicast (receive cursors +
+  /// occupancy) left this member.
+  virtual void on_credit_ack_sent(MemberId, TimePoint) {}
 };
 
 /// No-op sink used when the caller does not care.
@@ -74,6 +81,8 @@ class RecordingSink final : public MetricsSink {
     std::uint64_t regional_multicasts = 0;
     std::uint64_t relays_suppressed = 0;
     std::uint64_t handoffs = 0;
+    std::uint64_t sends_deferred = 0;
+    std::uint64_t credit_acks_sent = 0;
 
     /// Field-wise sum — the single place that must grow with the struct
     /// (RecordingSink::merge folds per-region counters through it).
@@ -162,6 +171,8 @@ class RecordingSink final : public MetricsSink {
                            TimePoint t) override;
   void on_handoff_sent(MemberId from, MemberId to, std::size_t messages,
                        TimePoint t) override;
+  void on_send_deferred(MemberId m, const MessageId& id, TimePoint t) override;
+  void on_credit_ack_sent(MemberId m, TimePoint t) override;
 
  private:
   std::uint64_t revision_ = 0;

@@ -1,6 +1,7 @@
 #include "rrmp/sequence_tracker.h"
 
 #include <cassert>
+#include <iterator>
 
 namespace rrmp {
 
@@ -10,32 +11,35 @@ SequenceTracker::Observation SequenceTracker::observe_data(std::uint64_t seq) {
   if (has(seq)) return obs;
   obs.is_new = true;
   ++received_count_;
-  // Gaps newly opened: everything in (max_known_, seq) was unknown until now
-  // and is not received.
-  if (seq > max_known_) {
-    for (std::uint64_t s = max_known_ + 1; s < seq; ++s) {
-      obs.new_gaps.push_back(s);
-    }
-    max_known_ = seq;
-  }
+  // Record receipt first, so enumeration below skips `seq` itself.
   if (seq == next_expected_) {
     ++next_expected_;
     compact();
   } else if (seq > next_expected_) {
     out_of_order_.insert(seq);
   }
+  if (seq > announced_) announced_ = seq;
+  enumerate_gaps(obs.new_gaps);
   return obs;
 }
 
 std::vector<std::uint64_t> SequenceTracker::observe_session(
     std::uint64_t highest) {
   std::vector<std::uint64_t> gaps;
-  if (highest <= max_known_) return gaps;
-  for (std::uint64_t s = max_known_ + 1; s <= highest; ++s) {
-    gaps.push_back(s);
-  }
-  max_known_ = highest;
+  if (highest > announced_) announced_ = highest;
+  // Resume even when `highest` adds nothing new: a prior observation may
+  // have hit the per-call cap, and the periodic session stream is exactly
+  // what drains the remaining span.
+  enumerate_gaps(gaps);
   return gaps;
+}
+
+void SequenceTracker::enumerate_gaps(std::vector<std::uint64_t>& gaps) {
+  for (std::uint64_t steps = 0;
+       max_known_ < announced_ && steps < kMaxGapsPerObservation; ++steps) {
+    ++max_known_;
+    if (!has(max_known_)) gaps.push_back(max_known_);
+  }
 }
 
 bool SequenceTracker::has(std::uint64_t seq) const {
@@ -54,8 +58,13 @@ std::vector<std::uint64_t> SequenceTracker::missing() const {
 
 std::size_t SequenceTracker::missing_count() const {
   if (max_known_ < next_expected_) return 0;
+  // Count only out-of-order receipts inside [next_expected_, max_known_]:
+  // entries above max_known_ (enumeration lagging announced_) are received
+  // but their surrounding span is not yet known-missing.
+  std::size_t received_in_span = static_cast<std::size_t>(std::distance(
+      out_of_order_.begin(), out_of_order_.upper_bound(max_known_)));
   return static_cast<std::size_t>(max_known_ - next_expected_ + 1) -
-         out_of_order_.size();
+         received_in_span;
 }
 
 proto::SourceHistory SequenceTracker::history(MemberId source,
@@ -85,6 +94,10 @@ void SequenceTracker::compact() {
     it = out_of_order_.erase(it);
   }
   assert(out_of_order_.empty() || *out_of_order_.begin() > next_expected_);
+  // Contiguous receipt can outrun a capped enumeration; everything below
+  // next_expected_ is received, hence trivially "processed".
+  if (max_known_ + 1 < next_expected_) max_known_ = next_expected_ - 1;
+  if (announced_ < max_known_) announced_ = max_known_;
 }
 
 }  // namespace rrmp

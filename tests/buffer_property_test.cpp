@@ -30,6 +30,7 @@
 
 #include "buffer/factory.h"
 #include "proto/codec.h"
+#include "rrmp/flow_control.h"
 #include "test_env.h"
 
 namespace rrmp::buffer {
@@ -420,6 +421,115 @@ TEST(BufferPropertyTest, CoordinatedShedsRequireAdvertisedSoleCopy) {
   ASSERT_EQ(sheds.size(), 1u);  // no new shed
   EXPECT_EQ(store->stats().evicted, 1u);
   EXPECT_FALSE(store->has(MessageId{1, 2}));
+}
+
+TEST(FlowControlPropertyTest, RandomizedFeedbackPreservesWindowInvariants) {
+  // The flow-control axis of the fuzz layer: a FlowController driven by a
+  // randomized interleaving of admitted sends, peer cursor acks (including
+  // stale and absurd ones), occupancy reports and peer departures must
+  // always satisfy:
+  //   - credits() never exceeds window_size (the hard pacing bound);
+  //   - goodput accounting is exact against a shadow model (frames_sent,
+  //     bytes_sent, outstanding, outstanding_bytes);
+  //   - may_send() is consistent with outstanding() vs effective_window().
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RandomEngine rng(seed ^ 0xF10BA11ULL);
+    FlowControlParams params;
+    params.enabled = true;
+    params.window_size = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+    params.target_budget_bytes =
+        (seed % 2) == 0 ? 0 : static_cast<std::size_t>(rng.uniform_int(64, 256));
+    FlowController fc(params, /*self_budget_bytes=*/1024);
+
+    // Shadow model: cumulative bytes per sequence and per-peer cursors.
+    std::vector<std::uint64_t> cum = {0};  // cum[s] = bytes through seq s
+    std::map<MemberId, std::uint64_t> cursors;
+    std::uint64_t deferred = 0;
+
+    for (int op = 0; op < 400; ++op) {
+      SCOPED_TRACE("op " + std::to_string(op));
+      std::int64_t dice = rng.uniform_int(0, 99);
+      if (dice < 40) {
+        std::size_t bytes = static_cast<std::size_t>(rng.uniform_int(8, 96));
+        if (fc.may_send(bytes)) {
+          fc.on_frame_sent(fc.send_seq() + 1, bytes);
+          cum.push_back(cum.back() + bytes);
+        } else {
+          fc.note_deferred();
+          ++deferred;
+        }
+      } else if (dice < 70) {
+        // A cursor ack: sometimes stale, sometimes beyond what was sent.
+        MemberId peer = static_cast<MemberId>(rng.uniform_int(1, 4));
+        std::uint64_t cursor =
+            static_cast<std::uint64_t>(rng.uniform_int(0, 12));
+        fc.on_cursor(peer, cursor);
+        std::uint64_t clamped = std::min<std::uint64_t>(cursor, cum.size() - 1);
+        auto [it, inserted] = cursors.try_emplace(peer, clamped);
+        if (!inserted && clamped > it->second) it->second = clamped;
+      } else if (dice < 85) {
+        MemberId peer = static_cast<MemberId>(rng.uniform_int(1, 4));
+        std::uint64_t use = static_cast<std::uint64_t>(rng.uniform_int(0, 2048));
+        if (rng.uniform_int(0, 1) == 0) {
+          fc.on_peer_budget(peer, use,
+                            static_cast<std::uint64_t>(rng.uniform_int(0, 2048)));
+        } else {
+          fc.on_peer_occupancy(
+              peer, use, static_cast<std::uint64_t>(rng.uniform_int(0, 8)));
+        }
+      } else if (dice < 90) {
+        std::vector<MemberId> alive;
+        for (MemberId m = 1; m <= 4; ++m) {
+          if (rng.uniform_int(0, 4) != 0) alive.push_back(m);
+        }
+        fc.retain_peers(alive);
+        for (auto it = cursors.begin(); it != cursors.end();) {
+          bool keep = std::find(alive.begin(), alive.end(), it->first) !=
+                      alive.end();
+          it = keep ? std::next(it) : cursors.erase(it);
+        }
+      } else {
+        // Quiescent probe: repeated queries must not mutate state.
+        (void)fc.may_send(1);
+        (void)fc.credits();
+        (void)fc.pressured();
+      }
+
+      // --- invariants, after every op ---
+      std::uint64_t send_seq = cum.size() - 1;
+      std::uint64_t floor = 0;
+      bool first = true;
+      for (const auto& [peer, cur] : cursors) {
+        if (first || cur < floor) floor = cur;
+        first = false;
+      }
+      ASSERT_LE(fc.credits(), params.window_size);
+      ASSERT_EQ(fc.send_seq(), send_seq);
+      ASSERT_EQ(fc.frames_sent(), send_seq);
+      ASSERT_EQ(fc.frames_deferred(), deferred);
+      ASSERT_EQ(fc.bytes_sent(), cum.back());
+      ASSERT_EQ(fc.window_floor(), floor);
+      ASSERT_EQ(fc.outstanding(), send_seq - floor);
+      // Byte accounting is clamped to the newest window_size frames: a
+      // late-reporting peer (cursor 0 after sends) can pull the floor
+      // further back than the cumulative ring covers.
+      std::uint64_t oldest_covered =
+          send_seq > params.window_size ? send_seq - params.window_size : 0;
+      ASSERT_EQ(fc.outstanding_bytes(),
+                cum.back() - cum[std::max(floor, oldest_covered)]);
+      ASSERT_EQ(fc.credits(),
+                fc.outstanding() >= fc.effective_window()
+                    ? 0u
+                    : fc.effective_window() - fc.outstanding());
+      if (fc.outstanding() >= fc.effective_window()) {
+        ASSERT_FALSE(fc.may_send(1));
+      }
+      if (fc.credits() > 0 && params.target_budget_bytes == 0) {
+        ASSERT_TRUE(fc.may_send(1));
+      }
+    }
+  }
 }
 
 }  // namespace

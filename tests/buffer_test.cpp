@@ -370,6 +370,46 @@ TEST(BufferBudgetTest, ShedFallsBackToEvictionWithoutTargetOrHandler) {
   EXPECT_EQ(store->stats().shed, 1u);
 }
 
+TEST(BufferBudgetTest, ShedTargetDepartedCountsEvictedNotShed) {
+  // Digest advertisements lag the membership view by up to one period: a
+  // neighbor that advertised plenty of free space can depart and still sit
+  // in the digest table looking like the best shed target. An eviction in
+  // that window must count the copy as *evicted* — there is nobody to
+  // receive it, and "shed" promises the copy survived. Target selection
+  // filters candidates by the live member list, so the stale advertisement
+  // is never offered to the handler at all.
+  FakePolicyEnv env(/*region_size=*/4, /*self=*/0, /*seed=*/3);
+  CoordinationParams coord;
+  coord.enabled = true;
+  coord.digest_interval = Duration::millis(1);
+  auto store = std::make_unique<BufferStore>(
+      std::make_unique<BufferEverythingPolicy>(), BufferBudget{0, 1}, coord);
+  store->bind(&env);
+  env.attach_store(store.get());
+  std::size_t offered = 0;
+  store->set_shed_handler([&](const proto::Data&, MemberId) {
+    ++offered;
+    return true;
+  });
+
+  store->digests().update(2, 0, {});  // peer 2: the obvious shed target...
+  env.set_members({0, 1, 3});         // ...which has already departed
+  store->store(make_data(1, 1));      // sole copy
+  env.advance(Duration::millis(2));   // past the anti-ping-pong age gate
+  store->store(make_data(1, 2));      // pressure: {1,1} must go
+  EXPECT_EQ(offered, 0u);
+  EXPECT_EQ(store->stats().evicted, 1u);
+  EXPECT_EQ(store->stats().shed, 0u);
+
+  // Once a *live* alternative advertises space, shedding resumes.
+  store->digests().update(3, 0, {});
+  env.advance(Duration::millis(2));
+  store->store(make_data(1, 3));
+  EXPECT_EQ(offered, 1u);
+  EXPECT_EQ(store->stats().shed, 1u);
+  EXPECT_EQ(store->stats().evicted, 1u);
+}
+
 TEST(BufferBudgetTest, BudgetStateVisibleThroughEnv) {
   FakePolicyEnv env;
   auto s = make_store_of<BufferEverythingPolicy>(env, bytes_budget(4096));

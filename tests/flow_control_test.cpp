@@ -1,0 +1,320 @@
+// Unit + protocol tests for windowed send admission (flow control): the
+// FlowController state machine in isolation, then the Endpoint integration
+// (deferred sends, credit acks, queue drain, sole-member bypass) through the
+// simulated cluster.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "rrmp/flow_control.h"
+
+namespace rrmp {
+namespace {
+
+FlowControlParams windowed(std::uint32_t window,
+                           std::size_t target_budget = 0) {
+  FlowControlParams p;
+  p.enabled = true;
+  p.window_size = window;
+  p.target_budget_bytes = target_budget;
+  return p;
+}
+
+// ------------------------------------------------------ controller unit ----
+
+TEST(FlowControllerTest, DisabledAdmitsEverything) {
+  FlowController fc;  // default params: disabled
+  EXPECT_TRUE(fc.may_send(1));
+  for (std::uint64_t s = 1; s <= 100; ++s) {
+    EXPECT_TRUE(fc.may_send(1 << 20));
+    fc.on_frame_sent(s, 1 << 20);
+  }
+  EXPECT_TRUE(fc.may_send(1));
+}
+
+TEST(FlowControllerTest, WindowBlocksAtCapacity) {
+  FlowController fc(windowed(4), 0);
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    EXPECT_TRUE(fc.may_send(10));
+    fc.on_frame_sent(s, 10);
+  }
+  EXPECT_FALSE(fc.may_send(10));
+  EXPECT_EQ(fc.outstanding(), 4u);
+  EXPECT_EQ(fc.credits(), 0u);
+}
+
+TEST(FlowControllerTest, CursorAdvanceReleasesCredits) {
+  FlowController fc(windowed(2), 0);
+  fc.on_frame_sent(1, 10);
+  fc.on_frame_sent(2, 10);
+  EXPECT_FALSE(fc.may_send(10));
+  fc.on_cursor(7, 1);  // peer 7 received seq 1 contiguously
+  EXPECT_EQ(fc.window_floor(), 1u);
+  EXPECT_EQ(fc.outstanding(), 1u);
+  EXPECT_EQ(fc.credits(), 1u);
+  EXPECT_TRUE(fc.may_send(10));
+}
+
+TEST(FlowControllerTest, WindowFloorIsMinimumPeerCursor) {
+  FlowController fc(windowed(8), 0);
+  for (std::uint64_t s = 1; s <= 6; ++s) fc.on_frame_sent(s, 1);
+  fc.on_cursor(1, 5);
+  fc.on_cursor(2, 3);  // the slowest peer holds the floor
+  EXPECT_EQ(fc.window_floor(), 3u);
+  EXPECT_EQ(fc.outstanding(), 3u);
+  fc.on_cursor(2, 6);
+  EXPECT_EQ(fc.window_floor(), 5u);  // now peer 1 is slowest
+}
+
+TEST(FlowControllerTest, StaleCursorNeverRetractsCredit) {
+  FlowController fc(windowed(8), 0);
+  for (std::uint64_t s = 1; s <= 6; ++s) fc.on_frame_sent(s, 1);
+  fc.on_cursor(1, 5);
+  fc.on_cursor(1, 3);  // reordered older ack
+  EXPECT_EQ(fc.window_floor(), 5u);
+}
+
+TEST(FlowControllerTest, CursorClampedToSendSeq) {
+  // A corrupt or future cursor must not open the window beyond what was
+  // actually transmitted.
+  FlowController fc(windowed(4), 0);
+  fc.on_frame_sent(1, 1);
+  fc.on_frame_sent(2, 1);
+  fc.on_cursor(1, 100);
+  EXPECT_EQ(fc.window_floor(), 2u);
+  EXPECT_EQ(fc.outstanding(), 0u);
+}
+
+TEST(FlowControllerTest, ByteBudgetBlocksButIdleStreamAlwaysAdmits) {
+  FlowController fc(windowed(16, /*target_budget=*/100), 0);
+  // Idle stream: even a frame larger than the whole budget is admitted —
+  // one oversized frame can never wedge the stream.
+  EXPECT_TRUE(fc.may_send(500));
+  fc.on_frame_sent(1, 80);
+  // 80 outstanding bytes: a 30-byte frame would exceed the 100-byte budget.
+  EXPECT_FALSE(fc.may_send(30));
+  EXPECT_TRUE(fc.may_send(20));
+  fc.on_cursor(1, 1);  // everything acknowledged
+  EXPECT_EQ(fc.outstanding_bytes(), 0u);
+  EXPECT_TRUE(fc.may_send(500));
+}
+
+TEST(FlowControllerTest, PressureHalvesEffectiveWindow) {
+  FlowController fc(windowed(8), 0);
+  EXPECT_EQ(fc.effective_window(), 8u);
+  EXPECT_FALSE(fc.pressured());
+  // Peer at 90% of its own advertised budget: past the 0.75 watermark.
+  fc.on_peer_budget(3, 900, 1000);
+  EXPECT_TRUE(fc.pressured());
+  EXPECT_EQ(fc.effective_window(), 4u);
+  // Relief: the same peer drops below the watermark.
+  fc.on_peer_budget(3, 100, 1000);
+  EXPECT_FALSE(fc.pressured());
+  EXPECT_EQ(fc.effective_window(), 8u);
+}
+
+TEST(FlowControllerTest, PressureNeverDropsWindowBelowOne) {
+  FlowController fc(windowed(1), 0);
+  fc.on_peer_budget(3, 1000, 1000);
+  EXPECT_TRUE(fc.pressured());
+  EXPECT_EQ(fc.effective_window(), 1u);
+  EXPECT_TRUE(fc.may_send(1));  // still makes progress
+}
+
+TEST(FlowControllerTest, PressuredWindowSplitsAcrossAdvertisedSenders) {
+  // Under pressure the halved window is shared among the senders currently
+  // advertising outstanding frames in the digest gossip: one peer sender →
+  // a quarter each, three → an eighth (floored, min 1). Idle peers (zero
+  // advertised outstanding) don't dilute the split, and the full window
+  // returns the moment pressure clears.
+  FlowController fc(windowed(16), 0);
+  fc.on_peer_budget(9, 95, 100);  // pressure on
+  EXPECT_EQ(fc.effective_window(), 8u);
+  fc.on_peer_occupancy(1, 0, 3);  // a concurrent sender
+  EXPECT_EQ(fc.effective_window(), 4u);
+  fc.on_peer_occupancy(2, 0, 0);  // idle peer: not a sender
+  EXPECT_EQ(fc.effective_window(), 4u);
+  fc.on_peer_occupancy(2, 0, 5);
+  fc.on_peer_occupancy(3, 0, 1);
+  EXPECT_EQ(fc.effective_window(), 2u);  // 8 / 4 senders
+  fc.on_peer_occupancy(4, 0, 7);
+  fc.on_peer_occupancy(5, 0, 7);
+  EXPECT_EQ(fc.effective_window(), 1u);  // floored at 1: always progress
+  fc.on_peer_budget(9, 10, 100);  // pressure off: crowd split disengages
+  EXPECT_EQ(fc.effective_window(), 16u);
+}
+
+TEST(FlowControllerTest, BackpressureDisabledIgnoresOccupancy) {
+  FlowControlParams p = windowed(8);
+  p.backpressure = false;
+  FlowController fc(p, 0);
+  fc.on_peer_budget(3, 1000, 1000);
+  EXPECT_FALSE(fc.pressured());
+  EXPECT_EQ(fc.effective_window(), 8u);
+}
+
+TEST(FlowControllerTest, DigestOccupancyJudgedAgainstSelfBudgetFallback) {
+  // BufferDigest carries bytes only: with no peer-reported budget the
+  // occupancy is judged against our own budget; with neither, never
+  // pressured (unlimited buffers feel no pressure).
+  FlowController unlimited(windowed(8), /*self_budget_bytes=*/0);
+  unlimited.on_peer_occupancy(3, 1 << 30, 0);
+  EXPECT_FALSE(unlimited.pressured());
+
+  FlowController budgeted(windowed(8), /*self_budget_bytes=*/1000);
+  budgeted.on_peer_occupancy(3, 800, 0);
+  EXPECT_TRUE(budgeted.pressured());
+  budgeted.on_peer_occupancy(3, 100, 0);
+  EXPECT_FALSE(budgeted.pressured());
+
+  // A CreditAck-reported budget takes precedence over the fallback.
+  budgeted.on_peer_budget(3, 800, 1 << 20);
+  EXPECT_FALSE(budgeted.pressured());
+}
+
+TEST(FlowControllerTest, RetainPeersUnwedgesDepartedFloorAndPressure) {
+  FlowController fc(windowed(4), 0);
+  for (std::uint64_t s = 1; s <= 4; ++s) fc.on_frame_sent(s, 1);
+  fc.on_cursor(1, 4);
+  fc.on_cursor(2, 0);          // peer 2 never received anything...
+  fc.on_peer_budget(2, 10, 10);  // ...and advertises full buffers
+  EXPECT_EQ(fc.window_floor(), 0u);
+  EXPECT_FALSE(fc.may_send(1));
+  EXPECT_TRUE(fc.pressured());
+  fc.retain_peers({1, 3});  // peer 2 departed
+  EXPECT_EQ(fc.window_floor(), 4u);
+  EXPECT_TRUE(fc.may_send(1));
+  EXPECT_FALSE(fc.pressured());
+}
+
+TEST(FlowControllerTest, CreditsNeverExceedWindowSize) {
+  FlowController fc(windowed(4), 0);
+  EXPECT_LE(fc.credits(), 4u);
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    fc.on_frame_sent(s, 1);
+    EXPECT_LE(fc.credits(), 4u);
+  }
+  fc.on_cursor(1, 4);
+  EXPECT_LE(fc.credits(), 4u);
+  fc.on_peer_budget(2, 10, 10);  // pressured: effective window shrinks
+  EXPECT_LE(fc.credits(), 4u);
+}
+
+TEST(FlowControllerTest, AccountingIsExact) {
+  FlowController fc(windowed(8), 0);
+  fc.on_frame_sent(1, 10);
+  fc.on_frame_sent(2, 30);
+  fc.note_deferred();
+  fc.on_frame_sent(3, 5);
+  EXPECT_EQ(fc.frames_sent(), 3u);
+  EXPECT_EQ(fc.bytes_sent(), 45u);
+  EXPECT_EQ(fc.frames_deferred(), 1u);
+  EXPECT_EQ(fc.outstanding_bytes(), 45u);
+  fc.on_cursor(1, 2);
+  EXPECT_EQ(fc.outstanding_bytes(), 5u);
+  EXPECT_EQ(fc.bytes_sent(), 45u);  // cumulative, never un-counted
+}
+
+TEST(FlowControllerTest, SanitizedClampsNonsenseKnobs) {
+  FlowControlParams p;
+  p.window_size = 0;
+  p.ack_interval = Duration::millis(0);
+  p.pressure_watermark = 0.0;
+  FlowControlParams s = sanitized(p);
+  EXPECT_EQ(s.window_size, 1u);
+  EXPECT_GT(s.ack_interval, Duration::millis(0));
+  EXPECT_EQ(s.pressure_watermark, 0.75);
+
+  p.pressure_watermark = 1.5;
+  EXPECT_EQ(sanitized(p).pressure_watermark, 0.75);
+  p.pressure_watermark = 1.0;  // inclusive upper bound is legal
+  EXPECT_EQ(sanitized(p).pressure_watermark, 1.0);
+}
+
+// -------------------------------------------------- endpoint integration ----
+
+harness::ClusterConfig flow_cluster(std::size_t n, std::uint64_t seed,
+                                    std::uint32_t window) {
+  harness::ClusterConfig cc;
+  cc.region_sizes = {n};
+  cc.seed = seed;
+  cc.protocol.flow.enabled = true;
+  cc.protocol.flow.window_size = window;
+  cc.protocol.flow.ack_interval = Duration::millis(5);
+  return cc;
+}
+
+TEST(FlowEndpointTest, FlowOffPutsNoCreditTrafficOnTheWire) {
+  harness::ClusterConfig cc;
+  cc.region_sizes = {6};
+  cc.seed = 11;
+  harness::Cluster cluster(cc);
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    for (int i = 0; i < 5; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0xAB));
+    }
+  });
+  cluster.run_for(Duration::millis(500));
+  EXPECT_EQ(cluster.network().stats().sends_by_type[static_cast<std::size_t>(
+                proto::MessageType::kCreditAck)],
+            0u);
+  EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  EXPECT_EQ(cluster.metrics().counters().credit_acks_sent, 0u);
+  EXPECT_EQ(cluster.metrics().counters().sends_deferred, 0u);
+}
+
+TEST(FlowEndpointTest, BurstBeyondWindowDefersThenDrainsOnCredit) {
+  harness::Cluster cluster(flow_cluster(6, 21, /*window=*/2));
+  constexpr std::size_t kBurst = 10;
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0xCD));
+    }
+    // The burst outruns the window immediately: at most `window` frames hit
+    // the wire, the rest wait for credit.
+    EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), 2u);
+    EXPECT_EQ(cluster.endpoint(0).queued_sends(), kBurst - 2);
+  });
+  cluster.run_for(Duration::seconds(2));
+  // Credit acks released the whole burst, in order, and everyone got it.
+  EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), kBurst);
+  for (std::uint64_t s = 1; s <= kBurst; ++s) {
+    EXPECT_TRUE(cluster.all_received(MessageId{0, s})) << "seq " << s;
+  }
+  EXPECT_EQ(cluster.metrics().counters().sends_deferred, kBurst - 2);
+  EXPECT_GT(cluster.metrics().counters().credit_acks_sent, 0u);
+  EXPECT_GT(cluster.network().stats().sends_by_type[static_cast<std::size_t>(
+                proto::MessageType::kCreditAck)],
+            0u);
+}
+
+TEST(FlowEndpointTest, SoleMemberBypassesGating) {
+  // A sender alone in its region has no peer to grant credit; gating there
+  // would wedge the stream forever, so admission is bypassed.
+  harness::Cluster cluster(flow_cluster(1, 31, /*window=*/1));
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    for (int i = 0; i < 5; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0xEF));
+    }
+    EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+    EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), 5u);
+  });
+  cluster.run_for(Duration::millis(200));
+  EXPECT_EQ(cluster.metrics().counters().sends_deferred, 0u);
+}
+
+TEST(FlowEndpointTest, HaltDropsQueuedFrames) {
+  harness::Cluster cluster(flow_cluster(6, 41, /*window=*/1));
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    for (int i = 0; i < 4; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x11));
+    }
+    EXPECT_GT(cluster.endpoint(0).queued_sends(), 0u);
+    cluster.crash(0);
+    EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  });
+  cluster.run_for(Duration::millis(100));
+}
+
+}  // namespace
+}  // namespace rrmp

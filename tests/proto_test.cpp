@@ -108,19 +108,30 @@ TEST(CodecTest, BufferDigestRoundTrip) {
   BufferDigest d;
   d.member = 17;
   d.bytes_in_use = 123456789;
+  d.window_outstanding = 31;
   d.ranges = {{1, 5, 3}, {1, 100, 1}, {2, 1, 40}};
   EXPECT_EQ(round_trip(d), d);
 }
 
 TEST(CodecTest, EmptyBufferDigestRoundTrip) {
   // A member advertising an empty buffer (it is the ideal shed target).
-  BufferDigest d{9, 0, {}};
+  BufferDigest d{9, 0, 0, {}};
   EXPECT_EQ(round_trip(d), d);
 }
 
 TEST(CodecTest, ShedRoundTrip) {
   Shed s{4, Data{MessageId{2, 77}, {1, 2, 3, 4}}};
   EXPECT_EQ(round_trip(s), s);
+}
+
+TEST(CodecTest, CreditAckRoundTrip) {
+  CreditAck a{7, 4096, 65536, {{2, 10}, {3, 0}, {9, 1ULL << 40}}};
+  EXPECT_EQ(round_trip(a), a);
+}
+
+TEST(CodecTest, EmptyCreditAckRoundTrip) {
+  CreditAck a{1, 0, 0, {}};
+  EXPECT_EQ(round_trip(a), a);
 }
 
 TEST(CodecTest, TypeTagsAreStable) {
@@ -138,14 +149,15 @@ TEST(CodecTest, TypeTagsAreStable) {
   EXPECT_EQ(static_cast<int>(type_of(Message{History{}})), 11);
   EXPECT_EQ(static_cast<int>(type_of(Message{BufferDigest{}})), 12);
   EXPECT_EQ(static_cast<int>(type_of(Message{Shed{}})), 13);
+  EXPECT_EQ(static_cast<int>(type_of(Message{CreditAck{}})), 14);
 }
 
 TEST(CodecTest, TypeNamesAreDistinct) {
   std::set<std::string> names;
-  for (int t = 1; t <= 13; ++t) {
+  for (int t = 1; t <= 14; ++t) {
     names.insert(type_name(static_cast<MessageType>(t)));
   }
-  EXPECT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.size(), 14u);
 }
 
 TEST(CodecTest, EncodedSizeMatchesEncoding) {
@@ -171,8 +183,9 @@ TEST(CodecTest, EncodedSizeMatchesEncodingForEveryType) {
                        Data{MessageId{1, 2}, std::vector<std::uint8_t>(200, 2)}}}},
       Message{Gossip{1, {{2, 3}, {4, 5}}}},
       Message{History{1, {SourceHistory{2, 10, {0xFF, 0x00}}}}},
-      Message{BufferDigest{3, 1ULL << 33, {{1, 5, 127}, {2, 1, 128}}}},
+      Message{BufferDigest{3, 1ULL << 33, 129, {{1, 5, 127}, {2, 1, 128}}}},
       Message{Shed{4, Data{MessageId{1, 2}, std::vector<std::uint8_t>(128, 9)}}},
+      Message{CreditAck{5, 1ULL << 20, 1ULL << 21, {{1, 127}, {2, 128}}}},
   };
   for (const Message& m : msgs) {
     EXPECT_EQ(encoded_size(m), encode(m).size()) << type_name(m);
@@ -244,8 +257,9 @@ TEST(CodecFuzzTest, EveryTruncationOfEveryTypeRejected) {
       Message{Handoff{{Data{MessageId{1, 1}, {1}}}}},
       Message{Gossip{1, {Heartbeat{2, 3}}}},
       Message{History{1, {SourceHistory{1, 2, {0xFF}}}}},
-      Message{BufferDigest{1, 64, {DigestRange{1, 2, 3}}}},
+      Message{BufferDigest{1, 64, 2, {DigestRange{1, 2, 3}}}},
       Message{Shed{1, Data{MessageId{1, 1}, {7, 8}}}},
+      Message{CreditAck{1, 64, 128, {{2, 3}}}},
   };
   for (const Message& m : msgs) {
     auto bytes = encode(m);
@@ -329,7 +343,7 @@ void append_message_id(std::vector<std::uint8_t>& bytes, std::uint32_t source,
 
 TEST(CodecNegativeTest, EveryGarbageTypeByteRejected) {
   for (int tag = 0; tag <= 255; ++tag) {
-    if (tag >= 1 && tag <= 13) continue;  // valid wire tags
+    if (tag >= 1 && tag <= 14) continue;  // valid wire tags
     std::vector<std::uint8_t> lone = {static_cast<std::uint8_t>(tag)};
     EXPECT_FALSE(decode(lone).has_value()) << "bare tag " << tag;
     std::vector<std::uint8_t> padded(17, 0x00);
@@ -341,7 +355,7 @@ TEST(CodecNegativeTest, EveryGarbageTypeByteRejected) {
 TEST(CodecNegativeTest, EveryValidTagWithEmptyBodyRejected) {
   // Every message type has a non-empty body, so a bare valid tag is always
   // a truncated frame.
-  for (int tag = 1; tag <= 13; ++tag) {
+  for (int tag = 1; tag <= 14; ++tag) {
     std::vector<std::uint8_t> bytes = {static_cast<std::uint8_t>(tag)};
     EXPECT_FALSE(decode(bytes).has_value()) << "tag " << tag;
   }
@@ -434,11 +448,13 @@ TEST(CodecGoldenTest, BufferDigestEncodesByteExact) {
   BufferDigest d;
   d.member = 5;
   d.bytes_in_use = 0x1234;
+  d.window_outstanding = 200;
   d.ranges = {{2, 7, 3}, {3, 1, 200}};
 
   std::vector<std::uint8_t> want = {12};  // kBufferDigest
   append_u32(want, 5);                    // member
   append_u64(want, 0x1234);               // bytes_in_use
+  append_varint(want, 200);               // window_outstanding (2-byte varint)
   append_varint(want, 2);                 // range count
   append_u32(want, 2);                    // range 0: source
   append_u64(want, 7);                    //          first_seq
@@ -454,12 +470,36 @@ TEST(CodecGoldenTest, BufferDigestEncodesByteExact) {
 }
 
 TEST(CodecGoldenTest, EmptyBufferDigestEncodesByteExact) {
-  BufferDigest d{9, 0, {}};
+  BufferDigest d{9, 0, 0, {}};
   std::vector<std::uint8_t> want = {12};
   append_u32(want, 9);
   append_u64(want, 0);
-  append_varint(want, 0);
+  append_varint(want, 0);  // window_outstanding
+  append_varint(want, 0);  // range count
   EXPECT_EQ(encode(Message{d}), want);
+}
+
+TEST(CodecGoldenTest, CreditAckEncodesByteExact) {
+  CreditAck a;
+  a.member = 6;
+  a.bytes_in_use = 0x55;
+  a.budget_bytes = 0x1000;
+  a.cursors = {{2, 9}, {4, 300}};
+
+  std::vector<std::uint8_t> want = {14};  // kCreditAck
+  append_u32(want, 6);                    // member
+  append_u64(want, 0x55);                 // bytes_in_use
+  append_u64(want, 0x1000);               // budget_bytes
+  append_varint(want, 2);                 // cursor count
+  append_u32(want, 2);                    // cursor 0: source
+  append_varint(want, 9);                 //           cursor (1-byte varint)
+  append_u32(want, 4);                    // cursor 1: source
+  append_varint(want, 300);               //           cursor (2-byte varint)
+  EXPECT_EQ(encode(Message{a}), want);
+  EXPECT_EQ(encoded_size(Message{a}), want.size());
+  auto decoded = decode(want);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<CreditAck>(*decoded), a);
 }
 
 TEST(CodecGoldenTest, ShedEncodesByteExact) {
@@ -534,9 +574,41 @@ TEST(CodecNegativeTest, ShedTrailingGarbageRejected) {
   EXPECT_FALSE(decode(bytes).has_value());
 }
 
+TEST(CodecNegativeTest, HostileCreditAckCursorCountRejected) {
+  // A CreditAck claiming 2^40 cursors: rejected on the bounds check, never
+  // allocated.
+  std::vector<std::uint8_t> bytes = {14};  // kCreditAck
+  append_u32(bytes, 1);                    // member
+  append_u64(bytes, 64);                   // bytes_in_use
+  append_u64(bytes, 128);                  // budget_bytes
+  append_varint(bytes, 1ULL << 40);        // cursor count
+  EXPECT_FALSE(decode(bytes).has_value());
+
+  // Just above the cap, with a well-formed varint.
+  std::vector<std::uint8_t> capped = {14};
+  append_u32(capped, 1);
+  append_u64(capped, 64);
+  append_u64(capped, 128);
+  append_varint(capped, kMaxRepeated + 1);
+  EXPECT_FALSE(decode(capped).has_value());
+}
+
+TEST(CodecNegativeTest, CreditAckTruncatedMidCursorRejected) {
+  // The advertised cursor count exceeds the cursors actually present.
+  std::vector<std::uint8_t> bytes = {14};  // kCreditAck
+  append_u32(bytes, 1);
+  append_u64(bytes, 64);
+  append_u64(bytes, 128);
+  append_varint(bytes, 2);  // claims two cursors
+  append_u32(bytes, 2);
+  append_varint(bytes, 5);  // only one follows
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
 TEST(CodecFuzzTest, RandomMutationOfValidDigestNeverCrashes) {
   RandomEngine rng(0xD16E57);
-  auto base = encode(Message{BufferDigest{3, 512, {{1, 1, 16}, {2, 9, 4}}}});
+  auto base =
+      encode(Message{BufferDigest{3, 512, 6, {{1, 1, 16}, {2, 9, 4}}}});
   for (int trial = 0; trial < 5000; ++trial) {
     auto bytes = base;
     std::size_t pos = static_cast<std::size_t>(

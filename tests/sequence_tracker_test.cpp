@@ -140,11 +140,97 @@ TEST(SequenceTrackerTest, HistoryBitmapRespectsWordCap) {
 }
 
 TEST(SequenceTrackerTest, LargeSequenceSpace) {
+  // A huge forward jump is enumerated in bounded, resumable chunks: each
+  // observation surfaces at most kMaxGapsPerObservation gaps, and the
+  // periodic session stream drains the rest — nothing is lost, nothing is
+  // allocated all at once.
   SequenceTracker t;
   t.observe_data(1);
   auto obs = t.observe_data(100001);
-  EXPECT_EQ(obs.new_gaps.size(), 99999u);
+  EXPECT_EQ(obs.new_gaps.size(), SequenceTracker::kMaxGapsPerObservation);
+  EXPECT_EQ(t.missing_count(), SequenceTracker::kMaxGapsPerObservation);
+  EXPECT_EQ(t.announced(), 100001u);
+  EXPECT_LT(t.max_known(), t.announced());
+
+  std::size_t total = obs.new_gaps.size();
+  while (t.max_known() < t.announced()) {
+    std::size_t before = total;
+    total += t.observe_session(100001).size();
+    ASSERT_GT(total, before) << "resumption must make progress";
+  }
+  EXPECT_EQ(total, 99999u);
   EXPECT_EQ(t.missing_count(), 99999u);
+  EXPECT_EQ(t.max_known(), 100001u);
+}
+
+TEST(SequenceTrackerTest, StalledSenderRepeatedSessionAddsNoState) {
+  // A stalled sender re-announcing the same highest seq must not grow any
+  // internal state or re-report losses (the window-edge audit: repeated
+  // sessions at the horizon are the steady state of a quiet stream).
+  SequenceTracker t;
+  t.observe_data(1);
+  auto first = t.observe_session(4);
+  EXPECT_EQ(first, (std::vector<std::uint64_t>{2, 3, 4}));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(t.observe_session(4).empty());
+  }
+  EXPECT_EQ(t.missing_count(), 3u);
+  EXPECT_EQ(t.out_of_order_count(), 0u);
+  EXPECT_EQ(t.max_known(), 4u);
+  EXPECT_EQ(t.announced(), 4u);
+}
+
+TEST(SequenceTrackerTest, DuplicatesAtWindowEdgeDontPinMemory) {
+  SequenceTracker t;
+  t.observe_data(1);
+  t.observe_data(5);  // 5 is out of order; gaps 2..4
+  std::size_t ooo = t.out_of_order_count();
+  for (int i = 0; i < 8; ++i) t.observe_data(5);
+  EXPECT_EQ(t.out_of_order_count(), ooo);
+  EXPECT_EQ(t.missing_count(), 3u);
+  // Filling the gap compacts the out-of-order set entirely.
+  t.observe_data(2);
+  t.observe_data(3);
+  t.observe_data(4);
+  EXPECT_EQ(t.out_of_order_count(), 0u);
+  EXPECT_EQ(t.next_expected(), 6u);
+  EXPECT_EQ(t.missing_count(), 0u);
+}
+
+TEST(SequenceTrackerTest, MissingCountConsistentMidResumption) {
+  // While a capped enumeration is still draining, missing_count() must
+  // count exactly the gaps reported so far — not the whole announced span
+  // (misreporting) and not fewer (silent drops).
+  SequenceTracker t;
+  std::uint64_t span = SequenceTracker::kMaxGapsPerObservation * 3;
+  auto gaps = t.observe_session(span);
+  EXPECT_EQ(gaps.size(), SequenceTracker::kMaxGapsPerObservation);
+  EXPECT_EQ(t.missing_count(), gaps.size());
+  EXPECT_EQ(t.missing().size(), t.missing_count());
+  // Data received beyond the enumeration horizon is held but not yet
+  // counted missing-adjacent; resumption walks up to it without
+  // double-reporting.
+  std::size_t total = gaps.size();
+  while (t.max_known() < t.announced()) {
+    total += t.observe_session(span).size();
+    EXPECT_EQ(t.missing_count(), total);
+  }
+  EXPECT_EQ(total, span);
+}
+
+TEST(SequenceTrackerTest, CompactAfterCappedEnumerationStaysConsistent) {
+  // Filling the head of a partially-enumerated span compacts past gaps the
+  // enumerator already walked; the horizon bookkeeping must follow.
+  SequenceTracker t;
+  std::uint64_t span = SequenceTracker::kMaxGapsPerObservation + 100;
+  t.observe_session(span);  // caps at kMaxGapsPerObservation
+  // Deliver the whole span in order: every observation compacts.
+  for (std::uint64_t s = 1; s <= span; ++s) t.observe_data(s);
+  EXPECT_EQ(t.next_expected(), span + 1);
+  EXPECT_EQ(t.missing_count(), 0u);
+  EXPECT_EQ(t.out_of_order_count(), 0u);
+  EXPECT_GE(t.max_known(), span);
+  EXPECT_TRUE(t.observe_session(span).empty());
 }
 
 }  // namespace

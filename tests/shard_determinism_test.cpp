@@ -250,6 +250,79 @@ TEST(ShardDeterminism, CoordinationEnabledRunsAreShardCountInvariant) {
   EXPECT_EQ(s1.sheds, s4.sheds);
 }
 
+RunDigest run_flow_workload(std::size_t shards) {
+  // The churny stream once more, now with windowed send admission: two
+  // senders burst past their windows, so frames queue, CreditAcks release
+  // them, and digest-fed back-pressure shrinks effective windows. The
+  // credit loop orders wire traffic by ack arrival, so it must be as
+  // shard-count-invariant as everything upstream of it.
+  ClusterConfig cc;
+  cc.region_sizes = {6, 5, 4, 5};
+  cc.seed = 2029;
+  cc.data_loss = 0.20;
+  cc.control_loss = 0.02;
+  cc.jitter = 0.15;
+  cc.codec_roundtrip = true;
+  cc.shards = shards;
+  cc.protocol.buffer_budget = buffer::BufferBudget{512, 0};
+  cc.protocol.buffer_coordination.enabled = true;
+  cc.protocol.buffer_coordination.digest_interval = Duration::millis(15);
+  cc.protocol.flow.enabled = true;
+  cc.protocol.flow.window_size = 2;
+  cc.protocol.flow.ack_interval = Duration::millis(8);
+  Cluster cluster(cc);
+
+  for (int i = 0; i < 4; ++i) {
+    cluster.schedule_script(
+        TimePoint::zero() + Duration::millis(20) * i, [&cluster] {
+          // Back-to-back bursts from two members of the root region: each
+          // instantly outruns its window of 2.
+          for (int b = 0; b < 3; ++b) {
+            cluster.endpoint(0).multicast(std::vector<std::uint8_t>(48, 0x2D));
+            cluster.endpoint(1).multicast(std::vector<std::uint8_t>(48, 0x3E));
+          }
+        });
+  }
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(70),
+                          [&cluster] { cluster.leave(8); });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(110),
+                          [&cluster] { cluster.crash(12); });
+
+  cluster.run_for(Duration::seconds(1));
+  cluster.run_until_quiet(Duration::seconds(2));
+
+  RunDigest d;
+  const RecordingSink& m = cluster.metrics();
+  d.counters = m.counters();
+  d.deliveries = m.deliveries();
+  d.stores = m.stores();
+  d.discards = m.discards();
+  d.promotions = m.promotions();
+  d.recovery_latencies = m.recovery_latencies();
+  d.traffic = cluster.network().stats();
+  d.events_fired = cluster.events_fired();
+  d.final_now = cluster.now();
+  d.total_buffered = cluster.total_buffered();
+  d.lanes = cluster.lane_count();
+  return d;
+}
+
+TEST(ShardDeterminism, FlowControlRunsAreShardCountInvariant) {
+  RunDigest s1 = run_flow_workload(1);
+  RunDigest s2 = run_flow_workload(2);
+  RunDigest s4 = run_flow_workload(4);
+
+  // The credit loop must actually have engaged: sends were deferred and
+  // CreditAcks flowed on the wire.
+  ASSERT_GT(s1.counters.sends_deferred, 0u);
+  ASSERT_GT(s1.counters.credit_acks_sent, 0u);
+  std::size_t ack_idx = static_cast<std::size_t>(proto::MessageType::kCreditAck);
+  ASSERT_GT(s1.traffic.sends_by_type[ack_idx], 0u);
+
+  expect_identical(s1, s2, "flow shards=1 vs shards=2");
+  expect_identical(s1, s4, "flow shards=1 vs shards=4");
+}
+
 TEST(ShardDeterminism, SoleCopyProtectedWhenRedundantVictimAvailable) {
   // Regression for the coordination cost model, at the store level: under
   // pressure, a digest-advertised (redundant) entry is evicted even though
