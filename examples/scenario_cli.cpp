@@ -45,6 +45,10 @@ struct Options {
   std::size_t target_budget = 0;   // outstanding-byte cap, 0 = frames only
   std::int64_t ack_ms = 10;        // CreditAck feedback period
   bool no_backpressure = false;    // disable occupancy-driven window halving
+  bool adaptive = false;           // AIMD window sizing (--window = ceiling)
+  std::size_t min_window = 2;      // AIMD lower bound / starting window
+  std::size_t max_window = 0;      // AIMD ceiling override, 0 = --window
+  bool piggyback = false;          // cursors ride on Data/Session frames
   double lambda = 1.0;
   std::uint64_t seed = 1;
   std::size_t payload = 256;
@@ -87,6 +91,14 @@ void print_usage() {
       "  --ack-interval=MS     CreditAck feedback period (10)\n"
       "  --no-backpressure     keep flow control but disable the\n"
       "                        occupancy-driven window halving\n"
+      "  --adaptive-window     AIMD window sizing: grow one frame per clean\n"
+      "                        credit round, halve on stall; --window\n"
+      "                        becomes the ceiling\n"
+      "  --min-window=N        AIMD lower bound and starting window (2)\n"
+      "  --max-window=N        AIMD ceiling override (0 = use --window)\n"
+      "  --piggyback           ride receive cursors on outgoing Data/Session\n"
+      "                        frames; CreditAck becomes a quiet-receiver\n"
+      "                        fallback\n"
       "  --lambda=X            expected remote requests per regional loss (1)\n"
       "  --payload=BYTES       message payload size (256)\n"
       "  --interval=MS         send interval (5)\n"
@@ -168,6 +180,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.ack_ms = std::strtoll(v.c_str(), nullptr, 10);
     } else if (arg == "--no-backpressure") {
       opt.no_backpressure = true;
+    } else if (arg == "--adaptive-window") {
+      opt.adaptive = true;
+    } else if (eat("--min-window=", v)) {
+      opt.min_window = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--max-window=", v)) {
+      opt.max_window = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg == "--piggyback") {
+      opt.piggyback = true;
     } else if (eat("--lambda=", v)) {
       opt.lambda = std::strtod(v.c_str(), nullptr);
     } else if (eat("--payload=", v)) {
@@ -217,6 +237,17 @@ bool validate(const Options& opt) {
     return fail("--window must be positive: a zero window can never send");
   }
   if (opt.ack_ms <= 0) return fail("--ack-interval must be positive");
+  if (opt.adaptive) {
+    if (opt.min_window == 0) {
+      return fail("--min-window must be positive: a zero window never sends");
+    }
+    std::size_t ceiling = opt.max_window != 0 ? opt.max_window : opt.window;
+    if (opt.min_window > ceiling) {
+      return fail(
+          "--min-window must not exceed the AIMD ceiling (--max-window, or "
+          "--window when --max-window is 0)");
+    }
+  }
   return true;
 }
 
@@ -276,6 +307,10 @@ int main(int argc, char** argv) {
   cc.protocol.flow.target_budget_bytes = opt.target_budget;
   cc.protocol.flow.ack_interval = Duration::millis(opt.ack_ms);
   cc.protocol.flow.backpressure = !opt.no_backpressure;
+  cc.protocol.flow.adaptive = opt.adaptive;
+  cc.protocol.flow.min_window = static_cast<std::uint32_t>(opt.min_window);
+  cc.protocol.flow.max_window = static_cast<std::uint32_t>(opt.max_window);
+  cc.protocol.flow.piggyback = opt.piggyback;
   cc.protocol.lambda = opt.lambda;
   cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
                            ? BuffererLookup::kHashDirect
@@ -302,6 +337,14 @@ int main(int argc, char** argv) {
                 opt.window, opt.target_budget,
                 static_cast<long long>(opt.ack_ms),
                 opt.no_backpressure ? "off" : "on");
+    if (opt.adaptive) {
+      std::printf("flow: AIMD window [%zu, %zu], cursor piggyback %s\n",
+                  opt.min_window,
+                  opt.max_window != 0 ? opt.max_window : opt.window,
+                  opt.piggyback ? "on" : "off");
+    } else if (opt.piggyback) {
+      std::printf("flow: cursor piggyback on\n");
+    }
   } else {
     std::printf("flow: off\n");
   }
@@ -374,6 +417,12 @@ int main(int argc, char** argv) {
   if (opt.flow) {
     table.add_row({"deferred sends", analysis::Table::num(c.sends_deferred)});
     table.add_row({"credit acks", analysis::Table::num(c.credit_acks_sent)});
+    table.add_row({"suppressed acks",
+                   analysis::Table::num(c.credit_acks_suppressed)});
+    table.add_row({"stall remulticasts",
+                   analysis::Table::num(c.flow_stall_remcasts)});
+    table.add_row({"stall releases",
+                   analysis::Table::num(c.flow_stall_releases)});
   }
   table.add_row({"residual buffered msgs",
                  analysis::Table::num(

@@ -235,6 +235,7 @@ void Cluster::leave(MemberId m) {
   network_->detach(m);
   directory_.mark_left(m);
   removed_[m] = true;
+  notify_view_change();
 }
 
 void Cluster::crash(MemberId m) {
@@ -243,6 +244,7 @@ void Cluster::crash(MemberId m) {
   network_->detach(m);
   directory_.mark_failed(m);
   removed_[m] = true;
+  notify_view_change();
 }
 
 void Cluster::rejoin(MemberId m) {
@@ -250,6 +252,16 @@ void Cluster::rejoin(MemberId m) {
   directory_.mark_joined(m);
   removed_[m] = false;
   spawn_member(m);
+  notify_view_change();
+}
+
+void Cluster::notify_view_change() {
+  // Membership changes apply at script barriers (single-threaded, fixed
+  // ascending order), so the eager flow reconciliation — and anything it
+  // transmits — is deterministic at every shard count.
+  for (MemberId m = 0; m < size(); ++m) {
+    if (!removed_[m]) endpoints_[m]->on_view_change();
+  }
 }
 
 // ---- queries --------------------------------------------------------------

@@ -175,6 +175,10 @@ class Cluster {
   };
 
   void spawn_member(MemberId m);
+  /// Tell every alive endpoint the view changed (leave/crash/rejoin), so
+  /// flow-control credit state reconciles at churn time, not at the next
+  /// credit tick. Runs at a script barrier: deterministic for any shards.
+  void notify_view_change();
   /// Advance every lane to `t` (worker pool), exchange cross-region traffic,
   /// and settle arrivals landing exactly at `t`.
   void advance_lanes_to(TimePoint t);

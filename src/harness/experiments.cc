@@ -469,6 +469,10 @@ OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,
   cc.protocol.flow.window_size = scenario.window_size;
   cc.protocol.flow.target_budget_bytes = scenario.target_budget_bytes;
   cc.protocol.flow.ack_interval = scenario.ack_interval;
+  cc.protocol.flow.adaptive = scenario.adaptive;
+  cc.protocol.flow.min_window = scenario.min_window;
+  cc.protocol.flow.max_window = scenario.max_window;
+  cc.protocol.flow.piggyback = scenario.piggyback;
   cc.data_loss = scenario.data_loss;
   cc.seed = scenario.seed;
   Cluster cluster(cc);
@@ -485,9 +489,20 @@ OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,
       });
     }
   }
-  Duration total = scenario.send_interval *
-                       static_cast<std::int64_t>(scenario.messages_per_sender) +
-                   scenario.drain;
+  Duration burst = scenario.send_interval *
+                   static_cast<std::int64_t>(scenario.messages_per_sender);
+  if (scenario.churn && n < scenario.region_size) {
+    // Churn axis: a non-sender receiver crashes a third of the way through
+    // the burst and rejoins two thirds through — a joiner with no receive
+    // state arriving mid-flash-crowd. Its seeded cursor must keep the
+    // crowd's window floors from collapsing to 0 while it backfills.
+    MemberId victim = static_cast<MemberId>(scenario.region_size - 1);
+    cluster.schedule_script(TimePoint::zero() + burst / 3,
+                            [&cluster, victim] { cluster.crash(victim); });
+    cluster.schedule_script(TimePoint::zero() + (burst * 2) / 3,
+                            [&cluster, victim] { cluster.rejoin(victim); });
+  }
+  Duration total = burst + scenario.drain;
   cluster.run_for(total);
 
   OverloadOutcome out;
@@ -526,6 +541,23 @@ OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,
   out.deferred = cluster.metrics().counters().sends_deferred;
   out.credit_msgs = cluster.network().stats().sends_by_type[static_cast<
       std::size_t>(proto::MessageType::kCreditAck)];
+  out.credit_bytes = cluster.network().stats().bytes_by_type[static_cast<
+      std::size_t>(proto::MessageType::kCreditAck)];
+  out.acks_suppressed = cluster.metrics().counters().credit_acks_suppressed;
+  out.stall_remcasts = cluster.metrics().counters().flow_stall_remcasts;
+  out.stall_releases = cluster.metrics().counters().flow_stall_releases;
+  for (MemberId s = 0; s < static_cast<MemberId>(n); ++s) {
+    if (cluster.endpoint(s).highest_sent() >= scenario.messages_per_sender) {
+      ++out.senders_completed;
+    }
+  }
+  out.delivered_payload_bytes =
+      static_cast<std::uint64_t>(fully) * scenario.payload_bytes;
+  out.control_overhead =
+      out.delivered_payload_bytes == 0
+          ? 0.0
+          : static_cast<double>(out.credit_bytes) /
+                static_cast<double>(out.delivered_payload_bytes);
   return out;
 }
 

@@ -241,6 +241,19 @@ struct OverloadScenario {
   std::uint32_t window_size = 8;
   std::size_t target_budget_bytes = 0;  // 0 = frames-only windowing
   Duration ack_interval = Duration::millis(5);
+
+  /// AIMD window sizing + cursor piggybacking (the adaptive flow mode).
+  /// All off by default: the static-window run is bit-identical to the
+  /// pre-adaptive harness.
+  bool adaptive = false;
+  std::uint32_t min_window = 2;
+  std::uint32_t max_window = 0;  // 0 = window_size is the ceiling
+  bool piggyback = false;
+
+  /// Churn axis: crash one non-sender receiver a third of the way through
+  /// the burst and rejoin it two thirds through — the joiner-mid-flash-crowd
+  /// case the churn-safe credit state exists for.
+  bool churn = false;
 };
 
 struct OverloadOutcome {
@@ -257,6 +270,21 @@ struct OverloadOutcome {
   std::uint64_t sheds = 0;
   std::uint64_t rejected = 0;
   std::uint64_t unrecovered = 0;
+  std::uint64_t credit_bytes = 0;       // CreditAck wire bytes
+  std::uint64_t acks_suppressed = 0;    // piggyback-suppressed CreditAcks
+  std::uint64_t stall_remcasts = 0;     // sender stall re-multicasts
+  std::uint64_t stall_releases = 0;     // stalled-cursor releases (churn)
+  /// Senders that completed their full schedule (send_seq reached the
+  /// scenario's messages_per_sender) — the churn liveness witness: a
+  /// wedged window leaves frames queued forever.
+  std::size_t senders_completed = 0;
+  /// Payload bytes of fully-delivered streams (the goodput numerator in
+  /// bytes) — the control-overhead denominator.
+  std::uint64_t delivered_payload_bytes = 0;
+  /// CreditAck bytes per delivered payload byte: what the credit channel
+  /// costs per byte of useful, fully-delivered stream. 0 when nothing was
+  /// delivered.
+  double control_overhead = 0.0;
 };
 
 OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,

@@ -17,13 +17,48 @@ MessageId get_message_id(ByteReader& r) {
   return id;
 }
 
-void encode_body(ByteWriter& w, const Data& m) {
+// Piggybacked receive cursors ride as an *optional trailing* block on
+// top-level Data and Session frames: nothing is written when the vector is
+// empty, so the empty case is byte-identical to the pre-piggyback layout
+// and old golden vectors still decode. The decoder reads the block only
+// when bytes remain after the core fields. An explicit empty block (count
+// 0) is never emitted and is rejected on decode.
+void put_cursor_block(ByteWriter& w, const std::vector<ReceiveCursor>& cs) {
+  if (cs.empty()) return;
+  w.put_varint(cs.size());
+  for (const ReceiveCursor& c : cs) {
+    w.put_u32(c.source);
+    w.put_varint(c.cursor);
+  }
+}
+
+bool get_cursor_block(ByteReader& r, std::vector<ReceiveCursor>& cs) {
+  if (r.done()) return r.ok();  // trailing block absent: legacy layout
+  std::uint64_t n = r.get_varint();
+  if (!r.ok() || n == 0 || n > kMaxRepeated) return false;
+  cs.resize(n);
+  for (ReceiveCursor& c : cs) {
+    c.source = r.get_u32();
+    c.cursor = r.get_varint();
+  }
+  return r.ok();
+}
+
+// Core (cursor-free) Data layout, shared with the nested encodings inside
+// Handoff and Shed: nested Data has no length prefix, so the optional
+// trailing cursor block exists only at the top level.
+void encode_data_core(ByteWriter& w, const Data& m) {
   put_message_id(w, m.id);
   w.put_bytes(m.payload);
+}
+void encode_body(ByteWriter& w, const Data& m) {
+  encode_data_core(w, m);
+  put_cursor_block(w, m.cursors);
 }
 void encode_body(ByteWriter& w, const Session& m) {
   w.put_u32(m.source);
   w.put_u64(m.highest_seq);
+  put_cursor_block(w, m.cursors);
 }
 void encode_body(ByteWriter& w, const LocalRequest& m) {
   put_message_id(w, m.id);
@@ -53,7 +88,7 @@ void encode_body(ByteWriter& w, const SearchFound& m) {
 }
 void encode_body(ByteWriter& w, const Handoff& m) {
   w.put_varint(m.messages.size());
-  for (const Data& d : m.messages) encode_body(w, d);
+  for (const Data& d : m.messages) encode_data_core(w, d);
 }
 void encode_body(ByteWriter& w, const Gossip& m) {
   w.put_u32(m.from);
@@ -86,7 +121,7 @@ void encode_body(ByteWriter& w, const BufferDigest& m) {
 }
 void encode_body(ByteWriter& w, const Shed& m) {
   w.put_u32(m.from);
-  encode_body(w, m.message);
+  encode_data_core(w, m.message);
 }
 void encode_body(ByteWriter& w, const CreditAck& m) {
   w.put_u32(m.member);
@@ -99,15 +134,20 @@ void encode_body(ByteWriter& w, const CreditAck& m) {
   }
 }
 
-bool decode_body(ByteReader& r, Data& m) {
+bool decode_data_core(ByteReader& r, Data& m) {
   m.id = get_message_id(r);
   m.payload = r.get_shared_bytes();
   return r.ok();
 }
+bool decode_body(ByteReader& r, Data& m) {
+  if (!decode_data_core(r, m)) return false;
+  return get_cursor_block(r, m.cursors);
+}
 bool decode_body(ByteReader& r, Session& m) {
   m.source = r.get_u32();
   m.highest_seq = r.get_u64();
-  return r.ok();
+  if (!r.ok()) return false;
+  return get_cursor_block(r, m.cursors);
 }
 bool decode_body(ByteReader& r, LocalRequest& m) {
   m.id = get_message_id(r);
@@ -146,7 +186,7 @@ bool decode_body(ByteReader& r, Handoff& m) {
   if (!r.ok() || n > kMaxRepeated) return false;
   m.messages.resize(n);
   for (Data& d : m.messages) {
-    if (!decode_body(r, d)) return false;
+    if (!decode_data_core(r, d)) return false;
   }
   return r.ok();
 }
@@ -194,7 +234,7 @@ bool decode_body(ByteReader& r, BufferDigest& m) {
 }
 bool decode_body(ByteReader& r, Shed& m) {
   m.from = r.get_u32();
-  return decode_body(r, m.message);
+  return decode_data_core(r, m.message);
 }
 bool decode_body(ByteReader& r, CreditAck& m) {
   m.member = r.get_u32();
@@ -259,10 +299,22 @@ std::size_t blob_size(const SharedBytes& b) {
   return varint_size(b.size()) + b.size();
 }
 
-std::size_t size_body(const Data& m) {
+std::size_t cursor_block_size(const std::vector<ReceiveCursor>& cs) {
+  if (cs.empty()) return 0;
+  std::size_t n = varint_size(cs.size());
+  for (const ReceiveCursor& c : cs) n += 4 + varint_size(c.cursor);
+  return n;
+}
+
+std::size_t size_data_core(const Data& m) {
   return kMessageIdSize + blob_size(m.payload);
 }
-std::size_t size_body(const Session&) { return 4 + 8; }
+std::size_t size_body(const Data& m) {
+  return size_data_core(m) + cursor_block_size(m.cursors);
+}
+std::size_t size_body(const Session& m) {
+  return 4 + 8 + cursor_block_size(m.cursors);
+}
 std::size_t size_body(const LocalRequest&) { return kMessageIdSize + 4; }
 std::size_t size_body(const RemoteRequest&) { return kMessageIdSize + 4; }
 std::size_t size_body(const Repair& m) {
@@ -275,7 +327,7 @@ std::size_t size_body(const SearchRequest&) { return kMessageIdSize + 4; }
 std::size_t size_body(const SearchFound&) { return kMessageIdSize + 4; }
 std::size_t size_body(const Handoff& m) {
   std::size_t n = varint_size(m.messages.size());
-  for (const Data& d : m.messages) n += size_body(d);
+  for (const Data& d : m.messages) n += size_data_core(d);
   return n;
 }
 std::size_t size_body(const Gossip& m) {
@@ -294,7 +346,7 @@ std::size_t size_body(const BufferDigest& m) {
   for (const DigestRange& r : m.ranges) n += 4 + 8 + varint_size(r.count);
   return n;
 }
-std::size_t size_body(const Shed& m) { return 4 + size_body(m.message); }
+std::size_t size_body(const Shed& m) { return 4 + size_data_core(m.message); }
 std::size_t size_body(const CreditAck& m) {
   std::size_t n = 4 + 8 + 8 + varint_size(m.cursors.size());
   for (const ReceiveCursor& c : m.cursors) n += 4 + varint_size(c.cursor);

@@ -14,22 +14,45 @@
 
 namespace rrmp::proto {
 
+/// One per-source receive cursor: the highest sequence of `source`'s stream
+/// a member has received *contiguously* (0 = none). Cursor advances release
+/// send credits at the source (flow control). Carried in CreditAck frames
+/// and, when cursor piggybacking is on, as an optional trailing block on
+/// Data and Session frames.
+struct ReceiveCursor {
+  MemberId source = kInvalidMember;
+  std::uint64_t cursor = 0;
+
+  friend bool operator==(const ReceiveCursor&, const ReceiveCursor&) = default;
+};
+
 /// Application data, disseminated by the sender's initial IP multicast and
 /// retransmitted during recovery. The payload is a refcounted immutable
 /// buffer: storing, relaying, and repairing a message share one allocation.
+///
+/// `cursors` is the piggybacked flow-control block (the sender's own
+/// per-source receive cursors, riding along so receivers need fewer
+/// standalone CreditAck multicasts). It is an *optional trailing* wire
+/// field: an empty vector encodes to exactly the pre-piggyback byte layout,
+/// and Data nested inside Handoff/Shed is always encoded cursor-free (the
+/// nested form has no length prefix, so the trailing block is top-level
+/// only). Stored/buffered copies always carry an empty vector.
 struct Data {
   MessageId id;
   SharedBytes payload;
+  std::vector<ReceiveCursor> cursors{};
 
   friend bool operator==(const Data&, const Data&) = default;
 };
 
 /// Periodic session message from the sender announcing the highest sequence
 /// number sent; lets receivers detect loss of the last message in a burst
-/// (paper §2.1).
+/// (paper §2.1). `cursors` is the same optional trailing piggyback block as
+/// on Data: empty encodes byte-identically to the pre-piggyback layout.
 struct Session {
   MemberId source = kInvalidMember;
   std::uint64_t highest_seq = 0;
+  std::vector<ReceiveCursor> cursors{};
 
   friend bool operator==(const Session&, const Session&) = default;
 };
@@ -175,21 +198,14 @@ struct Shed {
   friend bool operator==(const Shed&, const Shed&) = default;
 };
 
-/// One per-source receive cursor inside a CreditAck: the highest sequence
-/// of `source`'s stream this member has received *contiguously* (0 = none).
-/// Cursor advances release send credits at the source (flow control).
-struct ReceiveCursor {
-  MemberId source = kInvalidMember;
-  std::uint64_t cursor = 0;
-
-  friend bool operator==(const ReceiveCursor&, const ReceiveCursor&) = default;
-};
-
 /// Periodic receiver-side flow-control feedback, multicast within the
 /// region every ack_interval: per-source receive cursors (the credit
 /// release signal, Derecho-style num_received counters) plus the member's
 /// buffer occupancy and budget so senders can judge back-pressure
 /// (DFI-style target accounting). Only sent when flow control is enabled.
+/// With cursor piggybacking on, CreditAck is demoted to a fallback for
+/// quiet receivers: it is suppressed while the member's cursors are already
+/// fresh on its own recent Data/Session traffic, with a periodic refresh.
 struct CreditAck {
   MemberId member = kInvalidMember;
   std::uint64_t bytes_in_use = 0;

@@ -77,10 +77,16 @@ struct Config {
 
   /// Windowed send admission with credit-based feedback (see
   /// FlowControlParams): per-sender slot-ring windows over outstanding Data
-  /// frames, receive cursors piggybacked on periodic CreditAck feedback,
-  /// DFI-style per-target byte budgets, and region-aware back-pressure fed
-  /// by the BufferDigest gossip. Disabled by default — the unpaced protocol
-  /// is bit-identical to the pre-flow-control behaviour.
+  /// frames, receive cursors in periodic CreditAck feedback, DFI-style
+  /// per-target byte budgets, and region-aware back-pressure fed by the
+  /// BufferDigest gossip. `flow.adaptive` turns the static window into an
+  /// AIMD one (grow one frame per clean credit round, halve on stall,
+  /// bounded by [min_window, max_window or window_size]); `flow.piggyback`
+  /// rides the cursors on outgoing Data/Session frames and demotes the
+  /// CreditAck multicast to a quiet-receiver fallback. Disabled by default —
+  /// the unpaced protocol is bit-identical to the pre-flow-control
+  /// behaviour, and adaptive/piggyback off is bit-identical to the static
+  /// credit design.
   FlowControlParams flow;
 
   /// How a member locates a bufferer for a *discarded* message (§3.3).

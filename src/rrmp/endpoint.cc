@@ -120,6 +120,8 @@ Endpoint::Endpoint(IHost& host, Config config,
                              [this] { digest_tick(); });
   }
   if (cfg_.flow.enabled) {
+    flow_view_ = host_.local_view().members();
+    aimd_round_start_ = host_.now();
     credit_timer_ = schedule(cfg_.flow.ack_interval, [this] { credit_tick(); });
   }
 }
@@ -220,10 +222,24 @@ bool Endpoint::flow_admits(std::size_t bytes) const {
 void Endpoint::transmit_frame(proto::Data d) {
   assert(d.id.seq == send_seq_ + 1 && "queue drains in id order");
   send_seq_ = d.id.seq;
+  // The window accounts the core (cursor-free) frame size: retransmissions
+  // and repairs carry the core form, and the piggyback block is feedback
+  // overhead, not stream backlog.
   std::size_t bytes = proto::encoded_size(proto::Message{d});
   accept(d, /*from_remote_region=*/false);
   flow_unacked_.push_back(d);
-  host_.ip_multicast(proto::Message{std::move(d)});
+  if (cfg_.flow.piggyback && host_.local_view().size() > 1) {
+    // Attach our receive cursors to the wire copy only — the stored and
+    // retransmission copies stay cursor-free (nested/repair encodings and
+    // buffer byte accounting use the core layout).
+    proto::Data wire = std::move(d);  // payload is refcounted, copy is cheap
+    wire.cursors = cursor_snapshot();
+    advertised_cursors_ = wire.cursors;
+    advertised_any_ = true;
+    host_.ip_multicast(proto::Message{std::move(wire)});
+  } else {
+    host_.ip_multicast(proto::Message{std::move(d)});
+  }
   flow_.on_frame_sent(send_seq_, bytes);
   if (session_timer_ == kNoTimer) {
     session_timer_ =
@@ -243,7 +259,14 @@ void Endpoint::drain_send_queue() {
 void Endpoint::session_tick() {
   session_timer_ = kNoTimer;
   if (send_seq_ == 0) return;
-  host_.ip_multicast(proto::Message{proto::Session{self(), send_seq_}});
+  proto::Session s{self(), send_seq_};
+  if (cfg_.flow.enabled && cfg_.flow.piggyback &&
+      host_.local_view().size() > 1) {
+    s.cursors = cursor_snapshot();
+    advertised_cursors_ = s.cursors;
+    advertised_any_ = true;
+  }
+  host_.ip_multicast(proto::Message{std::move(s)});
   session_timer_ = schedule(cfg_.session_interval, [this] { session_tick(); });
 }
 
@@ -341,16 +364,41 @@ void Endpoint::satisfy_searches(const proto::Data& d) {
 // ------------------------------------------------------------- handlers ----
 
 void Endpoint::handle_data(const proto::Data& d, MemberId from) {
-  (void)from;
+  if (!d.cursors.empty()) {
+    handle_piggyback(d.cursors, from);
+    // Strip the piggyback block before storing: buffered, handoff, and
+    // repair copies are always the core frame (payload is shared, so this
+    // copy is cheap).
+    accept(proto::Data{d.id, d.payload}, /*from_remote_region=*/false);
+    return;
+  }
   accept(d, /*from_remote_region=*/false);
 }
 
 void Endpoint::handle_session(const proto::Session& s, MemberId from) {
-  (void)from;
+  if (!s.cursors.empty()) handle_piggyback(s.cursors, from);
   if (s.source == self()) return;
   for (std::uint64_t gap : tracker(s.source).observe_session(s.highest_seq)) {
     start_recovery(MessageId{s.source, gap});
   }
+}
+
+void Endpoint::handle_piggyback(
+    const std::vector<proto::ReceiveCursor>& cursors, MemberId from) {
+  if (!cfg_.flow.enabled) return;
+  if (from == self()) return;  // the multicast loops back
+  // Flow control is regional: cursors piggybacked on a *global* Data
+  // multicast also reach other regions, where the sender is not a credit
+  // peer. Same guard as a departed-member CreditAck.
+  if (!host_.local_view().contains(from)) return;
+  // Same semantics as a CreditAck cursor list: every advertising region
+  // peer bounds our window, absent cursor = nothing received yet (0).
+  std::uint64_t cursor = 0;
+  for (const proto::ReceiveCursor& c : cursors) {
+    if (c.source == self()) cursor = c.cursor;
+  }
+  flow_.on_cursor(from, cursor);
+  drain_send_queue();
 }
 
 void Endpoint::handle_local_request(const proto::LocalRequest& r,
@@ -557,6 +605,11 @@ void Endpoint::handle_credit_ack(const proto::CreditAck& a, MemberId from) {
   (void)from;
   if (!cfg_.flow.enabled) return;
   if (a.member == self()) return;  // the regional multicast loops back
+  // An ack can race its sender's departure (in flight when the view
+  // dropped the member). Installing its cursor would re-wedge the window
+  // floor that retain_peers just released, until the next retain pass —
+  // departed members get no credit voice.
+  if (!host_.local_view().contains(a.member)) return;
   // Every acking region peer bounds our window, whether or not it has
   // received anything of our stream yet (absent cursor = nothing, 0).
   std::uint64_t cursor = 0;
@@ -878,24 +931,76 @@ void Endpoint::digest_tick() {
                            [this] { digest_tick(); });
 }
 
+std::vector<proto::ReceiveCursor> Endpoint::cursor_snapshot() const {
+  std::vector<proto::ReceiveCursor> cursors;
+  for (const auto& [source, tr] : trackers_) {
+    if (source == host_.self()) continue;  // a sender grants itself no credit
+    cursors.push_back(proto::ReceiveCursor{source, tr.next_expected() - 1});
+  }
+  return cursors;  // trackers_ is an ordered map: deterministic order
+}
+
+void Endpoint::sync_flow_peers() {
+  const std::vector<MemberId>& now = host_.local_view().members();
+  if (now == flow_view_) return;
+  // Members in the live view but not the last snapshot genuinely joined:
+  // seed their cursor at the current floor so their first (necessarily 0)
+  // acks cannot drag the floor back through frames the crowd already
+  // acknowledged. Members that were merely quiet stay unseeded — their
+  // first real ack is allowed to lower the floor.
+  for (MemberId m : now) {
+    if (m == self()) continue;
+    if (!std::binary_search(flow_view_.begin(), flow_view_.end(), m)) {
+      flow_.on_peer_joined(m);
+    }
+  }
+  flow_view_ = now;
+}
+
+void Endpoint::on_view_change() {
+  if (!active_ || !cfg_.flow.enabled) return;
+  // Reconcile credit state NOW, not at the next credit tick: a departed
+  // slowest peer otherwise wedges every sender's floor for up to one ack
+  // interval (and handle_credit_ack's membership check keeps an in-flight
+  // stale ack from re-installing it).
+  flow_.retain_peers(host_.local_view().members());
+  sync_flow_peers();
+  // Dropping the slowest cursor may have freed credit immediately.
+  drain_send_queue();
+}
+
 void Endpoint::credit_tick() {
   credit_timer_ = kNoTimer;
   const membership::RegionView& view = host_.local_view();
   // A departed peer's last cursor must not wedge the window floor, and its
-  // occupancy must not pin phantom back-pressure.
+  // occupancy must not pin phantom back-pressure. (on_view_change does this
+  // eagerly on hosts that report view changes; the tick remains the
+  // transport-independent fallback.)
   flow_.retain_peers(view.members());
+  sync_flow_peers();
   if (view.size() > 1) {
     proto::CreditAck ack;
     ack.member = self();
     ack.bytes_in_use = store_->bytes();
     ack.budget_bytes = cfg_.buffer_budget.max_bytes;
-    for (const auto& [source, tr] : trackers_) {
-      if (source == self()) continue;  // a sender grants itself no credit
-      ack.cursors.push_back(
-          proto::ReceiveCursor{source, tr.next_expected() - 1});
+    ack.cursors = cursor_snapshot();
+    // With piggybacking, the periodic ack is a fallback for quiet
+    // receivers: suppress it while our piggybacked frames already carry
+    // exactly these cursors, but refresh every few ticks anyway — the
+    // frames carrying the last advertisement may have been lost.
+    bool suppress = cfg_.flow.piggyback && advertised_any_ &&
+                    ack.cursors == advertised_cursors_ &&
+                    quiet_ticks_ + 1 < kQuietAckRefreshTicks;
+    if (suppress) {
+      ++quiet_ticks_;
+      metrics().on_credit_ack_suppressed(self(), host_.now());
+    } else {
+      advertised_cursors_ = ack.cursors;
+      advertised_any_ = true;
+      quiet_ticks_ = 0;
+      metrics().on_credit_ack_sent(self(), host_.now());
+      host_.multicast_region(proto::Message{std::move(ack)});
     }
-    metrics().on_credit_ack_sent(self(), host_.now());
-    host_.multicast_region(proto::Message{std::move(ack)});
     // A flow-controlled sender keeps its own unacknowledged frames alive:
     // touching them each tick holds them active (never idle-discarded,
     // last in LRU eviction order), so a receiver stuck on a lost frame can
@@ -916,18 +1021,58 @@ void Endpoint::credit_tick() {
     // just past it — usually because its own recovery gave up while copies
     // were scarce (the shared buffer may have evicted every copy, including
     // ours). The retransmission deque still holds it: re-multicast;
-    // duplicates are ignored and the stuck cursors advance.
+    // duplicates are ignored and the stuck cursors advance. The wedging
+    // frame is normally at the front, but a floor that moved backward (a
+    // peer's first report arriving after faster peers') leaves newer frames
+    // ahead of it — search the deque instead of trusting front().
     if (flow_.outstanding() > 0 && flow_.window_floor() == stall_floor_) {
       if (++stall_ticks_ >= kStallRetransmitTicks) {
         stall_ticks_ = 0;
-        if (!flow_unacked_.empty() &&
-            flow_unacked_.front().id.seq == stall_floor_ + 1) {
-          host_.ip_multicast(proto::Message{flow_unacked_.front()});
+        if (flow_.release_stalled_peers()) {
+          // Every floor-holding cursor was a seeded binding ahead of its
+          // peer's genuine reports: the peer is backfilling history below
+          // the floor (a rejoined member whose pre-crash state was
+          // evicted region-wide may never finish), so re-multicasting
+          // the frame at the floor could not unwedge it. Not a loss
+          // signal — no receiver missed this frame.
+          metrics().on_flow_stall_release(self(), host_.now());
+          drain_send_queue();
+        } else {
+          auto wedged = std::find_if(
+              flow_unacked_.begin(), flow_unacked_.end(),
+              [this](const proto::Data& f) {
+                return f.id.seq == stall_floor_ + 1;
+              });
+          if (wedged != flow_unacked_.end()) {
+            metrics().on_flow_stall_remcast(self(), wedged->id, host_.now());
+            host_.ip_multicast(proto::Message{*wedged});
+            // A stall is the AIMD loss signal: some receiver missed a
+            // frame and its recovery did not close the gap in time.
+            flow_.on_loss();
+            aimd_loss_in_round_ = true;
+          }
         }
       }
     } else {
       stall_floor_ = flow_.window_floor();
       stall_ticks_ = 0;
+    }
+  }
+  // AIMD probe round: one additive step per clean round. The round must
+  // outlast the slowest peer's feedback loop, so it is the larger of the
+  // ack interval and the measured RTT (the topology estimate until
+  // measure_rtt has samples).
+  if (cfg_.flow.adaptive) {
+    Duration rtt = host_.rtt_estimate(self());
+    if (cfg_.measure_rtt) rtt = rtt_.max_srtt(rtt);
+    Duration round = std::max(cfg_.flow.ack_interval, rtt);
+    if (host_.now() - aimd_round_start_ >= round) {
+      if (!aimd_loss_in_round_ && flow_.window_floor() > aimd_round_floor_) {
+        flow_.on_clean_round();
+      }
+      aimd_round_start_ = host_.now();
+      aimd_round_floor_ = flow_.window_floor();
+      aimd_loss_in_round_ = false;
     }
   }
   // Pruning departed peers (or the view shrinking to just us) may have

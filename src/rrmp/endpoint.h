@@ -91,6 +91,13 @@ class Endpoint {
   /// Feed an incoming message (the host's receive path calls this).
   void handle_message(const proto::Message& msg, MemberId from);
 
+  /// The region view changed (join/leave/crash). Flow-control credit state
+  /// is reconciled *now* rather than at the next credit tick: departed
+  /// peers' cursors stop wedging the window floor immediately, and a
+  /// joiner's cursor is seeded at the current floor so its first (empty)
+  /// acks cannot drag the floor back to 0. No-op when flow is off.
+  void on_view_change();
+
   // --- introspection ----------------------------------------------------
 
   MemberId self() const { return host_.self(); }
@@ -239,6 +246,16 @@ class Endpoint {
   void transmit_frame(proto::Data d);
   /// Transmit queued frames while credit allows.
   void drain_send_queue();
+  /// This member's per-source receive cursors — the payload of a CreditAck
+  /// and of the piggyback block on outgoing Data/Session frames.
+  std::vector<proto::ReceiveCursor> cursor_snapshot() const;
+  /// Apply a piggybacked cursor block from a region peer's Data/Session
+  /// frame (same credit semantics as a CreditAck's cursor list).
+  void handle_piggyback(const std::vector<proto::ReceiveCursor>& cursors,
+                        MemberId from);
+  /// Diff the current view against flow_view_ and seed cursors for members
+  /// that genuinely joined (churn-safe credit state).
+  void sync_flow_peers();
 
   // Helpers.
   void serve_waiters(const proto::Data& d);
@@ -293,6 +310,28 @@ class Endpoint {
   /// past a frame some receiver never got. Bounded by the window size plus
   /// any transient floor drop, i.e. a handful of frames.
   std::deque<proto::Data> flow_unacked_;
+  /// Region membership as of the last flow reconciliation; diffed against
+  /// the live view to tell genuine joiners (seed their cursor at the floor)
+  /// from peers that merely have not acked yet (who must keep their right
+  /// to drag the floor back when their first real ack arrives).
+  std::vector<MemberId> flow_view_;
+
+  // AIMD probe-round state (cfg_.flow.adaptive). A round is the larger of
+  // ack_interval and the measured RTT of the slowest peer; a round in which
+  // the floor advanced with no stall grows the window by one.
+  TimePoint aimd_round_start_{};
+  std::uint64_t aimd_round_floor_ = 0;
+  bool aimd_loss_in_round_ = false;
+
+  // Cursor piggybacking (cfg_.flow.piggyback): the cursor set most recently
+  // advertised on any channel (piggybacked frame or CreditAck). The credit
+  // tick suppresses its CreditAck while the live snapshot still equals this
+  // — but refreshes at least every kQuietAckRefreshTicks ticks, because a
+  // lost piggybacked frame would otherwise leave peers stale indefinitely.
+  std::vector<proto::ReceiveCursor> advertised_cursors_;
+  bool advertised_any_ = false;
+  std::uint32_t quiet_ticks_ = 0;
+  static constexpr std::uint32_t kQuietAckRefreshTicks = 8;
 
   std::map<MemberId, SequenceTracker> trackers_;
   std::unordered_map<MessageId, RecoveryTask> recoveries_;

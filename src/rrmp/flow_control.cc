@@ -11,6 +11,10 @@ FlowControlParams sanitized(FlowControlParams p) {
   if (!(p.pressure_watermark > 0.0) || p.pressure_watermark > 1.0) {
     p.pressure_watermark = 0.75;
   }
+  // AIMD bounds: min_window at least one frame and never above the ceiling
+  // (which itself is at least 1 because window_size and max_window are).
+  if (p.min_window == 0) p.min_window = 1;
+  if (p.min_window > p.ceiling()) p.min_window = p.ceiling();
   return p;
 }
 
@@ -19,8 +23,12 @@ FlowController::FlowController(FlowControlParams params,
     : params_(sanitized(params)), self_budget_bytes_(self_budget_bytes) {
   // Slot s % (W+1) covers sequence s for s in [send_seq - W, send_seq];
   // slot 0 doubles as the cum(0) = 0 anchor until sequence W+1 reuses it —
-  // by which time the floor has necessarily advanced past 0.
-  cum_ring_.assign(params_.window_size + 1, 0);
+  // by which time the floor has necessarily advanced past 0. W is whatever
+  // the window can ever reach: the AIMD ceiling may sit above the static
+  // window_size knob when max_window raises it.
+  std::uint64_t span = std::max(params_.window_size, params_.ceiling());
+  cum_ring_.assign(span + 1, 0);
+  cwnd_ = params_.min_window;  // slow start from the floor; AIMD grows it
 }
 
 std::uint64_t FlowController::window_floor() const {
@@ -34,19 +42,19 @@ std::uint64_t FlowController::window_floor() const {
 }
 
 std::uint64_t FlowController::cum_bytes_at(std::uint64_t seq) const {
-  assert(seq + params_.window_size >= send_seq_);
+  assert(seq + ring_span() >= send_seq_);
   return cum_ring_[seq % cum_ring_.size()];
 }
 
 std::uint64_t FlowController::outstanding_bytes() const {
-  // A peer that first reports after we already sent (cursor 0, late joiner)
-  // can drop the floor more than window_size behind send_seq — further than
-  // the cumulative ring covers. Clamp to the covered range: the byte figure
-  // then counts the newest window_size frames, and the frame-count gate has
+  // A peer that first reports after we already sent (cursor 0, late
+  // reporter) can drop the floor further behind send_seq than the
+  // cumulative ring covers. Clamp to the covered range: the byte figure
+  // then counts the newest ring_span() frames, and the frame-count gate has
   // long since closed the window anyway.
   std::uint64_t floor = window_floor();
   std::uint64_t oldest_covered =
-      send_seq_ > params_.window_size ? send_seq_ - params_.window_size : 0;
+      send_seq_ > ring_span() ? send_seq_ - ring_span() : 0;
   return cum_bytes_total_ - cum_bytes_at(std::max(floor, oldest_covered));
 }
 
@@ -65,7 +73,8 @@ bool FlowController::pressured() const {
 }
 
 std::uint32_t FlowController::effective_window() const {
-  if (!pressured()) return params_.window_size;
+  std::uint32_t base = current_window();
+  if (!pressured()) return base;
   // Multiplicative back-off, crowd-aware: halve, then split what remains
   // across the senders currently advertising outstanding frames. Per-sender
   // windows alone cannot adapt to how many windows are open at once — eight
@@ -75,7 +84,7 @@ std::uint32_t FlowController::effective_window() const {
   for (const auto& [peer, load] : loads_) {
     if (load.window_outstanding > 0) ++crowd;
   }
-  std::uint64_t halved = std::max<std::uint64_t>(1, params_.window_size / 2);
+  std::uint64_t halved = std::max<std::uint64_t>(1, base / 2);
   return static_cast<std::uint32_t>(std::max<std::uint64_t>(1, halved / crowd));
 }
 
@@ -108,6 +117,8 @@ void FlowController::on_cursor(MemberId peer, std::uint64_t cursor) {
   // A peer cannot have received past what we sent; a corrupt or reordered
   // ack must not fabricate credit.
   cursor = std::min(cursor, send_seq_);
+  auto [rit, rinserted] = reported_.try_emplace(peer, cursor);
+  if (!rinserted && cursor > rit->second) rit->second = cursor;
   auto [it, inserted] = cursors_.try_emplace(peer, cursor);
   if (!inserted && cursor > it->second) it->second = cursor;
 }
@@ -127,12 +138,53 @@ void FlowController::on_peer_occupancy(MemberId peer,
   load.window_outstanding = window_outstanding;
 }
 
+void FlowController::on_peer_joined(MemberId peer) {
+  // Seed at the current floor (never above send_seq_ — cursors are clamped
+  // on entry, so the min over them can't exceed it either). try_emplace:
+  // if the peer somehow reported before the view change delivered, keep the
+  // real cursor. on_cursor's monotone update then ignores the joiner's
+  // genuine "I have nothing" acks until it catches up past the seed.
+  cursors_.try_emplace(peer, window_floor());
+}
+
+bool FlowController::release_stalled_peers() {
+  if (cursors_.empty()) return false;
+  std::uint64_t floor = window_floor();
+  if (floor >= send_seq_) return false;  // nothing outstanding to release
+  for (const auto& [peer, cursor] : cursors_) {
+    if (cursor != floor) continue;
+    auto rit = reported_.find(peer);
+    std::uint64_t reported = rit == reported_.end() ? 0 : rit->second;
+    // An honest floor-holder (its own report reached the binding) is stuck
+    // on the frame just past the floor; releasing it would fabricate
+    // credit the re-multicast can still earn for real.
+    if (reported >= cursor) return false;
+  }
+  for (auto& [peer, cursor] : cursors_) {
+    if (cursor == floor) cursor = floor + 1;
+  }
+  return true;
+}
+
+void FlowController::on_clean_round() {
+  if (!params_.adaptive) return;
+  if (cwnd_ < params_.ceiling()) ++cwnd_;
+}
+
+void FlowController::on_loss() {
+  if (!params_.adaptive) return;
+  cwnd_ = std::max(params_.min_window, cwnd_ / 2);
+}
+
 void FlowController::retain_peers(const std::vector<MemberId>& alive) {
   auto keep = [&alive](MemberId m) {
     return std::binary_search(alive.begin(), alive.end(), m);
   };
   for (auto it = cursors_.begin(); it != cursors_.end();) {
     it = keep(it->first) ? std::next(it) : cursors_.erase(it);
+  }
+  for (auto it = reported_.begin(); it != reported_.end();) {
+    it = keep(it->first) ? std::next(it) : reported_.erase(it);
   }
   for (auto it = loads_.begin(); it != loads_.end();) {
     it = keep(it->first) ? std::next(it) : loads_.erase(it);

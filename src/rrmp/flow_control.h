@@ -61,8 +61,31 @@ struct FlowControlParams {
   bool backpressure = true;
   double pressure_watermark = 0.75;
 
+  /// AIMD window sizing. When on, the live window starts at `min_window`
+  /// and grows by one frame per *clean credit round* (a probe period — the
+  /// larger of ack_interval and the measured RTT — in which the floor
+  /// advanced with no stall), and halves on an observed loss/stall, bounded
+  /// to [min_window, ceiling] where ceiling = max_window, or the static
+  /// `window_size` knob when max_window is 0. Off (the default): the window
+  /// is the static `window_size`, bit-identical to the non-adaptive design.
+  bool adaptive = false;
+  std::uint32_t min_window = 2;
+  std::uint32_t max_window = 0;  // 0 = window_size is the ceiling
+
+  /// Piggyback this member's receive cursors on its outgoing Data/Session
+  /// frames and suppress the periodic CreditAck multicast while those
+  /// piggybacked cursors are fresh — CreditAck becomes a fallback for quiet
+  /// receivers (plus a periodic refresh in case frames were lost).
+  bool piggyback = false;
+
   friend bool operator==(const FlowControlParams&,
                          const FlowControlParams&) = default;
+
+  /// The adaptive window's upper bound (equals window_size when off or when
+  /// max_window is unset).
+  std::uint32_t ceiling() const {
+    return adaptive && max_window != 0 ? max_window : window_size;
+  }
 };
 
 /// Per-sender window state: outstanding frames/bytes against the minimum
@@ -111,6 +134,39 @@ class FlowController {
   /// wedge the window floor or pin phantom pressure). Sorted view expected.
   void retain_peers(const std::vector<MemberId>& alive);
 
+  /// A member joined the region mid-stream: seed its cursor at the current
+  /// window floor instead of letting its first ack (necessarily 0 — it has
+  /// received nothing contiguously) drag the floor back to 0 and inflate
+  /// outstanding() past the window. on_cursor's monotonicity then holds the
+  /// seed until the joiner genuinely catches up; the joiner backfills the
+  /// older frames through the recovery path, not the flow window.
+  void on_peer_joined(MemberId peer);
+
+  /// Liveness escape hatch for a window wedged on *seeded* cursors: a peer
+  /// whose binding sits at the floor but who never genuinely reported that
+  /// high is still backfilling history *below* the floor (a rejoined member
+  /// whose pre-crash state was evicted region-wide may never finish), so
+  /// re-multicasting the frame at the floor cannot unwedge it. When every
+  /// floor-holding peer is in that state, advance their bindings one frame
+  /// and return true; reliability for the skipped history stays with the
+  /// recovery layer. If any floor holder honestly reported the floor this
+  /// returns false and changes nothing — that stall belongs to the
+  /// re-multicast path. Never fires in churn-free runs: without seeding,
+  /// bindings equal reports by construction.
+  bool release_stalled_peers();
+
+  // --- AIMD (adaptive window sizing) --------------------------------------
+
+  /// A clean probe round elapsed (floor advanced, no stall observed):
+  /// additive increase by one frame, capped at params().ceiling(). No-op
+  /// unless params().adaptive.
+  void on_clean_round();
+
+  /// Loss/stall observed on our stream (a stall re-multicast fired):
+  /// multiplicative decrease — halve, floored at min_window. No-op unless
+  /// params().adaptive.
+  void on_loss();
+
   // --- introspection ------------------------------------------------------
 
   std::uint64_t send_seq() const { return send_seq_; }
@@ -120,17 +176,22 @@ class FlowController {
   /// peer first reports a cursor of 0 (its recovery of the earlier frames
   /// catches the cursor up; until then the window stays closed).
   std::uint64_t outstanding() const { return send_seq_ - window_floor(); }
-  /// Bytes of the unacknowledged tail, clamped to the newest window_size
-  /// frames (all the cumulative ring covers; see outstanding()).
+  /// Bytes of the unacknowledged tail, clamped to the newest frames the
+  /// cumulative ring covers (max(window_size, ceiling); see outstanding()).
   std::uint64_t outstanding_bytes() const;
   /// Credits available right now: effective_window() - outstanding(),
-  /// clamped at 0. Never exceeds window_size by construction.
+  /// clamped at 0. Never exceeds current_window() by construction.
   std::uint64_t credits() const;
-  /// window_size while the region is unpressured. Under pressure (any peer
-  /// at or past the occupancy watermark): halved, then split evenly across
-  /// the senders currently advertising outstanding frames in the digest
-  /// gossip (min 1) — a lone sender backs off a little, a flash crowd backs
-  /// off to a trickle that the receivers' budgets can actually absorb.
+  /// The AIMD-governed base window: cwnd when adaptive, else the static
+  /// window_size knob.
+  std::uint32_t current_window() const {
+    return params_.adaptive ? cwnd_ : params_.window_size;
+  }
+  /// current_window() while the region is unpressured. Under pressure (any
+  /// peer at or past the occupancy watermark): halved, then split evenly
+  /// across the senders currently advertising outstanding frames in the
+  /// digest gossip (min 1) — a lone sender backs off a little, a flash crowd
+  /// backs off to a trickle that the receivers' budgets can actually absorb.
   std::uint32_t effective_window() const;
   bool pressured() const;
 
@@ -143,9 +204,13 @@ class FlowController {
 
  private:
   std::uint64_t cum_bytes_at(std::uint64_t seq) const;
+  /// How far behind send_seq_ the cumulative ring reaches (= ring size - 1).
+  std::uint64_t ring_span() const { return cum_ring_.size() - 1; }
 
   FlowControlParams params_;
   std::size_t self_budget_bytes_ = 0;
+  /// AIMD congestion window; meaningful only when params_.adaptive.
+  std::uint32_t cwnd_ = 1;
 
   std::uint64_t send_seq_ = 0;
   std::uint64_t frames_sent_ = 0;
@@ -161,6 +226,12 @@ class FlowController {
   /// peer -> highest acknowledged contiguous sequence of our stream.
   std::map<MemberId, std::uint64_t> cursors_;
 
+  /// peer -> highest cursor the peer *itself* ever reported this
+  /// incarnation (monotone; erased with cursors_ on departure). Diverges
+  /// from cursors_ only when on_peer_joined seeded the binding above the
+  /// joiner's truth — the signal release_stalled_peers keys on.
+  std::map<MemberId, std::uint64_t> reported_;
+
   struct PeerLoad {
     std::uint64_t bytes_in_use = 0;
     std::uint64_t budget_bytes = 0;  // 0 = not reported / unlimited
@@ -172,7 +243,8 @@ class FlowController {
 };
 
 /// Clamp nonsensical knob values (window 0, non-positive ack period,
-/// watermark outside (0, 1]) to safe ones; mirrors Config sanitizing.
+/// watermark outside (0, 1], min_window of 0 or above the AIMD ceiling) to
+/// safe ones; mirrors Config sanitizing.
 FlowControlParams sanitized(FlowControlParams p);
 
 }  // namespace rrmp

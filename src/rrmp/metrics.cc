@@ -40,6 +40,9 @@ RecordingSink::Counters& RecordingSink::Counters::operator+=(
   handoffs += o.handoffs;
   sends_deferred += o.sends_deferred;
   credit_acks_sent += o.credit_acks_sent;
+  credit_acks_suppressed += o.credit_acks_suppressed;
+  flow_stall_remcasts += o.flow_stall_remcasts;
+  flow_stall_releases += o.flow_stall_releases;
   return *this;
 }
 
@@ -235,6 +238,22 @@ void RecordingSink::on_send_deferred(MemberId, const MessageId&, TimePoint) {
 void RecordingSink::on_credit_ack_sent(MemberId, TimePoint) {
   ++revision_;
   ++counters_.credit_acks_sent;
+}
+
+void RecordingSink::on_credit_ack_suppressed(MemberId, TimePoint) {
+  ++revision_;
+  ++counters_.credit_acks_suppressed;
+}
+
+void RecordingSink::on_flow_stall_remcast(MemberId, const MessageId&,
+                                          TimePoint) {
+  ++revision_;
+  ++counters_.flow_stall_remcasts;
+}
+
+void RecordingSink::on_flow_stall_release(MemberId, TimePoint) {
+  ++revision_;
+  ++counters_.flow_stall_releases;
 }
 
 }  // namespace rrmp

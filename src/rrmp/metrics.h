@@ -55,6 +55,17 @@ class MetricsSink {
   /// Flow control: one periodic CreditAck multicast (receive cursors +
   /// occupancy) left this member.
   virtual void on_credit_ack_sent(MemberId, TimePoint) {}
+  /// Flow control: a periodic CreditAck was withheld because the member's
+  /// cursors were already fresh on its piggybacked Data/Session traffic.
+  virtual void on_credit_ack_suppressed(MemberId, TimePoint) {}
+  /// Flow control: the sender re-multicast the frame wedging its window
+  /// floor after the stall threshold (the retransmission of last resort).
+  virtual void on_flow_stall_remcast(MemberId, const MessageId&, TimePoint) {}
+  /// Flow control: re-multicast rounds could not move the floor, so the
+  /// sender released the stalled peer's cursor binding (a rejoined member
+  /// whose history is gone region-wide cannot close the gap; the window
+  /// must not deadlock on it).
+  virtual void on_flow_stall_release(MemberId, TimePoint) {}
 };
 
 /// No-op sink used when the caller does not care.
@@ -83,6 +94,9 @@ class RecordingSink final : public MetricsSink {
     std::uint64_t handoffs = 0;
     std::uint64_t sends_deferred = 0;
     std::uint64_t credit_acks_sent = 0;
+    std::uint64_t credit_acks_suppressed = 0;
+    std::uint64_t flow_stall_remcasts = 0;
+    std::uint64_t flow_stall_releases = 0;
 
     /// Field-wise sum — the single place that must grow with the struct
     /// (RecordingSink::merge folds per-region counters through it).
@@ -173,6 +187,10 @@ class RecordingSink final : public MetricsSink {
                        TimePoint t) override;
   void on_send_deferred(MemberId m, const MessageId& id, TimePoint t) override;
   void on_credit_ack_sent(MemberId m, TimePoint t) override;
+  void on_credit_ack_suppressed(MemberId m, TimePoint t) override;
+  void on_flow_stall_remcast(MemberId m, const MessageId& id,
+                             TimePoint t) override;
+  void on_flow_stall_release(MemberId m, TimePoint t) override;
 
  private:
   std::uint64_t revision_ = 0;

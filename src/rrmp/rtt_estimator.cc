@@ -27,6 +27,13 @@ Duration RttEstimator::srtt(MemberId peer, Duration fallback) const {
   return Duration::micros(static_cast<std::int64_t>(it->second.srtt_us));
 }
 
+Duration RttEstimator::max_srtt(Duration fallback) const {
+  if (peers_.empty()) return fallback;
+  double worst = 0;
+  for (const auto& [peer, st] : peers_) worst = std::max(worst, st.srtt_us);
+  return Duration::micros(static_cast<std::int64_t>(worst));
+}
+
 Duration RttEstimator::rto(MemberId peer, Duration fallback) const {
   auto it = peers_.find(peer);
   if (it == peers_.end()) {

@@ -45,6 +45,12 @@ class RttEstimator {
   /// answer for unmeasured peers.
   Duration rto(MemberId peer, Duration fallback) const;
 
+  /// Largest smoothed RTT over all measured peers — the adaptive flow
+  /// window's probe cadence (a credit round must outlast the slowest peer's
+  /// feedback loop). `fallback` when nothing is measured yet. A max over an
+  /// unordered map is order-independent, so this stays deterministic.
+  Duration max_srtt(Duration fallback) const;
+
   /// Drop state for a departed peer.
   void forget(MemberId peer) { peers_.erase(peer); }
 

@@ -440,12 +440,38 @@ TEST(FlowControlPropertyTest, RandomizedFeedbackPreservesWindowInvariants) {
     params.window_size = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
     params.target_budget_bytes =
         (seed % 2) == 0 ? 0 : static_cast<std::size_t>(rng.uniform_int(64, 256));
+    // Odd seeds run the AIMD window: min_window within the static window
+    // (no sanitizer clamping to shadow), max_window either "use the static
+    // knob as ceiling" or explicitly above it.
+    params.adaptive = (seed % 2) == 1;
+    params.min_window = static_cast<std::uint32_t>(
+        rng.uniform_int(1, params.window_size));
+    params.max_window =
+        rng.uniform_int(0, 1) == 0
+            ? 0
+            : params.window_size + static_cast<std::uint32_t>(
+                                       rng.uniform_int(0, 4));
     FlowController fc(params, /*self_budget_bytes=*/1024);
+    const std::uint32_t ceiling = params.ceiling();
+    const std::uint64_t ring_span =
+        std::max(params.window_size, ceiling);
 
-    // Shadow model: cumulative bytes per sequence and per-peer cursors.
+    // Shadow model: cumulative bytes per sequence, per-peer cursors, and
+    // the AIMD congestion window.
     std::vector<std::uint64_t> cum = {0};  // cum[s] = bytes through seq s
     std::map<MemberId, std::uint64_t> cursors;
+    std::map<MemberId, std::uint64_t> reported;  // genuine acks, monotone
     std::uint64_t deferred = 0;
+    std::uint32_t shadow_cwnd = params.adaptive ? params.min_window : 0;
+    auto shadow_floor = [&cursors] {
+      std::uint64_t floor = 0;
+      bool first = true;
+      for (const auto& [peer, cur] : cursors) {
+        if (first || cur < floor) floor = cur;
+        first = false;
+      }
+      return floor;
+    };
 
     for (int op = 0; op < 400; ++op) {
       SCOPED_TRACE("op " + std::to_string(op));
@@ -459,16 +485,18 @@ TEST(FlowControlPropertyTest, RandomizedFeedbackPreservesWindowInvariants) {
           fc.note_deferred();
           ++deferred;
         }
-      } else if (dice < 70) {
+      } else if (dice < 65) {
         // A cursor ack: sometimes stale, sometimes beyond what was sent.
         MemberId peer = static_cast<MemberId>(rng.uniform_int(1, 4));
         std::uint64_t cursor =
             static_cast<std::uint64_t>(rng.uniform_int(0, 12));
         fc.on_cursor(peer, cursor);
         std::uint64_t clamped = std::min<std::uint64_t>(cursor, cum.size() - 1);
+        auto [rit, rinserted] = reported.try_emplace(peer, clamped);
+        if (!rinserted && clamped > rit->second) rit->second = clamped;
         auto [it, inserted] = cursors.try_emplace(peer, clamped);
         if (!inserted && clamped > it->second) it->second = clamped;
-      } else if (dice < 85) {
+      } else if (dice < 78) {
         MemberId peer = static_cast<MemberId>(rng.uniform_int(1, 4));
         std::uint64_t use = static_cast<std::uint64_t>(rng.uniform_int(0, 2048));
         if (rng.uniform_int(0, 1) == 0) {
@@ -478,7 +506,7 @@ TEST(FlowControlPropertyTest, RandomizedFeedbackPreservesWindowInvariants) {
           fc.on_peer_occupancy(
               peer, use, static_cast<std::uint64_t>(rng.uniform_int(0, 8)));
         }
-      } else if (dice < 90) {
+      } else if (dice < 83) {
         std::vector<MemberId> alive;
         for (MemberId m = 1; m <= 4; ++m) {
           if (rng.uniform_int(0, 4) != 0) alive.push_back(m);
@@ -489,6 +517,51 @@ TEST(FlowControlPropertyTest, RandomizedFeedbackPreservesWindowInvariants) {
                       alive.end();
           it = keep ? std::next(it) : cursors.erase(it);
         }
+        for (auto it = reported.begin(); it != reported.end();) {
+          bool keep = std::find(alive.begin(), alive.end(), it->first) !=
+                      alive.end();
+          it = keep ? std::next(it) : reported.erase(it);
+        }
+      } else if (dice < 88) {
+        // A mid-stream join: the controller seeds the cursor at the current
+        // floor; try_emplace keeps a real cursor if the peer already spoke.
+        MemberId peer = static_cast<MemberId>(rng.uniform_int(1, 5));
+        std::uint64_t floor = shadow_floor();
+        fc.on_peer_joined(peer);
+        cursors.try_emplace(peer, floor);
+      } else if (dice < 95) {
+        // AIMD signals: a clean round grows by one up to the ceiling, a
+        // loss halves down to min_window — no-ops with adaptive off.
+        if (rng.uniform_int(0, 2) != 0) {
+          fc.on_clean_round();
+          if (params.adaptive && shadow_cwnd < ceiling) ++shadow_cwnd;
+        } else {
+          fc.on_loss();
+          if (params.adaptive) {
+            shadow_cwnd = std::max(params.min_window, shadow_cwnd / 2);
+          }
+        }
+      } else if (dice < 98) {
+        // The stalled-cursor release: fires only when every floor-holding
+        // binding is seeded ahead of its peer's genuine reports; an honest
+        // floor holder pins the floor. Mirror the two-pass check exactly.
+        auto shadow_release = [&] {
+          if (cursors.empty()) return false;
+          std::uint64_t floor = shadow_floor();
+          if (floor >= cum.size() - 1) return false;
+          for (const auto& [peer, cur] : cursors) {
+            if (cur != floor) continue;
+            auto rit = reported.find(peer);
+            std::uint64_t rep = rit == reported.end() ? 0 : rit->second;
+            if (rep >= cur) return false;
+          }
+          for (auto& [peer, cur] : cursors) {
+            if (cur == floor) cur = floor + 1;
+          }
+          return true;
+        };
+        bool released = fc.release_stalled_peers();
+        ASSERT_EQ(released, shadow_release());
       } else {
         // Quiescent probe: repeated queries must not mutate state.
         (void)fc.may_send(1);
@@ -498,24 +571,22 @@ TEST(FlowControlPropertyTest, RandomizedFeedbackPreservesWindowInvariants) {
 
       // --- invariants, after every op ---
       std::uint64_t send_seq = cum.size() - 1;
-      std::uint64_t floor = 0;
-      bool first = true;
-      for (const auto& [peer, cur] : cursors) {
-        if (first || cur < floor) floor = cur;
-        first = false;
-      }
-      ASSERT_LE(fc.credits(), params.window_size);
+      std::uint64_t floor = shadow_floor();
+      ASSERT_LE(fc.credits(), ceiling);
+      ASSERT_EQ(fc.current_window(),
+                params.adaptive ? shadow_cwnd : params.window_size);
       ASSERT_EQ(fc.send_seq(), send_seq);
       ASSERT_EQ(fc.frames_sent(), send_seq);
       ASSERT_EQ(fc.frames_deferred(), deferred);
       ASSERT_EQ(fc.bytes_sent(), cum.back());
       ASSERT_EQ(fc.window_floor(), floor);
       ASSERT_EQ(fc.outstanding(), send_seq - floor);
-      // Byte accounting is clamped to the newest window_size frames: a
+      // Byte accounting is clamped to the newest frames the cumulative ring
+      // covers (max of the static window and the AIMD ceiling): a
       // late-reporting peer (cursor 0 after sends) can pull the floor
-      // further back than the cumulative ring covers.
+      // further back than the ring reaches.
       std::uint64_t oldest_covered =
-          send_seq > params.window_size ? send_seq - params.window_size : 0;
+          send_seq > ring_span ? send_seq - ring_span : 0;
       ASSERT_EQ(fc.outstanding_bytes(),
                 cum.back() - cum[std::max(floor, oldest_covered)]);
       ASSERT_EQ(fc.credits(),

@@ -214,6 +214,132 @@ TEST(FlowControllerTest, AccountingIsExact) {
   EXPECT_EQ(fc.bytes_sent(), 45u);  // cumulative, never un-counted
 }
 
+// ----------------------------------------------------------- AIMD unit ----
+
+FlowControlParams aimd(std::uint32_t window, std::uint32_t min_window = 2,
+                       std::uint32_t max_window = 0) {
+  FlowControlParams p = windowed(window);
+  p.adaptive = true;
+  p.min_window = min_window;
+  p.max_window = max_window;
+  return p;
+}
+
+TEST(FlowControllerTest, AimdStartsAtMinWindowAndGrowsPerCleanRound) {
+  FlowController fc(aimd(8, /*min=*/2), 0);
+  EXPECT_EQ(fc.current_window(), 2u);
+  fc.on_clean_round();
+  EXPECT_EQ(fc.current_window(), 3u);
+  for (int i = 0; i < 20; ++i) fc.on_clean_round();
+  EXPECT_EQ(fc.current_window(), 8u);  // capped at the static-window ceiling
+}
+
+TEST(FlowControllerTest, AimdHalvesOnLossFlooredAtMinWindow) {
+  FlowController fc(aimd(8, /*min=*/2), 0);
+  for (int i = 0; i < 20; ++i) fc.on_clean_round();
+  EXPECT_EQ(fc.current_window(), 8u);
+  fc.on_loss();
+  EXPECT_EQ(fc.current_window(), 4u);
+  fc.on_loss();
+  EXPECT_EQ(fc.current_window(), 2u);
+  fc.on_loss();
+  EXPECT_EQ(fc.current_window(), 2u);  // never below min_window
+}
+
+TEST(FlowControllerTest, AimdMaxWindowRaisesCeilingAboveStaticKnob) {
+  FlowController fc(aimd(8, /*min=*/2, /*max=*/16), 0);
+  for (int i = 0; i < 30; ++i) fc.on_clean_round();
+  EXPECT_EQ(fc.current_window(), 16u);
+}
+
+TEST(FlowControllerTest, AimdGatesAdmissionThroughCurrentWindow) {
+  FlowController fc(aimd(8, /*min=*/2), 0);
+  fc.on_frame_sent(1, 1);
+  fc.on_frame_sent(2, 1);
+  EXPECT_FALSE(fc.may_send(1));  // cwnd = 2, both slots outstanding
+  fc.on_clean_round();           // cwnd = 3
+  EXPECT_TRUE(fc.may_send(1));
+  EXPECT_LE(fc.credits(), fc.current_window());
+}
+
+TEST(FlowControllerTest, AimdNoOpWhenAdaptiveOff) {
+  FlowController fc(windowed(8), 0);
+  EXPECT_EQ(fc.current_window(), 8u);
+  fc.on_clean_round();
+  fc.on_loss();
+  EXPECT_EQ(fc.current_window(), 8u);  // static knob governs, untouched
+  EXPECT_EQ(fc.effective_window(), 8u);
+}
+
+TEST(FlowControllerTest, JoinedPeerSeededAtFloorNotZero) {
+  FlowController fc(windowed(4), 0);
+  for (std::uint64_t s = 1; s <= 6; ++s) fc.on_frame_sent(s, 1);
+  fc.on_cursor(1, 5);
+  EXPECT_EQ(fc.window_floor(), 5u);
+  // A genuine joiner is seeded at the current floor: the crowd's window does
+  // not reopen frames 1..5 that everyone else already acknowledged.
+  fc.on_peer_joined(2);
+  EXPECT_EQ(fc.window_floor(), 5u);
+  EXPECT_EQ(fc.outstanding(), 1u);
+  // The joiner's first real ack necessarily says 0 (it received nothing
+  // contiguously); monotonicity holds the seed against it.
+  fc.on_cursor(2, 0);
+  EXPECT_EQ(fc.window_floor(), 5u);
+  // An established peer is never re-seeded upward by a spurious join event.
+  fc.on_cursor(3, 1);
+  fc.on_peer_joined(3);
+  EXPECT_EQ(fc.window_floor(), 1u);
+}
+
+TEST(FlowControllerTest, ReleaseStalledPeersWalksFloorPastSeededBinding) {
+  FlowController fc(windowed(4), 0);
+  EXPECT_FALSE(fc.release_stalled_peers());  // no peers, nothing to do
+  for (std::uint64_t s = 1; s <= 4; ++s) fc.on_frame_sent(s, 8);
+  fc.on_cursor(1, 2);
+  // Peer 2 joins mid-stream: binding seeded at the floor (2). Its genuine
+  // acks say 0 — it is backfilling history *below* the floor, so the frame
+  // at the floor is not what blocks it.
+  fc.on_peer_joined(2);
+  fc.on_cursor(2, 0);
+  fc.on_cursor(1, 4);
+  EXPECT_EQ(fc.window_floor(), 2u);
+  EXPECT_TRUE(fc.release_stalled_peers());
+  EXPECT_EQ(fc.window_floor(), 3u);
+  EXPECT_TRUE(fc.release_stalled_peers());
+  EXPECT_EQ(fc.window_floor(), 4u);
+  // Floor == send_seq: releasing further would fabricate credit.
+  EXPECT_FALSE(fc.release_stalled_peers());
+  EXPECT_EQ(fc.window_floor(), 4u);
+}
+
+TEST(FlowControllerTest, ReleaseNeverSkipsAnHonestFloorHolder) {
+  FlowController fc(windowed(4), 0);
+  for (std::uint64_t s = 1; s <= 4; ++s) fc.on_frame_sent(s, 8);
+  fc.on_cursor(1, 4);
+  fc.on_cursor(2, 1);  // genuinely stuck on frame 2: it *reported* 1
+  EXPECT_EQ(fc.window_floor(), 1u);
+  // The honest holder keeps the binding: this stall belongs to the
+  // re-multicast path, which can still deliver frame 2 for real.
+  EXPECT_FALSE(fc.release_stalled_peers());
+  EXPECT_EQ(fc.window_floor(), 1u);
+  // A seeded peer alongside it does not change that — the floor cannot
+  // move while any honest holder sits on it.
+  fc.on_cursor(3, 3);
+  fc.on_peer_joined(4);  // seeded at 1 (the floor)
+  EXPECT_FALSE(fc.release_stalled_peers());
+  EXPECT_EQ(fc.window_floor(), 1u);
+}
+
+TEST(FlowControllerTest, SanitizedClampsAimdKnobs) {
+  FlowControlParams p = aimd(8, /*min=*/0);
+  EXPECT_EQ(sanitized(p).min_window, 1u);
+  p.min_window = 99;  // above the ceiling: clamped down to it
+  EXPECT_EQ(sanitized(p).min_window, 8u);
+  p.min_window = 99;
+  p.max_window = 12;
+  EXPECT_EQ(sanitized(p).min_window, 12u);
+}
+
 TEST(FlowControllerTest, SanitizedClampsNonsenseKnobs) {
   FlowControlParams p;
   p.window_size = 0;
@@ -314,6 +440,216 @@ TEST(FlowEndpointTest, HaltDropsQueuedFrames) {
     EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
   });
   cluster.run_for(Duration::millis(100));
+}
+
+// ------------------------------------------------- churn-safe credit state ----
+
+TEST(FlowEndpointTest, MidBurstJoinerDoesNotDragFloorToZero) {
+  // Regression for the joiner zero-cursor bug: a member (re)joining
+  // mid-flash-crowd has received nothing, so its first CreditAck reports
+  // cursor 0 for every active stream. Before churn-safe seeding that ack
+  // dragged every sender's window floor back to 0 — outstanding() jumped
+  // past the window and the whole crowd wedged until the joiner backfilled.
+  // With seeding, the joiner's cursor starts at the sender's current floor
+  // and the floor never regresses.
+  harness::Cluster cluster(flow_cluster(6, 51, /*window=*/4));
+  constexpr MemberId kJoiner = 5;
+  constexpr std::size_t kBurst = 30;
+  cluster.schedule_script_after(Duration::millis(1),
+                                [&] { cluster.crash(kJoiner); });
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    cluster.schedule_script(
+        TimePoint::zero() + Duration::millis(5 + static_cast<std::int64_t>(i)),
+        [&] {
+          cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x22));
+        });
+  }
+  std::uint64_t floor_before_join = 0;
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(22), [&] {
+    floor_before_join = cluster.endpoint(0).flow().window_floor();
+    cluster.rejoin(kJoiner);
+    // The seed is installed at view-change time, before any ack from the
+    // joiner can arrive: the floor is already held.
+    EXPECT_GE(cluster.endpoint(0).flow().window_floor(), floor_before_join);
+  });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(32), [&] {
+    // Mid-burst, two ack intervals after the join: the joiner's cursor-0
+    // acks have arrived and must not have reopened acknowledged frames.
+    EXPECT_GT(floor_before_join, 0u);  // the premise: the crowd had progressed
+    EXPECT_GE(cluster.endpoint(0).flow().window_floor(), floor_before_join);
+    EXPECT_LE(cluster.endpoint(0).flow().outstanding(), 4u);
+  });
+  cluster.run_for(Duration::seconds(3));
+  // Nothing wedged: the queue drained and everyone (joiner included, via
+  // recovery) got the whole burst.
+  EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), kBurst);
+  for (std::uint64_t s = 1; s <= kBurst; ++s) {
+    EXPECT_TRUE(cluster.all_received(MessageId{0, s})) << "seq " << s;
+  }
+}
+
+TEST(FlowEndpointTest, StaleAckFromDepartedPeerIgnored) {
+  // Departure-vs-ack race: a CreditAck from a member that just left the
+  // view must not re-install its cursor — a zero cursor from a departed
+  // peer would wedge the window until the next tick's retain_peers pass.
+  harness::Cluster cluster(flow_cluster(4, 61, /*window=*/2));
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x33));
+    cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x33));
+  });
+  cluster.schedule_script_after(Duration::millis(60), [&] {
+    ASSERT_EQ(cluster.endpoint(0).flow().window_floor(), 2u);
+    cluster.crash(3);
+    // The stale ack was already in flight when member 3 died: replay it.
+    proto::CreditAck stale;
+    stale.member = 3;
+    stale.cursors = {{/*source=*/0, /*cursor=*/0}};
+    cluster.endpoint(0).handle_message(proto::Message{stale}, 3);
+    EXPECT_EQ(cluster.endpoint(0).flow().window_floor(), 2u);
+    EXPECT_EQ(cluster.endpoint(0).flow().outstanding(), 0u);
+    EXPECT_TRUE(cluster.endpoint(0).flow().may_send(1));
+  });
+  cluster.run_for(Duration::millis(100));
+}
+
+// ------------------------------------------------------- stall remulticast ----
+
+TEST(FlowEndpointTest, StallRemulticastsWedgingFrameAndRecovers) {
+  // With gap-driven recovery disabled and no anti-entropy, a receiver that
+  // loses a Data frame has no way to repair it — its cursor wedges the
+  // window floor forever. The sender-driven stall retransmission is the
+  // last line: after kStallRetransmitTicks quiet ticks it re-multicasts the
+  // frame just past the floor (counted by the flow_stall_remcast metric)
+  // and the stream un-wedges.
+  harness::ClusterConfig cc = flow_cluster(6, 71, /*window=*/2);
+  cc.protocol.gap_driven_recovery = false;
+  cc.data_loss = 0.2;
+  harness::Cluster cluster(cc);
+  constexpr std::size_t kBurst = 8;
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x44));
+    }
+  });
+  cluster.run_for(Duration::seconds(5));
+  EXPECT_GT(cluster.metrics().counters().flow_stall_remcasts, 0u);
+  EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  for (std::uint64_t s = 1; s <= kBurst; ++s) {
+    EXPECT_TRUE(cluster.all_received(MessageId{0, s})) << "seq " << s;
+  }
+}
+
+TEST(FlowEndpointTest, UnrecoverableJoinerBackfillReleasesInsteadOfDeadlock) {
+  // The churn wedge: a member crashes, its pre-crash history is evicted
+  // region-wide, and it rejoins mid-stream. Its seeded binding then freezes
+  // the floor — its true cursor needs contiguity from frame 1 and the
+  // copies are gone, so it can never catch up. Without the stalled-cursor
+  // release every sender wedges at floor + window forever.
+  harness::Cluster cluster(flow_cluster(6, 111, /*window=*/2));
+  constexpr std::size_t kBurst = 40;
+  cluster.schedule_script_after(Duration::millis(1), [&] { cluster.crash(5); });
+  cluster.schedule_script_after(Duration::millis(2), [&] {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x7E));
+    }
+  });
+  cluster.schedule_script_after(Duration::millis(30), [&] {
+    // Erase the head of the stream everywhere before the victim returns:
+    // its backfill is now impossible, not merely slow.
+    for (MemberId m = 0; m < cluster.size(); ++m) {
+      if (m == 5) continue;
+      for (std::uint64_t s = 1; s <= 6; ++s) {
+        cluster.force_discard(m, MessageId{0, s});
+      }
+    }
+    cluster.rejoin(5);
+  });
+  cluster.run_for(Duration::seconds(5));
+  // The sender finished its whole schedule: the window never deadlocked.
+  EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), kBurst);
+  EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  EXPECT_GT(cluster.metrics().counters().flow_stall_releases, 0u);
+  // The release sacrificed nothing the live members needed: they still
+  // hold the full stream.
+  for (std::uint64_t s = 7; s <= kBurst; ++s) {
+    for (MemberId m = 1; m <= 4; ++m) {
+      EXPECT_TRUE(cluster.endpoint(m).has_received(MessageId{0, s}))
+          << "member " << m << " seq " << s;
+    }
+  }
+}
+
+// ------------------------------------------------------ cursor piggyback ----
+
+harness::ClusterConfig adaptive_cluster(std::size_t n, std::uint64_t seed) {
+  harness::ClusterConfig cc = flow_cluster(n, seed, /*window=*/4);
+  cc.protocol.flow.adaptive = true;
+  cc.protocol.flow.min_window = 2;
+  cc.protocol.flow.piggyback = true;
+  return cc;
+}
+
+TEST(FlowEndpointTest, PiggybackSuppressesCreditAcksWithoutLosingGoodput) {
+  // Same schedule and seed, piggyback off vs on: the piggybacked cursors
+  // (and the unchanged-cursor suppression for quiet receivers) must remove
+  // a substantial share of standalone CreditAck multicasts while every
+  // message still reaches every member.
+  auto run = [](bool piggyback, std::uint64_t* acks_sent,
+                std::uint64_t* suppressed) {
+    harness::ClusterConfig cc = flow_cluster(6, 81, /*window=*/4);
+    cc.protocol.flow.piggyback = piggyback;
+    harness::Cluster cluster(cc);
+    constexpr std::size_t kBurst = 12;
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      cluster.schedule_script(
+          TimePoint::zero() +
+              Duration::millis(1 + 2 * static_cast<std::int64_t>(i)),
+          [&cluster] {
+            // Two interleaved senders: each piggybacks its cursor for the
+            // other's stream on its own Data frames.
+            cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x55));
+            cluster.endpoint(1).multicast(std::vector<std::uint8_t>(32, 0x66));
+          });
+    }
+    cluster.run_for(Duration::seconds(2));
+    *acks_sent = cluster.metrics().counters().credit_acks_sent;
+    *suppressed = cluster.metrics().counters().credit_acks_suppressed;
+    for (std::uint64_t s = 1; s <= kBurst; ++s) {
+      EXPECT_TRUE(cluster.all_received(MessageId{0, s})) << "seq " << s;
+      EXPECT_TRUE(cluster.all_received(MessageId{1, s})) << "seq " << s;
+    }
+  };
+  std::uint64_t acks_off = 0, suppressed_off = 0;
+  std::uint64_t acks_on = 0, suppressed_on = 0;
+  run(false, &acks_off, &suppressed_off);
+  run(true, &acks_on, &suppressed_on);
+  EXPECT_EQ(suppressed_off, 0u);  // suppression is piggyback-gated
+  EXPECT_GT(suppressed_on, 0u);
+  EXPECT_LT(acks_on, acks_off);
+}
+
+TEST(FlowEndpointTest, AdaptiveBurstDeliversEverything) {
+  // AIMD + piggybacking end to end: the window starts at min_window, grows
+  // through the burst, and the whole stream lands everywhere.
+  harness::Cluster cluster(adaptive_cluster(6, 91));
+  constexpr std::size_t kBurst = 16;
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x77));
+    }
+    // The burst outran the AIMD start window of 2.
+    EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), 2u);
+    EXPECT_EQ(cluster.endpoint(0).queued_sends(), kBurst - 2);
+  });
+  cluster.run_for(Duration::seconds(3));
+  EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), kBurst);
+  // The clean rounds grew the window beyond its starting point.
+  EXPECT_GT(cluster.endpoint(0).flow().current_window(), 2u);
+  for (std::uint64_t s = 1; s <= kBurst; ++s) {
+    EXPECT_TRUE(cluster.all_received(MessageId{0, s})) << "seq " << s;
+  }
 }
 
 }  // namespace

@@ -621,5 +621,188 @@ TEST(CodecFuzzTest, RandomMutationOfValidDigestNeverCrashes) {
   }
 }
 
+// --------------- piggybacked cursor block on Data/Session (flow control) ----
+//
+// The cursor block is an *optional trailing* field: an empty vector encodes
+// to exactly the pre-piggyback byte layout (zero extra bytes — this is what
+// keeps every legacy golden vector and bench baseline bit-identical), and a
+// non-empty one appends a varint count followed by {u32 source, varint
+// cursor} pairs. One structural consequence, pinned below: truncating a
+// cursor-carrying frame exactly at the core/block boundary yields a *valid*
+// cursor-free frame, so Data/Session-with-cursors do NOT belong in the
+// every-truncation-rejected corpus.
+
+TEST(CodecTest, DataWithCursorsRoundTrip) {
+  Data d{MessageId{3, 99}, {1, 2, 3}, {{1, 40}, {2, 0}, {7, 1ULL << 33}}};
+  EXPECT_EQ(round_trip(d), d);
+}
+
+TEST(CodecTest, SessionWithCursorsRoundTrip) {
+  Session s{42, 17, {{3, 16}, {5, 300}}};
+  EXPECT_EQ(round_trip(s), s);
+}
+
+TEST(CodecTest, CursorBlockCountedByEncodedSize) {
+  std::vector<Message> msgs = {
+      Message{Data{MessageId{1, 2}, std::vector<std::uint8_t>(127, 1),
+                   {{2, 127}, {3, 128}}}},
+      Message{Session{7, 1ULL << 40, {{1, 1ULL << 40}}}},
+  };
+  for (const Message& m : msgs) {
+    EXPECT_EQ(encoded_size(m), encode(m).size()) << type_name(m);
+  }
+}
+
+TEST(CodecGoldenTest, DataWithoutCursorsKeepsLegacyLayout) {
+  // The load-bearing bit-identity guarantee: a cursor-free Data frame must
+  // encode to the exact pre-piggyback byte sequence, not even a zero count.
+  Data d{MessageId{3, 99}, {0xAA, 0xBB}};
+  std::vector<std::uint8_t> want = {1};  // kData
+  append_message_id(want, 3, 99);
+  append_varint(want, 2);  // payload length
+  want.push_back(0xAA);
+  want.push_back(0xBB);
+  EXPECT_EQ(encode(Message{d}), want);
+  EXPECT_EQ(encoded_size(Message{d}), want.size());
+}
+
+TEST(CodecGoldenTest, SessionWithoutCursorsKeepsLegacyLayout) {
+  Session s{6, 0x1234};
+  std::vector<std::uint8_t> want = {2};  // kSession
+  append_u32(want, 6);
+  append_u64(want, 0x1234);
+  EXPECT_EQ(encode(Message{s}), want);
+  EXPECT_EQ(encoded_size(Message{s}), want.size());
+}
+
+TEST(CodecGoldenTest, DataWithCursorsEncodesByteExact) {
+  Data d{MessageId{3, 99}, {0xAA}, {{2, 9}, {4, 300}}};
+  std::vector<std::uint8_t> want = {1};  // kData
+  append_message_id(want, 3, 99);
+  append_varint(want, 1);  // payload length
+  want.push_back(0xAA);
+  append_varint(want, 2);    // cursor count
+  append_u32(want, 2);       // cursor 0: source
+  append_varint(want, 9);    //           cursor (1-byte varint)
+  append_u32(want, 4);       // cursor 1: source
+  append_varint(want, 300);  //           cursor (2-byte varint)
+  EXPECT_EQ(encode(Message{d}), want);
+  EXPECT_EQ(encoded_size(Message{d}), want.size());
+  auto decoded = decode(want);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Data>(*decoded), d);
+}
+
+TEST(CodecGoldenTest, SessionWithCursorsEncodesByteExact) {
+  Session s{6, 0x1234, {{1, 5}}};
+  std::vector<std::uint8_t> want = {2};  // kSession
+  append_u32(want, 6);
+  append_u64(want, 0x1234);
+  append_varint(want, 1);  // cursor count
+  append_u32(want, 1);     // cursor 0: source
+  append_varint(want, 5);  //           cursor
+  EXPECT_EQ(encode(Message{s}), want);
+  EXPECT_EQ(encoded_size(Message{s}), want.size());
+  auto decoded = decode(want);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Session>(*decoded), s);
+}
+
+TEST(CodecTest, CoreBoundaryCutOfCursorCarryingFrameIsTheCursorFreeFrame) {
+  // The one valid truncation of a cursor-carrying frame: cutting exactly at
+  // the core/block boundary produces the legacy cursor-free frame. This is
+  // by construction (the block is optional-trailing), pinned here so the
+  // truncation-fuzz corpus's exclusion of these frames stays explained.
+  Data d{MessageId{3, 99}, {0xAA}, {{2, 9}}};
+  Data core{MessageId{3, 99}, {0xAA}};
+  auto full = encode(Message{d});
+  auto core_bytes = encode(Message{core});
+  ASSERT_LT(core_bytes.size(), full.size());
+  std::span<const std::uint8_t> cut(full.data(), core_bytes.size());
+  auto decoded = decode(cut);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Data>(*decoded), core);
+  // Every *other* truncation of the block still rejects.
+  for (std::size_t n = core_bytes.size() + 1; n < full.size(); ++n) {
+    std::span<const std::uint8_t> prefix(full.data(), n);
+    EXPECT_FALSE(decode(prefix).has_value()) << "cut at " << n;
+  }
+}
+
+TEST(CodecTest, HandoffAndShedNestingStripsCursors) {
+  // Data nested inside Handoff/Shed is parsed sequentially without a length
+  // prefix, so the optional trailing block cannot exist there: the nested
+  // encoding is always the cursor-free core, and cursors on an input Data
+  // are dropped by design (buffered copies are cursor-free anyway).
+  Data d{MessageId{1, 1}, {7, 8}, {{2, 9}}};
+  Data stripped{MessageId{1, 1}, {7, 8}};
+
+  auto ho = decode(encode(Message{Handoff{{d}}}));
+  ASSERT_TRUE(ho.has_value());
+  ASSERT_EQ(std::get<Handoff>(*ho).messages.size(), 1u);
+  EXPECT_EQ(std::get<Handoff>(*ho).messages[0], stripped);
+
+  auto sh = decode(encode(Message{Shed{4, d}}));
+  ASSERT_TRUE(sh.has_value());
+  EXPECT_EQ(std::get<Shed>(*sh).message, stripped);
+}
+
+TEST(CodecNegativeTest, HostileDataCursorCountRejected) {
+  // A Data frame whose trailing block claims 2^40 cursors: rejected on the
+  // bounds check, never allocated.
+  std::vector<std::uint8_t> bytes = {1};  // kData
+  append_message_id(bytes, 7, 42);
+  append_varint(bytes, 1);  // payload length
+  bytes.push_back(0xAA);
+  append_varint(bytes, 1ULL << 40);  // cursor count
+  EXPECT_FALSE(decode(bytes).has_value());
+
+  std::vector<std::uint8_t> capped = {1};
+  append_message_id(capped, 7, 42);
+  append_varint(capped, 0);  // empty payload
+  append_varint(capped, kMaxRepeated + 1);
+  EXPECT_FALSE(decode(capped).has_value());
+}
+
+TEST(CodecNegativeTest, ZeroCursorCountRejected) {
+  // A present-but-empty block is never emitted (empty encodes as absent),
+  // so a zero count is hostile — and rejecting it is what keeps the old
+  // trailing-garbage property: legacy frame + 0x00 still fails to decode.
+  for (std::uint8_t tag : {std::uint8_t{1}, std::uint8_t{2}}) {
+    std::vector<std::uint8_t> bytes =
+        tag == 1 ? encode(Message{Data{MessageId{3, 4}, {1, 2}}})
+                 : encode(Message{Session{1, 99}});
+    bytes.push_back(0x00);  // cursor count = 0
+    EXPECT_FALSE(decode(bytes).has_value()) << "tag " << int(tag);
+  }
+}
+
+TEST(CodecNegativeTest, DataTruncatedMidCursorBlockRejected) {
+  // The advertised cursor count exceeds the cursors actually present.
+  std::vector<std::uint8_t> bytes = {1};  // kData
+  append_message_id(bytes, 7, 42);
+  append_varint(bytes, 0);  // empty payload
+  append_varint(bytes, 2);  // claims two cursors
+  append_u32(bytes, 2);
+  append_varint(bytes, 5);  // only one follows
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(CodecFuzzTest, RandomMutationOfCursorCarryingDataNeverCrashes) {
+  RandomEngine rng(0xC0C05);
+  auto base = encode(
+      Message{Data{MessageId{1, 1}, {1, 2, 3}, {{2, 40}, {3, 1ULL << 20}}}});
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto bytes = base;
+    std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] = static_cast<std::uint8_t>(rng.next_u32());
+    auto decoded = decode(bytes);
+    if (decoded) {
+      (void)encode(*decoded);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rrmp::proto

@@ -323,6 +323,84 @@ TEST(ShardDeterminism, FlowControlRunsAreShardCountInvariant) {
   expect_identical(s1, s4, "flow shards=1 vs shards=4");
 }
 
+RunDigest run_adaptive_churn_flow_workload(std::size_t shards) {
+  // The flow workload again with the PR 7 machinery fully lit: AIMD window
+  // sizing, cursor piggybacking on Data/Session frames, and churn in the
+  // middle of the bursts — a crash plus a later rejoin, so the churn-safe
+  // credit seeding (joiner cursors at the sender's floor, departed cursors
+  // dropped at view-change time) and the ack-suppression state machine are
+  // all on the deterministic-ordering hook.
+  ClusterConfig cc;
+  cc.region_sizes = {6, 5, 4, 5};
+  cc.seed = 2031;
+  cc.data_loss = 0.20;
+  cc.control_loss = 0.02;
+  cc.jitter = 0.15;
+  cc.codec_roundtrip = true;
+  cc.shards = shards;
+  cc.protocol.buffer_budget = buffer::BufferBudget{512, 0};
+  cc.protocol.buffer_coordination.enabled = true;
+  cc.protocol.buffer_coordination.digest_interval = Duration::millis(15);
+  cc.protocol.flow.enabled = true;
+  cc.protocol.flow.window_size = 4;
+  cc.protocol.flow.ack_interval = Duration::millis(8);
+  cc.protocol.flow.adaptive = true;
+  cc.protocol.flow.min_window = 2;
+  cc.protocol.flow.piggyback = true;
+  Cluster cluster(cc);
+
+  for (int i = 0; i < 6; ++i) {
+    cluster.schedule_script(
+        TimePoint::zero() + Duration::millis(20) * i, [&cluster] {
+          for (int b = 0; b < 3; ++b) {
+            cluster.endpoint(0).multicast(std::vector<std::uint8_t>(48, 0x4F));
+            cluster.endpoint(1).multicast(std::vector<std::uint8_t>(48, 0x5A));
+          }
+        });
+  }
+  // Mid-burst churn in the senders' own region: member 5 crashes while
+  // frames are in flight and rejoins two bursts later with empty receive
+  // state; member 12 (another region) crashes for the cross-region angle.
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(45),
+                          [&cluster] { cluster.crash(5); });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(85),
+                          [&cluster] { cluster.rejoin(5); });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(110),
+                          [&cluster] { cluster.crash(12); });
+
+  cluster.run_for(Duration::seconds(1));
+  cluster.run_until_quiet(Duration::seconds(2));
+
+  RunDigest d;
+  const RecordingSink& m = cluster.metrics();
+  d.counters = m.counters();
+  d.deliveries = m.deliveries();
+  d.stores = m.stores();
+  d.discards = m.discards();
+  d.promotions = m.promotions();
+  d.recovery_latencies = m.recovery_latencies();
+  d.traffic = cluster.network().stats();
+  d.events_fired = cluster.events_fired();
+  d.final_now = cluster.now();
+  d.total_buffered = cluster.total_buffered();
+  d.lanes = cluster.lane_count();
+  return d;
+}
+
+TEST(ShardDeterminism, AdaptiveChurnFlowRunsAreShardCountInvariant) {
+  RunDigest s1 = run_adaptive_churn_flow_workload(1);
+  RunDigest s2 = run_adaptive_churn_flow_workload(2);
+  RunDigest s4 = run_adaptive_churn_flow_workload(4);
+
+  // The PR 7 machinery must actually have engaged: sends deferred by the
+  // AIMD window, and the piggybacked cursors suppressed standalone acks.
+  ASSERT_GT(s1.counters.sends_deferred, 0u);
+  ASSERT_GT(s1.counters.credit_acks_suppressed, 0u);
+
+  expect_identical(s1, s2, "adaptive churn flow shards=1 vs shards=2");
+  expect_identical(s1, s4, "adaptive churn flow shards=1 vs shards=4");
+}
+
 TEST(ShardDeterminism, SoleCopyProtectedWhenRedundantVictimAvailable) {
   // Regression for the coordination cost model, at the store level: under
   // pressure, a digest-advertised (redundant) entry is evicted even though
