@@ -26,6 +26,7 @@ import time
 FIG_BENCHES = [
     "bench_ext_capacity_sweep",
     "bench_ext_coordination_sweep",
+    "bench_ext_fault_sweep",
     "bench_ext_overload_sweep",
     "bench_fig3_longterm_distribution",
     "bench_fig4_no_bufferer",

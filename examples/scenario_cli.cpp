@@ -13,11 +13,15 @@
 #include <cstring>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "harness/cluster.h"
+#include "harness/fault_script.h"
 
 using namespace rrmp;
 
@@ -49,6 +53,10 @@ struct Options {
   std::size_t min_window = 2;      // AIMD lower bound / starting window
   std::size_t max_window = 0;      // AIMD ceiling override, 0 = --window
   bool piggyback = false;          // cursors ride on Data/Session frames
+  std::string fault_script;   // timeline spec file (see harness/fault_script.h)
+  std::string partition;      // partition groups applied at t=0: 0-5|6-11
+  std::string lossy_members;  // lossy-edge receivers from t=0: 3,5,7-9
+  double lossy_rate = 0.1;    // per-link drop rate for --lossy-members
   double lambda = 1.0;
   std::uint64_t seed = 1;
   std::size_t payload = 256;
@@ -99,6 +107,15 @@ void print_usage() {
       "  --piggyback           ride receive cursors on outgoing Data/Session\n"
       "                        frames; CreditAck becomes a quiet-receiver\n"
       "                        fallback\n"
+      "  --fault-script=FILE   scripted fault timeline: crash/rejoin storms,\n"
+      "                        partitions, heals, loss changes at absolute\n"
+      "                        sim times (grammar in harness/fault_script.h)\n"
+      "  --partition=GROUPS    sever traffic between member groups from t=0,\n"
+      "                        e.g. 0-5|6-11 (unlisted members form one\n"
+      "                        implicit extra group); heal via --fault-script\n"
+      "  --lossy-members=LIST  every link into each listed member drops with\n"
+      "                        --lossy-rate from t=0, e.g. 3,5,7-9\n"
+      "  --lossy-rate=P        drop rate for --lossy-members links (0.1)\n"
       "  --lambda=X            expected remote requests per regional loss (1)\n"
       "  --payload=BYTES       message payload size (256)\n"
       "  --interval=MS         send interval (5)\n"
@@ -188,6 +205,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.max_window = std::strtoull(v.c_str(), nullptr, 10);
     } else if (arg == "--piggyback") {
       opt.piggyback = true;
+    } else if (eat("--fault-script=", v)) {
+      opt.fault_script = v;
+    } else if (eat("--partition=", v)) {
+      opt.partition = v;
+    } else if (eat("--lossy-members=", v)) {
+      opt.lossy_members = v;
+    } else if (eat("--lossy-rate=", v)) {
+      opt.lossy_rate = std::strtod(v.c_str(), nullptr);
     } else if (eat("--lambda=", v)) {
       opt.lambda = std::strtod(v.c_str(), nullptr);
     } else if (eat("--payload=", v)) {
@@ -224,6 +249,9 @@ bool validate(const Options& opt) {
     return fail("--control-loss must be a probability in [0, 1]");
   }
   if (opt.lambda < 0.0) return fail("--lambda must be non-negative");
+  if (opt.lossy_rate < 0.0 || opt.lossy_rate > 1.0) {
+    return fail("--lossy-rate must be a probability in [0, 1]");
+  }
   if (opt.coordinate && opt.buffer_bytes == 0 && opt.buffer_count == 0) {
     // Digest gossip, replica-aware eviction and shed handoffs all act on
     // budget *pressure*; with unlimited buffers nothing ever evicts, so the
@@ -349,7 +377,58 @@ int main(int argc, char** argv) {
     std::printf("flow: off\n");
   }
 
+  // Assemble the fault timeline: an optional spec file plus the t=0
+  // shorthands. --partition / --lossy-members are synthesized as one-line
+  // specs so they share the script grammar (and its member-range parser).
+  std::vector<harness::FaultScript> faults;
+  {
+    std::string err;
+    if (!opt.fault_script.empty()) {
+      auto parsed = harness::FaultScript::parse_file(opt.fault_script, &err);
+      if (!parsed) {
+        std::fprintf(stderr, "--fault-script: %s\n", err.c_str());
+        return 2;
+      }
+      faults.push_back(std::move(*parsed));
+    }
+    if (!opt.partition.empty()) {
+      auto parsed = harness::FaultScript::parse(
+          "at=0 event=partition groups=" + opt.partition, &err);
+      if (!parsed) {
+        std::fprintf(stderr, "--partition: %s\n", err.c_str());
+        return 2;
+      }
+      faults.push_back(std::move(*parsed));
+    }
+    if (!opt.lossy_members.empty()) {
+      auto parsed = harness::FaultScript::parse(
+          "at=0 event=link-loss members=" + opt.lossy_members +
+              " rate=" + std::to_string(opt.lossy_rate),
+          &err);
+      if (!parsed) {
+        std::fprintf(stderr, "--lossy-members: %s\n", err.c_str());
+        return 2;
+      }
+      faults.push_back(std::move(*parsed));
+    }
+  }
+
   harness::Cluster cluster(cc);
+
+  std::size_t fault_events = 0;
+  for (const harness::FaultScript& script : faults) {
+    try {
+      script.schedule_on(cluster);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "fault script: %s\n", e.what());
+      return 2;
+    }
+    fault_events += script.size();
+  }
+  if (fault_events != 0) {
+    std::printf("faults: %zu scripted event%s\n", fault_events,
+                fault_events == 1 ? "" : "s");
+  }
 
   for (std::size_t i = 0; i < opt.messages; ++i) {
     cluster.schedule_script(
@@ -427,6 +506,9 @@ int main(int argc, char** argv) {
   table.add_row({"residual buffered msgs",
                  analysis::Table::num(
                      static_cast<std::uint64_t>(cluster.total_buffered()))});
+  if (ts.severed != 0) {
+    table.add_row({"severed packets", analysis::Table::num(ts.severed)});
+  }
   table.add_row({"wire bytes", analysis::Table::num(ts.bytes_sent)});
 
   if (opt.csv) {

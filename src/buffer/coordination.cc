@@ -12,6 +12,7 @@ void DigestTable::update(MemberId peer, std::uint64_t bytes_in_use,
   PeerDigest& d = peers_[peer];
   d.bytes_in_use = bytes_in_use;
   d.window_outstanding = window_outstanding;
+  d.missed = 0;  // a fresh advertisement restarts the aging clock
   d.ranges = std::move(ranges);
 }
 
@@ -25,6 +26,20 @@ void DigestTable::retain(const std::vector<MemberId>& alive) {
       ++it;
     }
   }
+}
+
+std::size_t DigestTable::age(std::size_t max_missed) {
+  if (max_missed == 0) return 0;  // aging disabled
+  std::size_t dropped = 0;
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (++it->second.missed > max_missed) {
+      it = peers_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 namespace {

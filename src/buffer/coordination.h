@@ -49,6 +49,14 @@ struct CoordinationParams {
   /// Push sole-copy victims to the least-loaded digest-advertised neighbor
   /// (proto::Shed) before discarding them.
   bool shed_sole_copies = true;
+  /// Age out a neighbor's advertisement after this many digest intervals
+  /// without a refresh (0 disables aging). A peer that is alive-but-severed
+  /// across a network partition stays in the view, so retain() never prunes
+  /// it — without aging its last digest would keep inflating replica counts
+  /// and pinning keeper elections for the whole partition. Digests normally
+  /// refresh every interval, so entries never age past 1 in a connected
+  /// region and the default changes nothing in fault-free runs.
+  std::size_t max_missed_digests = 3;
 
   friend bool operator==(const CoordinationParams&,
                          const CoordinationParams&) = default;
@@ -77,6 +85,13 @@ class DigestTable {
   /// into evicting what is now the region's last copy) or keep winning
   /// keeper elections it can no longer honour.
   void retain(const std::vector<MemberId>& alive);
+
+  /// Advance every advertisement's missed-refresh counter by one period and
+  /// drop entries not refreshed for more than `max_missed` periods (update()
+  /// resets the counter). Catches peers retain() cannot: alive-but-severed
+  /// members across a partition stay in the view while no digest of theirs
+  /// can arrive. Returns the number of entries dropped.
+  std::size_t age(std::size_t max_missed);
 
   void clear() { peers_.clear(); }
 
@@ -124,6 +139,7 @@ class DigestTable {
   struct PeerDigest {
     std::uint64_t bytes_in_use = 0;
     std::uint64_t window_outstanding = 0;
+    std::size_t missed = 0;  // digest periods since the last refresh
     std::vector<proto::DigestRange> ranges;
   };
   std::map<MemberId, PeerDigest> peers_;

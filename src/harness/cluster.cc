@@ -50,6 +50,20 @@ void Cluster::spawn_member(MemberId m) {
         ep->handle_message(msg, from);
       });
   network_->attach(m, hosts_[m].get());
+  // A member rejoining after the first partition/heal starts with a fresh
+  // endpoint: hand it the current connectivity generation (and severed
+  // peers, if a partition is active) or it would reject every current-
+  // generation CreditAck/BufferDigest. Never fires in fault-free runs.
+  if (fault_generation_ > 0) {
+    std::vector<MemberId> unreachable;
+    for (MemberId peer : topology_.members_of(topology_.region_of(m))) {
+      if (peer != m && !removed_[peer] && network_->severed(m, peer)) {
+        unreachable.push_back(peer);
+      }
+    }
+    endpoints_[m]->on_partition_change(std::move(unreachable),
+                                       fault_generation_);
+  }
 }
 
 const RecordingSink& Cluster::metrics() {
@@ -253,6 +267,81 @@ void Cluster::rejoin(MemberId m) {
   removed_[m] = false;
   spawn_member(m);
   notify_view_change();
+}
+
+// ---- fault injection ------------------------------------------------------
+
+void Cluster::partition(const std::vector<std::vector<MemberId>>& groups) {
+  network_->set_partition(groups);
+  ++fault_generation_;
+  notify_partition_change();
+}
+
+void Cluster::partition_regions(
+    const std::vector<std::vector<RegionId>>& groups) {
+  std::vector<std::vector<MemberId>> member_groups;
+  member_groups.reserve(groups.size());
+  for (const std::vector<RegionId>& regions : groups) {
+    std::vector<MemberId>& g = member_groups.emplace_back();
+    for (RegionId r : regions) {
+      const std::vector<MemberId>& members = topology_.members_of(r);
+      g.insert(g.end(), members.begin(), members.end());
+    }
+  }
+  partition(member_groups);
+}
+
+void Cluster::heal() {
+  if (!network_->partitioned()) return;
+  network_->clear_partition();
+  ++fault_generation_;
+  notify_partition_change();
+}
+
+void Cluster::notify_partition_change() {
+  // Like notify_view_change: runs at a script barrier, fixed ascending
+  // order, so everything the reconciliation transmits is deterministic at
+  // every shard count. Flow control is regional, so only region peers can
+  // be credit-relevant unreachables.
+  for (MemberId m = 0; m < size(); ++m) {
+    if (removed_[m]) continue;
+    std::vector<MemberId> unreachable;
+    for (MemberId peer : topology_.members_of(topology_.region_of(m))) {
+      if (peer != m && !removed_[peer] && network_->severed(m, peer)) {
+        unreachable.push_back(peer);
+      }
+    }
+    endpoints_[m]->on_partition_change(std::move(unreachable),
+                                       fault_generation_);
+  }
+}
+
+void Cluster::set_data_loss(double rate) {
+  config_.data_loss = rate;  // future rejoins inherit the new rate
+  for (MemberId m = 0; m < size(); ++m) {
+    if (!removed_[m]) hosts_[m]->set_data_loss(rate);
+  }
+}
+
+void Cluster::set_member_data_loss(MemberId m, double rate) {
+  if (!removed_.at(m)) hosts_[m]->set_data_loss(rate);
+}
+
+void Cluster::set_control_loss(double rate) {
+  // Stateless Bernoulli models: replacing every lane's instance at a
+  // barrier is safe and deterministic.
+  network_->set_control_loss(net::make_bernoulli(rate));
+}
+
+void Cluster::set_lossy_members(const std::vector<MemberId>& members,
+                                double rate) {
+  for (MemberId m : members) link_loss_.set_member_rate(m, rate);
+  network_->set_link_loss(link_loss_);
+}
+
+void Cluster::set_link_loss(MemberId src, MemberId dst, double rate) {
+  link_loss_.set_link_rate(src, dst, rate);
+  network_->set_link_loss(link_loss_);
 }
 
 void Cluster::notify_view_change() {

@@ -150,6 +150,41 @@ class Cluster {
   void crash(MemberId m);   // no handoff
   void rejoin(MemberId m);  // fresh endpoint for a previously-removed member
 
+  // ---- fault injection ---------------------------------------------------
+  //
+  // Everything here is inert until first used: a run that never partitions
+  // and never installs loss overrides is bit-identical to one built before
+  // these primitives existed. All of it must run at script barriers (use
+  // schedule_script, or call before run_for).
+
+  /// Sever all traffic between the listed member groups (members in no
+  /// group form one implicit extra group, connected among themselves).
+  /// Packets already in flight still deliver; membership views are
+  /// untouched — a partitioned peer is alive-but-unreachable, which is
+  /// exactly the state the credit/digest hardening exists for. Bumps the
+  /// connectivity generation and notifies every alive endpoint.
+  void partition(const std::vector<std::vector<MemberId>>& groups);
+  /// Convenience: partition whole regions instead of member sets.
+  void partition_regions(const std::vector<std::vector<RegionId>>& groups);
+  /// Restore full connectivity. Bumps the generation again, so credit
+  /// state from *either* side of the former partition is stale afterwards.
+  void heal();
+  bool partitioned() const { return network_->partitioned(); }
+  /// Connectivity generation: 0 until the first partition, then bumped by
+  /// every partition() / heal().
+  std::uint64_t fault_generation() const { return fault_generation_; }
+
+  /// Loss-rate overrides (applied immediately; also inherited by future
+  /// rejoins where applicable).
+  void set_data_loss(double rate);                   // every sender
+  void set_member_data_loss(MemberId m, double rate);  // one sender
+  void set_control_loss(double rate);
+  /// Per-link overrides on the control plane + repair path: every link
+  /// *into* each of `members` drops with `rate` (a lossy edge receiver).
+  void set_lossy_members(const std::vector<MemberId>& members, double rate);
+  /// One directed link src -> dst.
+  void set_link_loss(MemberId src, MemberId dst, double rate);
+
   // ---- queries -----------------------------------------------------------
 
   std::size_t count_received(const MessageId& id) const;
@@ -179,6 +214,9 @@ class Cluster {
   /// flow-control credit state reconciles at churn time, not at the next
   /// credit tick. Runs at a script barrier: deterministic for any shards.
   void notify_view_change();
+  /// Tell every alive endpoint which region peers an active partition
+  /// severs it from, with the current connectivity generation.
+  void notify_partition_change();
   /// Advance every lane to `t` (worker pool), exchange cross-region traffic,
   /// and settle arrivals landing exactly at `t`.
   void advance_lanes_to(TimePoint t);
@@ -202,6 +240,10 @@ class Cluster {
   std::vector<Script> scripts_;  // min-heap via ScriptLater
   std::uint64_t next_script_seq_ = 1;
   TimePoint clock_;  // last barrier every lane has reached
+  // Fault injection: the master link-loss table (lanes hold clones) and the
+  // connectivity generation bumped at every partition()/heal().
+  net::LinkLossTable link_loss_;
+  std::uint64_t fault_generation_ = 0;
 };
 
 }  // namespace rrmp::harness

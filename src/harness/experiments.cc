@@ -6,6 +6,7 @@
 
 #include "analysis/stats.h"
 #include "harness/cluster.h"
+#include "harness/fault_script.h"
 #include "harness/shard_pool.h"
 
 namespace rrmp::harness {
@@ -558,6 +559,163 @@ OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,
           ? 0.0
           : static_cast<double>(out.credit_bytes) /
                 static_cast<double>(out.delivered_payload_bytes);
+  return out;
+}
+
+// --------------------------------- Extension: degradation sweep ----
+
+const char* fault_cell_name(FaultCell cell) {
+  switch (cell) {
+    case FaultCell::kClean: return "clean";
+    case FaultCell::kPartition: return "partition";
+    case FaultCell::kLossyEdge: return "lossy-edge";
+    case FaultCell::kChurnStorm: return "churn-storm";
+    case FaultCell::kDigestLoss: return "digest-loss";
+  }
+  return "?";
+}
+
+FaultOutcome run_fault_cell(FaultCell cell, const FaultScenario& scenario,
+                            const ExperimentDefaults& defaults) {
+  ClusterConfig cc = base_config(defaults);
+  cc.region_sizes = {scenario.region_size};
+  cc.protocol.buffer_budget.max_bytes = scenario.budget_bytes;
+  cc.protocol.buffer_coordination.enabled = true;
+  cc.protocol.buffer_coordination.digest_interval = Duration::millis(10);
+  cc.protocol.flow.enabled = true;
+  cc.protocol.flow.window_size = scenario.window_size;
+  cc.protocol.flow.ack_interval = scenario.ack_interval;
+  cc.data_loss = scenario.data_loss;
+  cc.seed = scenario.seed;
+  Cluster cluster(cc);
+
+  // The flash-crowd workload every cell shares: `senders` members stream at
+  // the same instants into tight budgets.
+  std::size_t n = std::min(scenario.senders, scenario.region_size);
+  for (std::size_t i = 0; i < scenario.messages_per_sender; ++i) {
+    TimePoint at =
+        TimePoint::zero() + scenario.send_interval * static_cast<std::int64_t>(i);
+    for (MemberId s = 0; s < static_cast<MemberId>(n); ++s) {
+      cluster.schedule_script(at, [&cluster, s,
+                                   bytes = scenario.payload_bytes] {
+        cluster.endpoint(s).multicast(std::vector<std::uint8_t>(bytes, 0x5A));
+      });
+    }
+  }
+  Duration burst = scenario.send_interval *
+                   static_cast<std::int64_t>(scenario.messages_per_sender);
+
+  // Cell-specific hostility, built as a FaultScript timeline. Victims are
+  // always drawn from the tail of the member range so they never overlap
+  // the senders at the front.
+  auto tail_members = [&](std::size_t k) {
+    k = std::min(k, scenario.region_size - n);
+    std::vector<MemberId> out;
+    for (std::size_t i = scenario.region_size - k; i < scenario.region_size;
+         ++i) {
+      out.push_back(static_cast<MemberId>(i));
+    }
+    return out;
+  };
+  TimePoint t0 = TimePoint::zero();
+  std::vector<bool> was_crashed(scenario.region_size, false);
+  FaultScript faults;
+  switch (cell) {
+    case FaultCell::kClean: break;
+    case FaultCell::kPartition: {
+      // A minority of the receivers loses contact with everyone else a third
+      // into the burst; the wall comes down when the burst ends, so the
+      // drain window measures whether they backfill what they missed.
+      std::size_t k = std::max<std::size_t>(1, (scenario.region_size - n) / 3);
+      faults.partition(t0 + burst / 3, {tail_members(k)});
+      faults.heal(t0 + burst);
+      break;
+    }
+    case FaultCell::kLossyEdge: {
+      std::size_t k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(scenario.region_size) *
+                 scenario.lossy_fraction));
+      faults.link_loss(t0, tail_members(k), scenario.edge_loss);
+      break;
+    }
+    case FaultCell::kChurnStorm: {
+      std::size_t k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(scenario.region_size - n) *
+                 scenario.churn_fraction));
+      std::vector<MemberId> victims = tail_members(k);
+      for (MemberId v : victims) was_crashed[v] = true;
+      faults.crash(t0 + burst / 3, victims);
+      faults.rejoin(t0 + (burst * 2) / 3, victims);
+      break;
+    }
+    case FaultCell::kDigestLoss: {
+      faults.control_loss(t0 + burst / 3, scenario.spike_loss);
+      faults.control_loss(t0 + (burst * 2) / 3, 0.0);
+      break;
+    }
+  }
+  if (!faults.empty()) faults.schedule_on(cluster);
+
+  cluster.run_for(burst + scenario.drain);
+
+  FaultOutcome out;
+  out.cell = cell;
+  out.senders = n;
+  std::vector<double> per_sender;
+  std::size_t fully = 0;
+  for (MemberId s = 0; s < static_cast<MemberId>(n); ++s) {
+    std::size_t got = 0;
+    for (std::uint64_t seq = 1; seq <= scenario.messages_per_sender; ++seq) {
+      if (cluster.all_received(MessageId{s, seq})) ++got;
+    }
+    per_sender.push_back(static_cast<double>(got));
+    fully += got;
+  }
+  std::size_t streamed = n * scenario.messages_per_sender;
+  out.goodput = streamed == 0 ? 1.0
+                              : static_cast<double>(fully) /
+                                    static_cast<double>(streamed);
+  double sum = 0.0, sumsq = 0.0;
+  for (double x : per_sender) {
+    sum += x;
+    sumsq += x * x;
+  }
+  out.fairness = sumsq == 0.0 ? 1.0
+                              : (sum * sum) / (static_cast<double>(n) * sumsq);
+  for (MemberId m = 0; m < cluster.size(); ++m) {
+    if (!cluster.directory().alive(m)) continue;
+    const buffer::BufferStats& bs = cluster.endpoint(m).buffer().stats();
+    out.evictions += bs.evicted;
+    out.sheds += bs.shed;
+    // A rejoiner's exhausted pre-crash backfills are a deficit, not a
+    // liveness failure; members that kept their state get no such excuse.
+    if (was_crashed[m]) {
+      out.unrecovered_rejoined += cluster.endpoint(m).active_recoveries();
+    } else {
+      out.unrecovered += cluster.endpoint(m).active_recoveries();
+    }
+  }
+  const auto& counters = cluster.metrics().counters();
+  out.recovery_success =
+      counters.losses_detected == 0
+          ? 1.0
+          : static_cast<double>(counters.recoveries) /
+                static_cast<double>(counters.losses_detected);
+  std::vector<double> rec_ms;
+  for (Duration d : cluster.metrics().recovery_latencies()) {
+    rec_ms.push_back(d.ms());
+  }
+  out.mean_recovery_ms = analysis::mean(rec_ms);
+  out.deferred = counters.sends_deferred;
+  out.stall_releases = counters.flow_stall_releases;
+  out.severed = cluster.network().stats().severed;
+  for (MemberId s = 0; s < static_cast<MemberId>(n); ++s) {
+    if (cluster.endpoint(s).highest_sent() >= scenario.messages_per_sender) {
+      ++out.senders_completed;
+    }
+  }
   return out;
 }
 

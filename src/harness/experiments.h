@@ -291,6 +291,85 @@ OverloadOutcome run_overload_point(std::size_t senders, bool flow_on,
                                    const OverloadScenario& scenario,
                                    const ExperimentDefaults& defaults = {});
 
+// ---- Extension: fault-injection degradation sweep ---------------------------
+
+/// The degradation grid: one flash-crowd workload (budget coordination +
+/// windowed flow control on) per hostile-network cell. Each cell builds its
+/// fault timeline programmatically with FaultScript, so the sweep exercises
+/// the scripted-fault path end to end, not just the primitives.
+enum class FaultCell {
+  kClean,       ///< no faults: the control every other cell degrades from
+  kPartition,   ///< minority receiver group severed a third into the burst,
+                ///< healed when the burst ends — recovery must complete
+                ///< during drain
+  kLossyEdge,   ///< ~10% of receivers behind persistently lossy links
+  kChurnStorm,  ///< half the non-sender receivers crash a third into the
+                ///< burst and rejoin two thirds through
+  kDigestLoss,  ///< control-plane loss spike mid-burst (digests, credit
+                ///< acks, requests and repairs all drop), restored two
+                ///< thirds through
+};
+
+const char* fault_cell_name(FaultCell cell);
+
+struct FaultScenario {
+  std::size_t region_size = 24;
+  std::size_t senders = 4;
+  std::size_t messages_per_sender = 30;
+  Duration send_interval = Duration::millis(2);
+  double data_loss = 0.05;
+  std::size_t payload_bytes = 512;
+  /// Post-burst settle time. Must cover post-heal backfill — partitioned and
+  /// rejoined members recover their missed tail here — not just the
+  /// credit-paced send tail.
+  Duration drain = Duration::millis(2500);
+  std::uint64_t seed = 1;
+  std::size_t budget_bytes = 4096;  // per-member buffer budget
+  std::uint32_t window_size = 8;
+  Duration ack_interval = Duration::millis(5);
+
+  // Cell knobs.
+  double edge_loss = 0.10;       ///< kLossyEdge per-link drop rate
+  double lossy_fraction = 0.10;  ///< fraction of members behind lossy edges
+  double churn_fraction = 0.50;  ///< fraction of non-senders crashed
+  double spike_loss = 0.60;      ///< kDigestLoss control-plane loss rate
+};
+
+struct FaultOutcome {
+  FaultCell cell = FaultCell::kClean;
+  std::size_t senders = 0;
+  /// Fraction of all streamed messages every *alive* region member received.
+  double goodput = 0.0;
+  /// Jain's fairness index over per-sender fully-delivered counts.
+  double fairness = 1.0;
+  /// Detected losses eventually repaired, as a fraction (1.0 when nothing
+  /// was lost). Members that crash with open recoveries leave them
+  /// unrepaired by construction, so the churn cell sits below 1.0.
+  double recovery_success = 1.0;
+  double mean_recovery_ms = 0.0;
+  /// Open recoveries at the end on members that kept their state (never
+  /// crashed): the post-heal liveness witness — every cell must drain this
+  /// to zero. Partitioned members count here: a partition severs links, not
+  /// state, so their backfill must always complete.
+  std::uint64_t unrecovered = 0;
+  /// Open recoveries at the end on crash-and-rejoined members. A rejoiner
+  /// starts empty and backfills its pre-crash history from whatever copies
+  /// the region still holds; under budget pressure some of that history is
+  /// legitimately gone, and the exhausted recovery tasks stay counted here.
+  std::uint64_t unrecovered_rejoined = 0;
+  /// Senders whose full schedule went out (a wedged flow window leaves
+  /// frames queued forever).
+  std::size_t senders_completed = 0;
+  std::uint64_t severed = 0;    // packets dropped at the partition wall
+  std::uint64_t deferred = 0;   // multicasts queued awaiting credit
+  std::uint64_t stall_releases = 0;  // stalled-cursor credit releases
+  std::uint64_t evictions = 0;
+  std::uint64_t sheds = 0;
+};
+
+FaultOutcome run_fault_cell(FaultCell cell, const FaultScenario& scenario,
+                            const ExperimentDefaults& defaults = {});
+
 // ---- Ablation A5: handoff under churn --------------------------------------
 
 struct ChurnOutcome {

@@ -1,0 +1,370 @@
+#include "harness/fault_script.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/cluster.h"
+
+namespace rrmp::harness {
+namespace {
+
+struct ParseError {
+  std::string reason;
+};
+
+[[noreturn]] void fail(const std::string& reason) { throw ParseError{reason}; }
+
+std::uint64_t parse_uint(std::string_view s, const char* what) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    fail(std::string("bad ") + what + " '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+TimePoint parse_time(std::string_view s) {
+  std::int64_t scale = 1000;  // default unit: ms
+  if (s.size() >= 2 && s.substr(s.size() - 2) == "us") {
+    scale = 1;
+    s.remove_suffix(2);
+  } else if (s.size() >= 2 && s.substr(s.size() - 2) == "ms") {
+    scale = 1000;
+    s.remove_suffix(2);
+  } else if (s.size() >= 1 && s.back() == 's') {
+    scale = 1000000;
+    s.remove_suffix(1);
+  }
+  if (s.empty()) fail("bad time (empty value)");
+  return TimePoint::from_us(
+      static_cast<std::int64_t>(parse_uint(s, "time")) * scale);
+}
+
+double parse_rate(std::string_view s) {
+  // std::from_chars for doubles is still spotty across standard libraries;
+  // strtod on a bounded copy is portable and just as strict here.
+  std::string copy(s);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    fail("bad rate '" + copy + "'");
+  }
+  if (value < 0.0 || value > 1.0) fail("rate must be in [0, 1]");
+  return value;
+}
+
+// Comma-separated ids and inclusive ranges: "3,5,7-9".
+std::vector<MemberId> parse_members(std::string_view s) {
+  std::vector<MemberId> out;
+  while (!s.empty()) {
+    std::size_t comma = s.find(',');
+    std::string_view item = s.substr(0, comma);
+    s = comma == std::string_view::npos ? std::string_view{}
+                                        : s.substr(comma + 1);
+    if (item.empty()) fail("empty member list item");
+    std::size_t dash = item.find('-');
+    if (dash == std::string_view::npos) {
+      out.push_back(static_cast<MemberId>(parse_uint(item, "member id")));
+      continue;
+    }
+    auto first =
+        static_cast<MemberId>(parse_uint(item.substr(0, dash), "member id"));
+    auto last =
+        static_cast<MemberId>(parse_uint(item.substr(dash + 1), "member id"));
+    if (last < first) fail("descending range '" + std::string(item) + "'");
+    for (MemberId m = first; m <= last; ++m) out.push_back(m);
+  }
+  if (out.empty()) fail("empty member list");
+  return out;
+}
+
+// Member lists separated by '|': "0-5|6-11".
+std::vector<std::vector<MemberId>> parse_groups(std::string_view s) {
+  std::vector<std::vector<MemberId>> groups;
+  while (true) {
+    std::size_t bar = s.find('|');
+    groups.push_back(parse_members(s.substr(0, bar)));
+    if (bar == std::string_view::npos) break;
+    s = s.substr(bar + 1);
+  }
+  return groups;
+}
+
+struct Fields {
+  bool has(const char* key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+  std::string_view get(const char* key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    fail(std::string("missing ") + key + "=");
+  }
+  std::vector<std::pair<std::string_view, std::string_view>> kv;
+};
+
+FaultEvent parse_event_line(std::string_view line) {
+  Fields fields;
+  std::string_view rest = line;
+  while (!rest.empty()) {
+    std::size_t start = rest.find_first_not_of(" \t");
+    if (start == std::string_view::npos) break;
+    rest = rest.substr(start);
+    std::size_t end = rest.find_first_of(" \t");
+    std::string_view token = rest.substr(0, end);
+    rest = end == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(end);
+    std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      fail("expected key=value, got '" + std::string(token) + "'");
+    }
+    fields.kv.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+
+  FaultEvent ev;
+  ev.at = parse_time(fields.get("at"));
+  std::string_view kind = fields.get("event");
+  if (kind == "crash") {
+    ev.kind = FaultEvent::Kind::kCrash;
+    ev.members = parse_members(fields.get("members"));
+  } else if (kind == "rejoin") {
+    ev.kind = FaultEvent::Kind::kRejoin;
+    ev.members = parse_members(fields.get("members"));
+  } else if (kind == "leave") {
+    ev.kind = FaultEvent::Kind::kLeave;
+    ev.members = parse_members(fields.get("members"));
+  } else if (kind == "partition") {
+    ev.kind = FaultEvent::Kind::kPartition;
+    ev.groups = parse_groups(fields.get("groups"));
+  } else if (kind == "heal") {
+    ev.kind = FaultEvent::Kind::kHeal;
+  } else if (kind == "data-loss") {
+    ev.kind = FaultEvent::Kind::kDataLoss;
+    ev.rate = parse_rate(fields.get("rate"));
+    if (fields.has("members")) {
+      ev.members = parse_members(fields.get("members"));
+    }
+  } else if (kind == "control-loss") {
+    ev.kind = FaultEvent::Kind::kControlLoss;
+    ev.rate = parse_rate(fields.get("rate"));
+  } else if (kind == "link-loss") {
+    ev.kind = FaultEvent::Kind::kLinkLoss;
+    ev.members = parse_members(fields.get("members"));
+    ev.rate = parse_rate(fields.get("rate"));
+    if (fields.has("src")) {
+      ev.src = static_cast<MemberId>(parse_uint(fields.get("src"), "src"));
+    }
+  } else {
+    fail("unknown event '" + std::string(kind) + "'");
+  }
+  return ev;
+}
+
+void check_members(const std::vector<MemberId>& members, std::size_t size,
+                   const FaultEvent& ev) {
+  for (MemberId m : members) {
+    if (m >= size) {
+      throw std::invalid_argument(
+          std::string("fault script: ") + fault_event_kind_name(ev.kind) +
+          " targets member " + std::to_string(m) + " of a " +
+          std::to_string(size) + "-member cluster");
+    }
+  }
+}
+
+}  // namespace
+
+const char* fault_event_kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kRejoin: return "rejoin";
+    case FaultEvent::Kind::kLeave: return "leave";
+    case FaultEvent::Kind::kPartition: return "partition";
+    case FaultEvent::Kind::kHeal: return "heal";
+    case FaultEvent::Kind::kDataLoss: return "data-loss";
+    case FaultEvent::Kind::kControlLoss: return "control-loss";
+    case FaultEvent::Kind::kLinkLoss: return "link-loss";
+  }
+  return "?";
+}
+
+FaultScript& FaultScript::crash(TimePoint at, std::vector<MemberId> members) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kCrash;
+  ev.members = std::move(members);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultScript& FaultScript::rejoin(TimePoint at, std::vector<MemberId> members) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kRejoin;
+  ev.members = std::move(members);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultScript& FaultScript::leave(TimePoint at, std::vector<MemberId> members) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kLeave;
+  ev.members = std::move(members);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultScript& FaultScript::partition(TimePoint at,
+                                    std::vector<std::vector<MemberId>> groups) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kPartition;
+  ev.groups = std::move(groups);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultScript& FaultScript::heal(TimePoint at) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kHeal;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultScript& FaultScript::data_loss(TimePoint at, double rate,
+                                    std::vector<MemberId> senders) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kDataLoss;
+  ev.rate = rate;
+  ev.members = std::move(senders);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultScript& FaultScript::control_loss(TimePoint at, double rate) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kControlLoss;
+  ev.rate = rate;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultScript& FaultScript::link_loss(TimePoint at,
+                                    std::vector<MemberId> members, double rate,
+                                    MemberId src) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultEvent::Kind::kLinkLoss;
+  ev.members = std::move(members);
+  ev.rate = rate;
+  ev.src = src;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+void FaultScript::schedule_on(Cluster& cluster) const {
+  for (const FaultEvent& ev : events_) {
+    check_members(ev.members, cluster.size(), ev);
+    for (const std::vector<MemberId>& g : ev.groups) {
+      check_members(g, cluster.size(), ev);
+    }
+    if (ev.src != kInvalidMember && ev.src >= cluster.size()) {
+      throw std::invalid_argument("fault script: link-loss src " +
+                                  std::to_string(ev.src) + " out of range");
+    }
+    // The lambda copies the event: the script may outlive this FaultScript.
+    cluster.schedule_script(ev.at, [&cluster, ev] {
+      switch (ev.kind) {
+        case FaultEvent::Kind::kCrash:
+          for (MemberId m : ev.members) cluster.crash(m);
+          break;
+        case FaultEvent::Kind::kRejoin:
+          for (MemberId m : ev.members) cluster.rejoin(m);
+          break;
+        case FaultEvent::Kind::kLeave:
+          for (MemberId m : ev.members) cluster.leave(m);
+          break;
+        case FaultEvent::Kind::kPartition:
+          cluster.partition(ev.groups);
+          break;
+        case FaultEvent::Kind::kHeal:
+          cluster.heal();
+          break;
+        case FaultEvent::Kind::kDataLoss:
+          if (ev.members.empty()) {
+            cluster.set_data_loss(ev.rate);
+          } else {
+            for (MemberId m : ev.members) {
+              cluster.set_member_data_loss(m, ev.rate);
+            }
+          }
+          break;
+        case FaultEvent::Kind::kControlLoss:
+          cluster.set_control_loss(ev.rate);
+          break;
+        case FaultEvent::Kind::kLinkLoss:
+          if (ev.src == kInvalidMember) {
+            cluster.set_lossy_members(ev.members, ev.rate);
+          } else {
+            for (MemberId m : ev.members) {
+              cluster.set_link_loss(ev.src, m, ev.rate);
+            }
+          }
+          break;
+      }
+    });
+  }
+}
+
+std::optional<FaultScript> FaultScript::parse(std::string_view text,
+                                              std::string* error) {
+  FaultScript script;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view{}
+                                        : text.substr(nl + 1);
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::size_t last = line.find_last_not_of(" \t\r");
+    if (last == std::string_view::npos) continue;  // blank or comment-only
+    line = line.substr(0, last + 1);
+    try {
+      script.events_.push_back(parse_event_line(line));
+    } catch (const ParseError& e) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": " + e.reason;
+      }
+      return std::nullopt;
+    }
+  }
+  return script;
+}
+
+std::optional<FaultScript> FaultScript::parse_file(const std::string& path,
+                                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), error);
+}
+
+}  // namespace rrmp::harness

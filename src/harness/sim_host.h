@@ -49,6 +49,11 @@ class SimHost final : public IHost, public net::MessageHandler {
   void set_suspected(MemberId m, bool suspected);
   bool suspects(MemberId m) const { return suspected_.count(m) > 0; }
 
+  /// Per-receiver loss of this member's initial IP multicast (fault
+  /// injection may change it mid-run, at script barriers).
+  void set_data_loss(double rate) { data_loss_rate_ = rate; }
+  double data_loss() const { return data_loss_rate_; }
+
  private:
   void refresh_views() const;
 

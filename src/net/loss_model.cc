@@ -9,4 +9,41 @@ std::unique_ptr<LossModel> make_bernoulli(double p) {
   return std::make_unique<BernoulliLoss>(p);
 }
 
+void LinkLossTable::set_link(MemberId src, MemberId dst,
+                             std::unique_ptr<LossModel> model) {
+  links_[{src, dst}] = model ? std::move(model) : make_no_loss();
+}
+
+void LinkLossTable::set_link_rate(MemberId src, MemberId dst, double p) {
+  set_link(src, dst, make_bernoulli(p));
+}
+
+void LinkLossTable::set_member(MemberId dst, std::unique_ptr<LossModel> model) {
+  members_[dst] = model ? std::move(model) : make_no_loss();
+}
+
+void LinkLossTable::set_member_rate(MemberId dst, double p) {
+  set_member(dst, make_bernoulli(p));
+}
+
+LossModel* LinkLossTable::find(MemberId src, MemberId dst) {
+  if (!links_.empty()) {
+    auto it = links_.find({src, dst});
+    if (it != links_.end()) return it->second.get();
+  }
+  auto it = members_.find(dst);
+  return it == members_.end() ? nullptr : it->second.get();
+}
+
+LinkLossTable LinkLossTable::clone() const {
+  LinkLossTable copy;
+  for (const auto& [link, model] : links_) {
+    copy.links_[link] = model->clone();
+  }
+  for (const auto& [dst, model] : members_) {
+    copy.members_[dst] = model->clone();
+  }
+  return copy;
+}
+
 }  // namespace rrmp::net

@@ -7,9 +7,12 @@
 // loss.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "common/random.h"
+#include "common/types.h"
 
 namespace rrmp::net {
 
@@ -79,5 +82,54 @@ class GilbertElliottLoss final : public LossModel {
 
 std::unique_ptr<LossModel> make_no_loss();
 std::unique_ptr<LossModel> make_bernoulli(double p);
+
+/// Per-link loss heterogeneity: overrides the region-wide loss draw for
+/// specific links. Two rule granularities, looked up in precedence order:
+///
+///   1. link rule  (src, dst) — one directed edge,
+///   2. member rule (dst)     — every link *into* dst (a lossy edge
+///                              receiver, whatever the sender),
+///
+/// falling back to the caller's region model when neither matches. An
+/// override *replaces* the region draw (it does not compound with it), so a
+/// run with an empty table consumes exactly the RNG stream of a run without
+/// one. The sharded network keeps one clone() per region lane, like the
+/// control-loss model, so stateful overrides (Gilbert–Elliott) never share
+/// a chain across concurrently-running lanes.
+class LinkLossTable {
+ public:
+  LinkLossTable() = default;
+  LinkLossTable(LinkLossTable&&) = default;
+  LinkLossTable& operator=(LinkLossTable&&) = default;
+
+  /// Override the directed link src -> dst. Replaces any existing link rule.
+  void set_link(MemberId src, MemberId dst, std::unique_ptr<LossModel> model);
+  void set_link_rate(MemberId src, MemberId dst, double p);
+
+  /// Override every link into `dst`. Replaces any existing member rule.
+  void set_member(MemberId dst, std::unique_ptr<LossModel> model);
+  void set_member_rate(MemberId dst, double p);
+
+  void clear() {
+    links_.clear();
+    members_.clear();
+  }
+
+  bool empty() const { return links_.empty() && members_.empty(); }
+  std::size_t rule_count() const { return links_.size() + members_.size(); }
+
+  /// The override governing src -> dst (link rule before member rule), or
+  /// nullptr when the region model applies. Non-const: drawing from a
+  /// stateful model advances its chain.
+  LossModel* find(MemberId src, MemberId dst);
+
+  /// Deep copy with fresh chain state per rule (see LossModel::clone).
+  LinkLossTable clone() const;
+
+ private:
+  // Ordered maps: clone() and any future iteration are deterministic.
+  std::map<std::pair<MemberId, MemberId>, std::unique_ptr<LossModel>> links_;
+  std::map<MemberId, std::unique_ptr<LossModel>> members_;
+};
 
 }  // namespace rrmp::net

@@ -96,6 +96,30 @@ void SimNetwork::set_control_loss(std::unique_ptr<LossModel> model) {
   lanes_[0].loss = std::move(model);
 }
 
+void SimNetwork::set_link_loss(const LinkLossTable& table) {
+  // Every lane gets a fresh clone (the caller keeps the master copy), so
+  // stateful overrides never share a chain across lanes.
+  for (Lane& lane : lanes_) lane.links = table.clone();
+}
+
+void SimNetwork::set_partition(const std::vector<std::vector<MemberId>>& groups) {
+  // Group 0 is the implicit group of unlisted members; listed group i
+  // becomes i+1.
+  std::vector<std::uint32_t> assignment(topology_.member_count(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (MemberId m : groups[g]) {
+      if (m >= assignment.size()) {
+        throw std::invalid_argument("set_partition: member out of range");
+      }
+      if (assignment[m] != 0) {
+        throw std::invalid_argument("set_partition: member in two groups");
+      }
+      assignment[m] = static_cast<std::uint32_t>(g + 1);
+    }
+  }
+  partition_group_ = std::move(assignment);
+}
+
 Duration SimNetwork::delay(Lane& src, MemberId from, MemberId to) {
   Duration d = topology_.one_way_latency(from, to);
   if (jitter_fraction_ > 0.0) {
@@ -161,9 +185,19 @@ void SimNetwork::transmit(MemberId from, MemberId to, const Prepared& p,
     ++src.stats.sends_by_type[p.type_idx];
     src.stats.bytes_by_type[p.type_idx] += p.wire_bytes;
   }
-  if (apply_loss && src.loss->drop(src.rng)) {
-    ++src.stats.dropped;
+  // A partition severs the link before any loss draw, consuming no
+  // randomness: without one, the RNG stream is untouched.
+  if (severed(from, to)) {
+    ++src.stats.severed;
     return;
+  }
+  if (apply_loss) {
+    // A link override *replaces* the lane's uniform draw for this edge.
+    LossModel* link = src.links.find(from, to);
+    if (link != nullptr ? link->drop(src.rng) : src.loss->drop(src.rng)) {
+      ++src.stats.dropped;
+      return;
+    }
   }
   if (!p.msg) return;  // codec round-trip failed (already logged)
   dispatch(src, lane_of(to), from, to, p.msg);
@@ -192,7 +226,16 @@ void SimNetwork::ip_multicast(MemberId from, const proto::Message& msg,
     auto member = static_cast<MemberId>(m);
     if (member == from) continue;
     ++src.stats.sends;
-    if (src.rng.bernoulli(per_receiver_loss)) {
+    if (severed(from, member)) {
+      ++src.stats.severed;
+      continue;
+    }
+    // A lossy-edge receiver's override replaces the uniform per-receiver
+    // draw for its link only; everyone else draws exactly as before.
+    LossModel* link = src.links.find(from, member);
+    bool lost = link != nullptr ? link->drop(src.rng)
+                                : src.rng.bernoulli(per_receiver_loss);
+    if (lost) {
       ++src.stats.dropped;
       continue;
     }
@@ -216,6 +259,7 @@ TrafficStats SimNetwork::stats() const {
     total.sends += s.sends;
     total.delivered += s.delivered;
     total.dropped += s.dropped;
+    total.severed += s.severed;
     total.bytes_sent += s.bytes_sent;
     total.cross_lane_sends += s.cross_lane_sends;
     total.cross_lane_deliveries += s.cross_lane_deliveries;

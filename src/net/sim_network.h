@@ -60,6 +60,7 @@ struct TrafficStats {
   std::uint64_t sends = 0;       // individual point-to-point transmissions
   std::uint64_t delivered = 0;   // transmissions that reached a handler
   std::uint64_t dropped = 0;     // lost to the loss model
+  std::uint64_t severed = 0;     // cut by an active partition
   std::uint64_t bytes_sent = 0;  // encoded bytes across all transmissions
   // Cross-lane accounting (sharded mode): packets entering a lane outbox and
   // packets a lane delivered that originated in another lane. Conservation
@@ -97,6 +98,29 @@ class SimNetwork {
   /// repairs). Each lane receives its own clone() so stateful models never
   /// share a chain across lanes. The paper's experiments use NoLoss here.
   void set_control_loss(std::unique_ptr<LossModel> model);
+
+  /// Per-link loss overrides (fault injection). Each lane receives its own
+  /// clone() of `table`, like set_control_loss, so stateful overrides stay
+  /// lane-local. An empty table restores uniform behaviour. Must not be
+  /// called while lanes are running (script time only).
+  void set_link_loss(const LinkLossTable& table);
+
+  /// Sever all traffic between members of different `groups` (fault
+  /// injection). Members listed in no group form one implicit extra group,
+  /// connected among themselves. Severed sends are counted (TrafficStats::
+  /// severed) but consume no loss-model randomness, and packets already in
+  /// flight still deliver — a partition cuts links, it does not eat queues.
+  /// Throws std::invalid_argument if a member appears in two groups. Must
+  /// not be called while lanes are running (script time only).
+  void set_partition(const std::vector<std::vector<MemberId>>& groups);
+  void clear_partition() { partition_group_.clear(); }
+  bool partitioned() const { return !partition_group_.empty(); }
+
+  /// True when an active partition severs the a <-> b link.
+  bool severed(MemberId a, MemberId b) const {
+    return !partition_group_.empty() &&
+           partition_group_[a] != partition_group_[b];
+  }
 
   /// Multiply each latency by U(1, 1+fraction). 0 disables jitter.
   void set_latency_jitter(double fraction) { jitter_fraction_ = fraction; }
@@ -178,6 +202,7 @@ class SimNetwork {
     sim::Simulator* sim = nullptr;
     RandomEngine rng;
     std::unique_ptr<LossModel> loss;
+    LinkLossTable links;  // per-link overrides (empty: uniform loss)
     TrafficStats stats;
     std::vector<CrossLanePacket> outbox;
 
@@ -197,6 +222,9 @@ class SimNetwork {
   std::vector<std::size_t> region_lane_;  // RegionId -> lane index
   Duration lookahead_ = Duration::infinite();
   std::unordered_map<MemberId, MessageHandler*> handlers_;
+  // member -> partition group; empty when no partition is active. Read-only
+  // between script barriers, so concurrent lanes may consult it freely.
+  std::vector<std::uint32_t> partition_group_;
   double jitter_fraction_ = 0.0;
   bool codec_roundtrip_ = false;
 };

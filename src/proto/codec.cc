@@ -44,6 +44,22 @@ bool get_cursor_block(ByteReader& r, std::vector<ReceiveCursor>& cs) {
   return r.ok();
 }
 
+// Fault-injection connectivity generation, an *optional trailing* varint on
+// CreditAck and BufferDigest: nothing is written when the generation is 0
+// (no partition ever happened), so fault-free traffic keeps the legacy byte
+// layout and old golden vectors still decode. The decoder reads it only
+// when bytes remain after the core fields; an explicit 0 is never emitted
+// and is rejected on decode.
+void put_view_gen(ByteWriter& w, std::uint64_t gen) {
+  if (gen != 0) w.put_varint(gen);
+}
+
+bool get_view_gen(ByteReader& r, std::uint64_t& gen) {
+  if (r.done()) return r.ok();  // trailing field absent: legacy layout
+  gen = r.get_varint();
+  return r.ok() && gen != 0;
+}
+
 // Core (cursor-free) Data layout, shared with the nested encodings inside
 // Handoff and Shed: nested Data has no length prefix, so the optional
 // trailing cursor block exists only at the top level.
@@ -118,6 +134,7 @@ void encode_body(ByteWriter& w, const BufferDigest& m) {
     w.put_u64(r.first_seq);
     w.put_varint(r.count);
   }
+  put_view_gen(w, m.view_gen);
 }
 void encode_body(ByteWriter& w, const Shed& m) {
   w.put_u32(m.from);
@@ -132,6 +149,7 @@ void encode_body(ByteWriter& w, const CreditAck& m) {
     w.put_u32(c.source);
     w.put_varint(c.cursor);
   }
+  put_view_gen(w, m.view_gen);
 }
 
 bool decode_data_core(ByteReader& r, Data& m) {
@@ -230,7 +248,7 @@ bool decode_body(ByteReader& r, BufferDigest& m) {
     // An empty run advertises nothing; a well-formed digest never emits one.
     if (!r.ok() || dr.count == 0) return false;
   }
-  return r.ok();
+  return get_view_gen(r, m.view_gen);
 }
 bool decode_body(ByteReader& r, Shed& m) {
   m.from = r.get_u32();
@@ -247,7 +265,7 @@ bool decode_body(ByteReader& r, CreditAck& m) {
     c.source = r.get_u32();
     c.cursor = r.get_varint();
   }
-  return r.ok();
+  return get_view_gen(r, m.view_gen);
 }
 
 template <typename T>
@@ -344,12 +362,14 @@ std::size_t size_body(const BufferDigest& m) {
   std::size_t n = 4 + 8 + varint_size(m.window_outstanding) +
                   varint_size(m.ranges.size());
   for (const DigestRange& r : m.ranges) n += 4 + 8 + varint_size(r.count);
+  if (m.view_gen != 0) n += varint_size(m.view_gen);
   return n;
 }
 std::size_t size_body(const Shed& m) { return 4 + size_data_core(m.message); }
 std::size_t size_body(const CreditAck& m) {
   std::size_t n = 4 + 8 + 8 + varint_size(m.cursors.size());
   for (const ReceiveCursor& c : m.cursors) n += 4 + varint_size(c.cursor);
+  if (m.view_gen != 0) n += varint_size(m.view_gen);
   return n;
 }
 

@@ -184,6 +184,12 @@ struct BufferDigest {
   std::uint64_t bytes_in_use = 0;
   std::uint64_t window_outstanding = 0;
   std::vector<DigestRange> ranges;
+  /// Connectivity generation (fault injection: bumped at every partition
+  /// and heal). A digest that crossed a partition boundary carries a stale
+  /// generation and is dropped by the receiver. Rides as an optional
+  /// trailing varint: 0 (no partition ever) encodes to zero bytes, so the
+  /// layout is byte-identical to the pre-fault wire format.
+  std::uint64_t view_gen = 0;
 
   friend bool operator==(const BufferDigest&, const BufferDigest&) = default;
 };
@@ -211,6 +217,10 @@ struct CreditAck {
   std::uint64_t bytes_in_use = 0;
   std::uint64_t budget_bytes = 0;  // 0 = unlimited
   std::vector<ReceiveCursor> cursors;
+  /// Connectivity generation (see BufferDigest::view_gen): an ack sent
+  /// pre-partition and delivered post-heal must not regress the sender's
+  /// view of reported cursors. Optional trailing varint; 0 = zero bytes.
+  std::uint64_t view_gen = 0;
 
   friend bool operator==(const CreditAck&, const CreditAck&) = default;
 };

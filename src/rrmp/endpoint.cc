@@ -391,6 +391,10 @@ void Endpoint::handle_piggyback(
   // multicast also reach other regions, where the sender is not a credit
   // peer. Same guard as a departed-member CreditAck.
   if (!host_.local_view().contains(from)) return;
+  // A frame in flight when a partition formed can still arrive from a peer
+  // now severed from us; installing its cursor would re-wedge the floor
+  // on_partition_change just released.
+  if (flow_unreachable(from)) return;
   // Same semantics as a CreditAck cursor list: every advertising region
   // peer bounds our window, absent cursor = nothing received yet (0).
   std::uint64_t cursor = 0;
@@ -591,6 +595,10 @@ void Endpoint::handle_buffer_digest(const proto::BufferDigest& d,
   (void)from;
   if (!cfg_.buffer_coordination.enabled) return;
   if (d.member == self()) return;  // only neighbors count as replicas
+  // A digest from the other side of a partition (in flight at the cut, or
+  // delivered post-heal after sitting in a queue) describes buffer state we
+  // could not reach then and cannot trust now: generations must match.
+  if (d.view_gen != view_gen_) return;
   store_->digests().update(d.member, d.bytes_in_use, d.ranges,
                            d.window_outstanding);
   if (cfg_.flow.enabled) {
@@ -610,6 +618,13 @@ void Endpoint::handle_credit_ack(const proto::CreditAck& a, MemberId from) {
   // floor that retain_peers just released, until the next retain pass —
   // departed members get no credit voice.
   if (!host_.local_view().contains(a.member)) return;
+  // A stale-generation ack (sent pre-partition, delivered post-heal) must
+  // not regress our view of the peer's reported cursor: the peer re-seeded
+  // at the current floor at heal, and only its post-heal acks — stamped
+  // with the current generation — speak for it again.
+  if (a.view_gen != view_gen_) return;
+  // During the partition itself, severed peers get no credit voice at all.
+  if (flow_unreachable(a.member)) return;
   // Every acking region peer bounds our window, whether or not it has
   // received anything of our stream yet (absent cursor = nothing, 0).
   std::uint64_t cursor = 0;
@@ -922,9 +937,15 @@ void Endpoint::digest_tick() {
   // prune their advertisements against the current view, bounding the
   // staleness of any dead digest at one period.
   store_->digests().retain(host_.local_view().members());
+  // Alive-but-severed members (a partition) survive the view prune; their
+  // advertisements age out instead once no refresh arrives for a few
+  // periods. A connected peer refreshes every period, so its counter
+  // oscillates between 0 and 1 and aging never fires in fault-free runs.
+  store_->digests().age(cfg_.buffer_coordination.max_missed_digests);
   // Advertise even when empty: a zero bytes_in_use digest is exactly what
   // makes this member the least-loaded shed target.
   proto::BufferDigest d = store_->build_digest();
+  d.view_gen = view_gen_;
   if (cfg_.flow.enabled) d.window_outstanding = flow_.outstanding();
   host_.multicast_region(proto::Message{std::move(d)});
   digest_timer_ = schedule(cfg_.buffer_coordination.digest_interval,
@@ -940,14 +961,31 @@ std::vector<proto::ReceiveCursor> Endpoint::cursor_snapshot() const {
   return cursors;  // trackers_ is an ordered map: deterministic order
 }
 
+const std::vector<MemberId>& Endpoint::flow_peers() const {
+  const std::vector<MemberId>& view = host_.local_view().members();
+  if (flow_unreachable_.empty()) return view;
+  flow_peers_scratch_.clear();
+  for (MemberId m : view) {
+    if (!flow_unreachable(m)) flow_peers_scratch_.push_back(m);
+  }
+  return flow_peers_scratch_;
+}
+
+bool Endpoint::flow_unreachable(MemberId m) const {
+  return !flow_unreachable_.empty() &&
+         std::binary_search(flow_unreachable_.begin(), flow_unreachable_.end(),
+                            m);
+}
+
 void Endpoint::sync_flow_peers() {
-  const std::vector<MemberId>& now = host_.local_view().members();
+  const std::vector<MemberId>& now = flow_peers();
   if (now == flow_view_) return;
-  // Members in the live view but not the last snapshot genuinely joined:
-  // seed their cursor at the current floor so their first (necessarily 0)
-  // acks cannot drag the floor back through frames the crowd already
-  // acknowledged. Members that were merely quiet stay unseeded — their
-  // first real ack is allowed to lower the floor.
+  // Members in the reachable set but not the last snapshot genuinely joined
+  // (or just became reachable again at a partition heal): seed their cursor
+  // at the current floor so their first (necessarily stale) acks cannot
+  // drag the floor back through frames the crowd already acknowledged.
+  // Members that were merely quiet stay unseeded — their first real ack is
+  // allowed to lower the floor.
   for (MemberId m : now) {
     if (m == self()) continue;
     if (!std::binary_search(flow_view_.begin(), flow_view_.end(), m)) {
@@ -963,9 +1001,32 @@ void Endpoint::on_view_change() {
   // slowest peer otherwise wedges every sender's floor for up to one ack
   // interval (and handle_credit_ack's membership check keeps an in-flight
   // stale ack from re-installing it).
-  flow_.retain_peers(host_.local_view().members());
+  flow_.retain_peers(flow_peers());
   sync_flow_peers();
   // Dropping the slowest cursor may have freed credit immediately.
+  drain_send_queue();
+}
+
+void Endpoint::on_partition_change(std::vector<MemberId> unreachable,
+                                   std::uint64_t generation) {
+  if (!active_) return;
+  std::sort(unreachable.begin(), unreachable.end());
+  flow_unreachable_ = std::move(unreachable);
+  view_gen_ = generation;
+  if (!cfg_.flow.enabled) return;
+  // Piggyback suppression keys on the advertised cursor set, which a
+  // generation bump does not change — force the next credit tick to
+  // multicast a fresh, correctly-stamped ack anyway.
+  advertised_any_ = false;
+  quiet_ticks_ = 0;
+  // Partition: release credit bindings to peers we can no longer reach —
+  // their frozen cursors must not wedge the window at floor + window for
+  // the partition's lifetime. Heal: the other side re-enters flow_peers()
+  // and sync_flow_peers seeds it at the current floor, so its first
+  // post-heal acks (stamped with the new generation) cannot drag the floor
+  // back through the partition-era stream.
+  flow_.retain_peers(flow_peers());
+  sync_flow_peers();
   drain_send_queue();
 }
 
@@ -976,7 +1037,7 @@ void Endpoint::credit_tick() {
   // occupancy must not pin phantom back-pressure. (on_view_change does this
   // eagerly on hosts that report view changes; the tick remains the
   // transport-independent fallback.)
-  flow_.retain_peers(view.members());
+  flow_.retain_peers(flow_peers());
   sync_flow_peers();
   if (view.size() > 1) {
     proto::CreditAck ack;
@@ -984,6 +1045,7 @@ void Endpoint::credit_tick() {
     ack.bytes_in_use = store_->bytes();
     ack.budget_bytes = cfg_.buffer_budget.max_bytes;
     ack.cursors = cursor_snapshot();
+    ack.view_gen = view_gen_;
     // With piggybacking, the periodic ack is a fallback for quiet
     // receivers: suppress it while our piggybacked frames already carry
     // exactly these cursors, but refresh every few ticks anyway — the

@@ -98,6 +98,18 @@ class Endpoint {
   /// acks cannot drag the floor back to 0. No-op when flow is off.
   void on_view_change();
 
+  /// Connectivity changed (fault injection: a partition formed or healed).
+  /// `unreachable` lists the region peers that are alive-but-severed from
+  /// this member; `generation` is the cluster's connectivity generation,
+  /// stamped on outgoing CreditAcks/BufferDigests and checked on receipt so
+  /// credit state that crossed a partition boundary is rejected wholesale.
+  /// Credit bindings to newly unreachable peers are released immediately —
+  /// a severed peer must not wedge the window floor for the partition's
+  /// lifetime — and at heal the other side re-seeds at the current floor,
+  /// exactly like genuine joiners. Never called in fault-free runs.
+  void on_partition_change(std::vector<MemberId> unreachable,
+                           std::uint64_t generation);
+
   // --- introspection ----------------------------------------------------
 
   MemberId self() const { return host_.self(); }
@@ -114,6 +126,9 @@ class Endpoint {
 
   /// Flow-control window state (meaningful when config.flow.enabled).
   const FlowController& flow() const { return flow_; }
+  /// Connectivity generation last reported by on_partition_change (0 in
+  /// fault-free runs).
+  std::uint64_t view_generation() const { return view_gen_; }
   /// Frames admitted by multicast() but not yet transmitted (window full).
   std::size_t queued_sends() const { return send_queue_.size(); }
 
@@ -253,9 +268,15 @@ class Endpoint {
   /// frame (same credit semantics as a CreditAck's cursor list).
   void handle_piggyback(const std::vector<proto::ReceiveCursor>& cursors,
                         MemberId from);
-  /// Diff the current view against flow_view_ and seed cursors for members
-  /// that genuinely joined (churn-safe credit state).
+  /// Diff the current reachable peer set against flow_view_ and seed
+  /// cursors for members that genuinely joined — or just became reachable
+  /// again at a partition heal (churn-safe credit state).
   void sync_flow_peers();
+  /// The live view minus currently-unreachable peers (flow control's peer
+  /// universe). Returns the view itself when no partition is active.
+  const std::vector<MemberId>& flow_peers() const;
+  /// True when an active partition severs us from `m`.
+  bool flow_unreachable(MemberId m) const;
 
   // Helpers.
   void serve_waiters(const proto::Data& d);
@@ -315,6 +336,12 @@ class Endpoint {
   /// from peers that merely have not acked yet (who must keep their right
   /// to drag the floor back when their first real ack arrives).
   std::vector<MemberId> flow_view_;
+  /// Fault injection: region peers severed from us by an active partition
+  /// (sorted; empty in fault-free runs) and the cluster's connectivity
+  /// generation, stamped on outgoing credit state and matched on receipt.
+  std::vector<MemberId> flow_unreachable_;
+  std::uint64_t view_gen_ = 0;
+  mutable std::vector<MemberId> flow_peers_scratch_;
 
   // AIMD probe-round state (cfg_.flow.adaptive). A round is the larger of
   // ack_interval and the measured RTT of the slowest peer; a round in which

@@ -513,6 +513,109 @@ TEST(FlowEndpointTest, StaleAckFromDepartedPeerIgnored) {
   cluster.run_for(Duration::millis(100));
 }
 
+// ---------------------------------------------- partition-safe credit state ----
+
+TEST(FlowEndpointTest, PartitionReleasesSeveredBindingAndHealReseeds) {
+  // The fault-injection hardening end to end: member 3 sits behind a dead
+  // inbound edge (every link into it drops), so its honest cursor-0 acks
+  // wedge the sender at floor 0 — release_stalled_peers never fires for an
+  // honest holder, and the stall re-multicasts into 3 keep vanishing. A
+  // partition severing 3 must release its binding immediately (the stream
+  // un-wedges for the reachable majority), stale acks from either era must
+  // be rejected by the connectivity generation, and the heal must re-seed 3
+  // at the current floor instead of letting its next genuine cursor-0 ack
+  // reopen the whole partition-era stream.
+  harness::Cluster cluster(flow_cluster(4, 131, /*window=*/2));
+  cluster.set_lossy_members({3}, 1.0);
+  constexpr std::size_t kBurst = 8;
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x88));
+    }
+    EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), 2u);
+    EXPECT_EQ(cluster.endpoint(0).queued_sends(), kBurst - 2);
+  });
+  cluster.schedule_script_after(Duration::millis(60), [&] {
+    // The wedge: member 3 honestly reported 0 and can never advance.
+    const Endpoint& e = cluster.endpoint(0);
+    ASSERT_EQ(e.flow().window_floor(), 0u);
+    ASSERT_EQ(e.flow().send_seq(), 2u);
+    ASSERT_EQ(e.queued_sends(), kBurst - 2);
+    ASSERT_EQ(e.view_generation(), 0u);
+
+    cluster.partition({{3}});
+    // The severed binding is released at the partition barrier, not at the
+    // next credit tick: the floor recomputes over the reachable peers (both
+    // at 2) and the freed credit drains the queue on the spot.
+    EXPECT_EQ(e.view_generation(), 1u);
+    EXPECT_EQ(e.flow().window_floor(), 2u);
+    EXPECT_EQ(e.flow().send_seq(), 4u);
+    EXPECT_EQ(e.queued_sends(), kBurst - 4);
+
+    // A pre-partition ack from 3 was still in flight at the cut: stale
+    // generation, no credit voice — and its full-buffer report must not
+    // install phantom pressure either.
+    proto::CreditAck stale;
+    stale.member = 3;
+    stale.view_gen = 0;
+    stale.cursors = {{/*source=*/0, /*cursor=*/0}};
+    stale.bytes_in_use = 1000;
+    stale.budget_bytes = 1000;
+    cluster.endpoint(0).handle_message(proto::Message{stale}, 3);
+    EXPECT_EQ(e.flow().window_floor(), 2u);
+    EXPECT_FALSE(e.flow().pressured());
+
+    // Even a correctly-stamped ack is mute while its sender is severed.
+    stale.view_gen = 1;
+    cluster.endpoint(0).handle_message(proto::Message{stale}, 3);
+    EXPECT_EQ(e.flow().window_floor(), 2u);
+    EXPECT_FALSE(e.flow().pressured());
+  });
+  cluster.schedule_script_after(Duration::millis(120), [&] {
+    const Endpoint& e = cluster.endpoint(0);
+    // The reachable majority finished the burst during the partition.
+    ASSERT_EQ(e.flow().send_seq(), kBurst);
+    ASSERT_EQ(e.queued_sends(), 0u);
+
+    cluster.heal();
+    // Heal bumps the generation again and re-seeds 3 at the current floor:
+    // the partition-era stream is not reopened.
+    EXPECT_EQ(e.view_generation(), 2u);
+    EXPECT_EQ(e.flow().window_floor(), kBurst);
+
+    // A partition-era ack from a *reachable* peer, delivered late: only the
+    // generation check rejects it (member 1 is in view and unsevered), so
+    // this is the regression for the view_gen stamp itself.
+    proto::CreditAck stale;
+    stale.member = 1;
+    stale.view_gen = 1;
+    stale.cursors = {{/*source=*/0, /*cursor=*/0}};
+    stale.bytes_in_use = 1000;
+    stale.budget_bytes = 1000;
+    cluster.endpoint(0).handle_message(proto::Message{stale}, 1);
+    EXPECT_EQ(e.flow().window_floor(), kBurst);
+    EXPECT_FALSE(e.flow().pressured());
+    EXPECT_TRUE(e.flow().may_send(1));
+  });
+  cluster.schedule_script_after(Duration::millis(160), [&] {
+    // Member 3's genuine post-heal acks (current generation, cursor 0 — its
+    // inbound edge is still dead) have arrived; the heal-time seed holds
+    // the floor against them.
+    EXPECT_EQ(cluster.endpoint(0).flow().window_floor(), kBurst);
+    EXPECT_TRUE(cluster.endpoint(0).flow().may_send(1));
+  });
+  cluster.run_for(Duration::millis(220));
+  EXPECT_EQ(cluster.endpoint(0).flow().send_seq(), kBurst);
+  EXPECT_EQ(cluster.endpoint(0).queued_sends(), 0u);
+  // The stream reached everyone the network could actually deliver to.
+  for (std::uint64_t s = 1; s <= kBurst; ++s) {
+    for (MemberId m = 1; m <= 2; ++m) {
+      EXPECT_TRUE(cluster.endpoint(m).has_received(MessageId{0, s}))
+          << "member " << m << " seq " << s;
+    }
+  }
+}
+
 // ------------------------------------------------------- stall remulticast ----
 
 TEST(FlowEndpointTest, StallRemulticastsWedgingFrameAndRecovers) {

@@ -100,6 +100,89 @@ TEST(LossModelStatTest, GilbertElliottActuallyBursts) {
   EXPECT_GT(pair_rate, 1.5 * rate * rate);
 }
 
+// ---- LinkLossTable: per-link / per-member overrides ------------------------
+
+TEST(LinkLossTableTest, EmptyTableMatchesNothing) {
+  LinkLossTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.rule_count(), 0u);
+  EXPECT_EQ(table.find(1, 2), nullptr);
+}
+
+TEST(LinkLossTableTest, LinkRuleBeatsMemberRule) {
+  // Member rule: everything into 5 drops always. Link rule: 3 -> 5
+  // specifically never drops. The directed link must win; every other
+  // sender still hits the member rule; unrelated pairs fall through to the
+  // region model (nullptr).
+  LinkLossTable table;
+  table.set_member_rate(5, 1.0);
+  table.set_link_rate(3, 5, 0.0);
+  EXPECT_EQ(table.rule_count(), 2u);
+
+  RandomEngine rng(0x11);
+  LossModel* link = table.find(3, 5);
+  ASSERT_NE(link, nullptr);
+  EXPECT_FALSE(link->drop(rng));
+
+  LossModel* member = table.find(7, 5);
+  ASSERT_NE(member, nullptr);
+  EXPECT_TRUE(member->drop(rng));
+
+  EXPECT_EQ(table.find(3, 6), nullptr);  // no rule: region model applies
+  EXPECT_EQ(table.find(5, 3), nullptr);  // rules are directed (into 5 only)
+}
+
+TEST(LinkLossTableTest, OverrideReplacesRatherThanCompounds) {
+  // A 20% member override must produce a 20% empirical rate on its own —
+  // the table replaces the region draw, it never stacks on top of it.
+  LinkLossTable table;
+  table.set_member_rate(9, 0.2);
+  LossModel* model = table.find(0, 9);
+  ASSERT_NE(model, nullptr);
+  EXPECT_NEAR(empirical_rate(*model, 0x20C4), 0.2, kTolerance);
+}
+
+TEST(LinkLossTableTest, ClearAndNullModelResetRules) {
+  LinkLossTable table;
+  table.set_link_rate(1, 2, 0.5);
+  table.set_member(4, nullptr);  // null model = explicit no-loss rule
+  EXPECT_EQ(table.rule_count(), 2u);
+  RandomEngine rng(0x99);
+  LossModel* none = table.find(1, 4);
+  ASSERT_NE(none, nullptr);
+  EXPECT_FALSE(none->drop(rng));
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find(1, 2), nullptr);
+}
+
+TEST(LinkLossTableTest, CloneIsDeepAndDeterministic) {
+  // Each lane holds its own clone of the master table; a stateful model
+  // (Gilbert–Elliott) must replay identically from each clone, and
+  // advancing one clone's chain must not perturb the other's — the
+  // shard-determinism contract depends on this isolation.
+  LinkLossTable master;
+  master.set_link(2, 8,
+                  std::make_unique<GilbertElliottLoss>(0.05, 0.25, 0.0, 1.0));
+  LinkLossTable a = master.clone();
+  LinkLossTable b = master.clone();
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+
+  // Burn the master's chain forward: clones must be unaffected.
+  RandomEngine burn(0x77);
+  for (int i = 0; i < 1000; ++i) master.find(2, 8)->drop(burn);
+
+  RandomEngine ra(0xC1), rb(0xC1);
+  LossModel* ma = a.find(2, 8);
+  LossModel* mb = b.find(2, 8);
+  ASSERT_NE(ma, nullptr);
+  ASSERT_NE(mb, nullptr);
+  for (std::size_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(ma->drop(ra), mb->drop(rb)) << "clones diverged at trial " << i;
+  }
+}
+
 TEST(LossModelStatTest, SameSeedReplaysIdentically) {
   GilbertElliottLoss a(0.05, 0.25, 0.01, 0.5);
   GilbertElliottLoss b(0.05, 0.25, 0.01, 0.5);

@@ -134,6 +134,35 @@ TEST(CodecTest, EmptyCreditAckRoundTrip) {
   EXPECT_EQ(round_trip(a), a);
 }
 
+TEST(CodecTest, ViewGenerationRoundTrips) {
+  // The fault-injection connectivity generation rides both coordination
+  // frames as an optional trailing varint (absent when 0).
+  BufferDigest d{17, 4096, 3, {{1, 5, 2}}};
+  d.view_gen = 7;
+  EXPECT_EQ(round_trip(d), d);
+  d.view_gen = 1ULL << 40;  // multi-byte varint
+  EXPECT_EQ(round_trip(d), d);
+
+  CreditAck a{7, 4096, 65536, {{2, 10}, {3, 0}}};
+  a.view_gen = 2;
+  EXPECT_EQ(round_trip(a), a);
+  a.cursors.clear();  // trailing field after an empty repeated block
+  EXPECT_EQ(round_trip(a), a);
+}
+
+TEST(CodecTest, ViewGenerationSizesAreExact) {
+  BufferDigest d{17, 4096, 3, {{1, 5, 2}}};
+  CreditAck a{7, 4096, 65536, {{2, 10}}};
+  std::size_t digest_base = encoded_size(Message{d});
+  std::size_t ack_base = encoded_size(Message{a});
+  d.view_gen = 300;  // 2-byte varint
+  a.view_gen = 300;
+  EXPECT_EQ(encoded_size(Message{d}), encode(Message{d}).size());
+  EXPECT_EQ(encoded_size(Message{a}), encode(Message{a}).size());
+  EXPECT_EQ(encoded_size(Message{d}), digest_base + 2);
+  EXPECT_EQ(encoded_size(Message{a}), ack_base + 2);
+}
+
 TEST(CodecTest, TypeTagsAreStable) {
   // Wire compatibility: these values must never change.
   EXPECT_EQ(static_cast<int>(type_of(Message{Data{}})), 1);
@@ -500,6 +529,50 @@ TEST(CodecGoldenTest, CreditAckEncodesByteExact) {
   auto decoded = decode(want);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(std::get<CreditAck>(*decoded), a);
+}
+
+TEST(CodecGoldenTest, ViewGenExtendsLegacyLayoutByOneTrailingVarint) {
+  // Fault-free traffic (view_gen == 0, struct default) must keep the exact
+  // legacy byte layout — the golden vectors above pin that. A nonzero
+  // generation appends one varint and nothing else, so legacy decoders
+  // would reject it cleanly and new decoders read old frames unchanged.
+  CreditAck a;
+  a.member = 6;
+  a.bytes_in_use = 0x55;
+  a.budget_bytes = 0x1000;
+  a.cursors = {{2, 9}};
+
+  std::vector<std::uint8_t> legacy = encode(Message{a});
+  a.view_gen = 300;
+  std::vector<std::uint8_t> want = legacy;
+  append_varint(want, 300);
+  EXPECT_EQ(encode(Message{a}), want);
+  auto decoded = decode(want);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<CreditAck>(*decoded), a);
+
+  BufferDigest d{5, 0x1234, 200, {{2, 7, 3}}};
+  legacy = encode(Message{d});
+  d.view_gen = 4;
+  want = legacy;
+  append_varint(want, 4);
+  EXPECT_EQ(encode(Message{d}), want);
+  decoded = decode(want);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<BufferDigest>(*decoded), d);
+}
+
+TEST(CodecNegativeTest, ExplicitZeroViewGenRejected) {
+  // An encoder never emits generation 0 (it omits the field); a trailing
+  // zero varint is a malformed frame, not a legacy one.
+  std::vector<std::uint8_t> ack = encode(Message{CreditAck{1, 64, 128, {{2, 3}}}});
+  append_varint(ack, 0);
+  EXPECT_FALSE(decode(ack).has_value());
+
+  std::vector<std::uint8_t> digest =
+      encode(Message{BufferDigest{1, 64, 2, {DigestRange{1, 2, 3}}}});
+  append_varint(digest, 0);
+  EXPECT_FALSE(decode(digest).has_value());
 }
 
 TEST(CodecGoldenTest, ShedEncodesByteExact) {

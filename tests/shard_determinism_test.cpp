@@ -401,6 +401,89 @@ TEST(ShardDeterminism, AdaptiveChurnFlowRunsAreShardCountInvariant) {
   expect_identical(s1, s4, "adaptive churn flow shards=1 vs shards=4");
 }
 
+RunDigest run_partition_heal_workload(std::size_t shards) {
+  // The fault-injection layer on the deterministic-ordering hook: per-member
+  // link-loss overrides from t=0, then a mid-run partition that severs two
+  // whole regions from the other two (cutting cross-lane traffic at the
+  // barrier-exchange seam, the spot most exposed to shard count), healed
+  // while the stream is still running. The severed-packet accounting, the
+  // partition-change credit releases and the post-heal re-seeding must all
+  // be byte-identical at every shard count.
+  ClusterConfig cc;
+  cc.region_sizes = {6, 5, 4, 5};
+  cc.seed = 2033;
+  cc.data_loss = 0.20;
+  cc.control_loss = 0.02;
+  cc.jitter = 0.15;
+  cc.codec_roundtrip = true;
+  cc.shards = shards;
+  cc.protocol.buffer_budget = buffer::BufferBudget{512, 0};
+  cc.protocol.buffer_coordination.enabled = true;
+  cc.protocol.buffer_coordination.digest_interval = Duration::millis(15);
+  cc.protocol.flow.enabled = true;
+  cc.protocol.flow.window_size = 4;
+  cc.protocol.flow.ack_interval = Duration::millis(8);
+  Cluster cluster(cc);
+
+  // Lossy edges into one member of region 0 and one of region 2: the
+  // link-table clones must draw identically in every lane arrangement.
+  cluster.set_lossy_members({4, 13}, 0.3);
+
+  for (int i = 0; i < 6; ++i) {
+    cluster.schedule_script(
+        TimePoint::zero() + Duration::millis(20) * i, [&cluster] {
+          for (int b = 0; b < 3; ++b) {
+            cluster.endpoint(0).multicast(std::vector<std::uint8_t>(48, 0x6B));
+            cluster.endpoint(1).multicast(std::vector<std::uint8_t>(48, 0x7C));
+          }
+        });
+  }
+  // Regions {2, 3} lose contact with regions {0, 1} mid-stream; the wall
+  // comes down 75 ms later with bursts still arriving. A crash during the
+  // partition adds the churn-during-fault angle.
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(45),
+                          [&cluster] {
+                            cluster.partition_regions({{0, 1}, {2, 3}});
+                          });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(70),
+                          [&cluster] { cluster.crash(12); });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(120),
+                          [&cluster] { cluster.heal(); });
+
+  cluster.run_for(Duration::seconds(1));
+  cluster.run_until_quiet(Duration::seconds(2));
+
+  RunDigest d;
+  const RecordingSink& m = cluster.metrics();
+  d.counters = m.counters();
+  d.deliveries = m.deliveries();
+  d.stores = m.stores();
+  d.discards = m.discards();
+  d.promotions = m.promotions();
+  d.recovery_latencies = m.recovery_latencies();
+  d.traffic = cluster.network().stats();
+  d.events_fired = cluster.events_fired();
+  d.final_now = cluster.now();
+  d.total_buffered = cluster.total_buffered();
+  d.lanes = cluster.lane_count();
+  return d;
+}
+
+TEST(ShardDeterminism, PartitionHealRunsAreShardCountInvariant) {
+  RunDigest s1 = run_partition_heal_workload(1);
+  RunDigest s2 = run_partition_heal_workload(2);
+  RunDigest s4 = run_partition_heal_workload(4);
+
+  // The fault layer must actually have engaged: packets died at the
+  // partition wall, and the post-heal stream still recovered losses.
+  ASSERT_GT(s1.traffic.severed, 0u);
+  ASSERT_GT(s1.counters.recoveries, 0u);
+  ASSERT_GT(s1.traffic.cross_lane_sends, 0u);
+
+  expect_identical(s1, s2, "partition shards=1 vs shards=2");
+  expect_identical(s1, s4, "partition shards=1 vs shards=4");
+}
+
 TEST(ShardDeterminism, SoleCopyProtectedWhenRedundantVictimAvailable) {
   // Regression for the coordination cost model, at the store level: under
   // pressure, a digest-advertised (redundant) entry is evicted even though
