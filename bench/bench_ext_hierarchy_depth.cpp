@@ -1,26 +1,37 @@
-// Extension E1 — recovery latency vs hierarchy depth.
+// Extension E1 — recovery latency vs hierarchy depth, plus the repair-tree
+// makespan sweep.
 //
-// The paper evaluates buffering inside one region; its §2 protocol,
-// however, chains regions: a loss at depth d is repaired by depth d-1,
-// whose member may itself still be recovering (waiter forwarding). This
-// bench quantifies the chain: time until a whole bottom region has a
-// message that only the root region received, for chains of 1..4 hops.
+// Part 1 (flat recovery, unchanged since PR 1): the paper evaluates
+// buffering inside one region; its §2 protocol, however, chains regions: a
+// loss at depth d is repaired by depth d-1, whose member may itself still
+// be recovering (waiter forwarding). This quantifies the chain: time until
+// a whole bottom region has a message that only the root region received,
+// for chains of 1..4 hops.
 //
-// Expected shape: latency grows roughly linearly with depth — each hop
-// adds one remote round trip (2 x 50 ms) plus regional spread — while the
-// per-hop remote request traffic stays ~lambda.
+// Part 2 (hierarchical repair): the same question at tree scale. A complete
+// fanout-ary region tree with only the root holding the message; every
+// region's representative funnels its region's NAKs and escalates up the
+// tree (src/repair). The grid sweeps depth x fanout x region size; the
+// scale points grow the same shape to 10^4 / 10^5 / 10^6 members.
+// RRMP_HIERARCHY_POINTS=N runs only the first N scale points (CI smoke
+// sets 2; unset runs all three).
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "harness/cluster.h"
+#include "harness/experiments.h"
 
 using namespace rrmp;
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kRegionSize = 12;
   constexpr std::size_t kTrials = 30;
+  const std::size_t shards = bench::parse_shards(argc, argv);
 
   bench::banner(
       "Extension E1: regional-loss repair latency vs hierarchy depth",
@@ -80,6 +91,110 @@ int main() {
   report.verdict(monotone && spaced,
                  "repair latency grows ~linearly with hierarchy depth "
                  "(one remote RTT per hop)");
+
+  // ---- Part 2: repair-tree makespan grid ----------------------------------
+
+  bench::banner(
+      "Extension E1b: repair-tree makespan (hierarchical repair on)",
+      "Complete fanout-ary region tree; only the root region holds the\n"
+      "message; representatives funnel NAKs and escalate level by level.\n"
+      "Makespan = simulated time of the last delivery.");
+
+  analysis::Table grid({"depth", "fanout", "region size", "members",
+                        "makespan ms", "escalations", "recovered"});
+  bool grid_recovered = true;
+  bool grid_monotone = true;
+  for (std::size_t fanout : {2, 3}) {
+    for (std::size_t region_size : {12, 24}) {
+      double prev = 0.0;
+      for (std::size_t depth = 1; depth <= 3; ++depth) {
+        harness::MakespanScenario sc;
+        sc.fanout = fanout;
+        sc.depth = depth;
+        sc.region_size = region_size;
+        sc.seed = 0xE1'B000 + fanout * 100 + region_size * 10 + depth;
+        sc.shards = shards;
+        harness::MakespanOutcome o = harness::run_makespan_point(sc);
+        grid_recovered = grid_recovered && o.all_recovered;
+        // Slack: one regional spread — deeper trees must cost more overall.
+        if (o.makespan_ms + 20.0 < prev) grid_monotone = false;
+        prev = o.makespan_ms;
+        grid.add_row(
+            {analysis::Table::num(static_cast<std::uint64_t>(depth)),
+             analysis::Table::num(static_cast<std::uint64_t>(fanout)),
+             analysis::Table::num(static_cast<std::uint64_t>(region_size)),
+             analysis::Table::num(static_cast<std::uint64_t>(o.members)),
+             analysis::Table::num(o.makespan_ms, 1),
+             analysis::Table::num(o.remote_requests),
+             o.all_recovered ? "yes" : "NO"});
+        if (depth == 3 && region_size == 12) {
+          report.add_scalar("makespan_ms_depth3_fanout" + std::to_string(fanout),
+                            o.makespan_ms);
+        }
+      }
+    }
+  }
+  grid.print(std::cout);
+  bench::maybe_write_csv("ext_hierarchy_makespan", grid);
+  report.add_table("repair-tree makespan grid", grid);
+  report.verdict(grid_recovered, "every grid point fully recovered");
+  report.verdict(grid_monotone,
+                 "makespan grows with tree depth at every fanout/region size");
+
+  // ---- Part 3: scale points ------------------------------------------------
+
+  std::size_t max_points = 3;
+  if (const char* env = std::getenv("RRMP_HIERARCHY_POINTS")) {
+    max_points = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  struct ScalePoint {
+    std::size_t fanout, depth, region_size, sub_shard;
+    const char* label;
+  };
+  // 10^4 exercises sub-sharded lanes (90-member regions split into 32-member
+  // chunks); the larger points keep one lane per region — at 900 members a
+  // region is already a good-sized lane and the 50 ms lookahead window does
+  // far fewer barrier rounds than the 5 ms sub-sharded one.
+  const ScalePoint points[] = {
+      {10, 2, 90, 32, "1e4"},   // 111 regions, 9,990 members
+      {10, 2, 900, 0, "1e5"},   // 111 regions, 99,900 members
+      {10, 3, 900, 0, "1e6"},   // 1,111 regions, 999,900 members
+  };
+  analysis::Table scale({"members", "regions", "makespan ms", "escalations",
+                         "sim events", "wall s", "recovered"});
+  bool scale_recovered = true;
+  std::size_t ran = 0;
+  for (const ScalePoint& p : points) {
+    if (ran >= max_points) break;
+    ++ran;
+    harness::MakespanScenario sc;
+    sc.fanout = p.fanout;
+    sc.depth = p.depth;
+    sc.region_size = p.region_size;
+    sc.sub_shard_members = p.sub_shard;
+    sc.seed = 0xE1'5CA1;
+    sc.shards = shards;
+    auto wall0 = std::chrono::steady_clock::now();
+    harness::MakespanOutcome o = harness::run_makespan_point(sc);
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+    scale_recovered = scale_recovered && o.all_recovered;
+    scale.add_row({analysis::Table::num(static_cast<std::uint64_t>(o.members)),
+                   analysis::Table::num(static_cast<std::uint64_t>(o.regions)),
+                   analysis::Table::num(o.makespan_ms, 1),
+                   analysis::Table::num(o.remote_requests),
+                   analysis::Table::num(o.events),
+                   analysis::Table::num(wall_s, 1),
+                   o.all_recovered ? "yes" : "NO"});
+    // Wall time is machine-dependent: console/table only, never a scalar.
+    report.add_scalar("makespan_ms_" + std::string(p.label), o.makespan_ms);
+  }
+  scale.print(std::cout);
+  bench::maybe_write_csv("ext_hierarchy_scale", scale);
+  report.add_table("repair-tree makespan at scale", scale);
+  report.verdict(scale_recovered, "every scale point fully recovered");
+
   report.write_if_requested();
-  return (monotone && spaced) ? 0 : 1;
+  return report.all_ok() ? 0 : 1;
 }

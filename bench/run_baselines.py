@@ -27,6 +27,7 @@ FIG_BENCHES = [
     "bench_ext_capacity_sweep",
     "bench_ext_coordination_sweep",
     "bench_ext_fault_sweep",
+    "bench_ext_hierarchy_depth",
     "bench_ext_overload_sweep",
     "bench_fig3_longterm_distribution",
     "bench_fig4_no_bufferer",
@@ -141,7 +142,7 @@ def main():
                         help="Google Benchmark binaries to fold in as ns/op "
                              "counters (default: the bench_micro_* pair); "
                              "pass an empty list to skip")
-    parser.add_argument("--timeout", type=float, default=600.0,
+    parser.add_argument("--timeout", type=float, default=1200.0,
                         help="per-bench timeout in seconds")
     args = parser.parse_args()
 

@@ -53,6 +53,11 @@ struct Options {
   std::size_t min_window = 2;      // AIMD lower bound / starting window
   std::size_t max_window = 0;      // AIMD ceiling override, 0 = --window
   bool piggyback = false;          // cursors ride on Data/Session frames
+  bool stall_backoff = false;      // exponential stall-remulticast pacing
+  bool hierarchy = false;          // multi-level repair over the region tree
+  std::size_t fanout = 2;          // children per region when --depth > 0
+  std::size_t depth = 0;           // region-tree depth, 0 = flat --regions
+  std::size_t sub_shard = 0;       // split regions larger than N across lanes
   std::string fault_script;   // timeline spec file (see harness/fault_script.h)
   std::string partition;      // partition groups applied at t=0: 0-5|6-11
   std::string lossy_members;  // lossy-edge receivers from t=0: 3,5,7-9
@@ -107,6 +112,18 @@ void print_usage() {
       "  --piggyback           ride receive cursors on outgoing Data/Session\n"
       "                        frames; CreditAck becomes a quiet-receiver\n"
       "                        fallback\n"
+      "  --stall-backoff       double the stall re-multicast interval per\n"
+      "                        consecutive re-multicast of the same wedged\n"
+      "                        frame (reset when the floor advances)\n"
+      "  --hierarchy           multi-level repair: per-region representatives\n"
+      "                        answer local NAKs and escalate misses up the\n"
+      "                        region tree instead of going to the sender\n"
+      "  --depth=N             build a complete region tree of depth N (every\n"
+      "                        region sized like the first --regions entry);\n"
+      "                        0 = use --regions as flat regions (0)\n"
+      "  --fanout=N            children per region when --depth > 0 (2)\n"
+      "  --sub-shard=N         split regions larger than N members across\n"
+      "                        simulation lanes (0 = one lane per region)\n"
       "  --fault-script=FILE   scripted fault timeline: crash/rejoin storms,\n"
       "                        partitions, heals, loss changes at absolute\n"
       "                        sim times (grammar in harness/fault_script.h)\n"
@@ -205,6 +222,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.max_window = std::strtoull(v.c_str(), nullptr, 10);
     } else if (arg == "--piggyback") {
       opt.piggyback = true;
+    } else if (arg == "--stall-backoff") {
+      opt.stall_backoff = true;
+    } else if (arg == "--hierarchy") {
+      opt.hierarchy = true;
+    } else if (eat("--fanout=", v)) {
+      opt.fanout = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--depth=", v)) {
+      opt.depth = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (eat("--sub-shard=", v)) {
+      opt.sub_shard = std::strtoull(v.c_str(), nullptr, 10);
     } else if (eat("--fault-script=", v)) {
       opt.fault_script = v;
     } else if (eat("--partition=", v)) {
@@ -260,6 +287,14 @@ bool validate(const Options& opt) {
         "--coordinate requires a buffer budget (--buffer-bytes and/or "
         "--buffer-count): with unlimited buffers there is no pressure to "
         "coordinate");
+  }
+  if (opt.depth > 0 && opt.fanout == 0) {
+    return fail("--fanout must be positive when --depth > 0");
+  }
+  if (opt.depth > 8) {
+    // fanout^8 regions is already past anything the CLI can simulate; a
+    // typo like --depth=100 would overflow the region count silently.
+    return fail("--depth must be at most 8");
   }
   if (opt.flow && opt.window == 0) {
     return fail("--window must be positive: a zero window can never send");
@@ -319,6 +354,24 @@ int main(int argc, char** argv) {
 
   harness::ClusterConfig cc;
   cc.region_sizes = opt.regions;
+  if (opt.depth > 0) {
+    // Complete fanout-ary region tree, BFS-numbered like run_makespan_point:
+    // region 0 is the root, children of k are k*fanout+1 .. k*fanout+fanout.
+    // Every region takes the size of the first --regions entry.
+    std::size_t regions = 0, level = 1;
+    for (std::size_t d = 0; d <= opt.depth; ++d) {
+      regions += level;
+      level *= opt.fanout;
+    }
+    cc.region_sizes.assign(regions, opt.regions[0]);
+    cc.parents.resize(regions);
+    cc.parents[0] = 0;
+    for (std::size_t r = 1; r < regions; ++r) {
+      cc.parents[r] = static_cast<RegionId>((r - 1) / opt.fanout);
+    }
+  }
+  cc.protocol.hierarchy.enabled = opt.hierarchy;
+  cc.sub_shard_members = opt.sub_shard;
   cc.data_loss = opt.loss;
   cc.control_loss = opt.control_loss;
   cc.seed = opt.seed;
@@ -339,6 +392,7 @@ int main(int argc, char** argv) {
   cc.protocol.flow.min_window = static_cast<std::uint32_t>(opt.min_window);
   cc.protocol.flow.max_window = static_cast<std::uint32_t>(opt.max_window);
   cc.protocol.flow.piggyback = opt.piggyback;
+  cc.protocol.flow.stall_backoff = opt.stall_backoff;
   cc.protocol.lambda = opt.lambda;
   cc.protocol.lookup = kind == buffer::PolicyKind::kHashBased
                            ? BuffererLookup::kHashDirect
@@ -375,6 +429,12 @@ int main(int argc, char** argv) {
     }
   } else {
     std::printf("flow: off\n");
+  }
+  if (opt.hierarchy || opt.depth > 0) {
+    std::printf("hierarchy: repair %s, %zu regions x %zu members%s\n",
+                opt.hierarchy ? "on" : "off", cc.region_sizes.size(),
+                cc.region_sizes[0],
+                opt.depth > 0 ? " (complete tree)" : "");
   }
 
   // Assemble the fault timeline: an optional spec file plus the t=0

@@ -12,8 +12,8 @@ Cluster::Cluster(ClusterConfig config)
           config_.parents.empty() ? nullptr : &config_.parents)),
       directory_(topology_),
       master_rng_(config_.seed) {
-  network_ = std::make_unique<net::SimNetwork>(topology_,
-                                               master_rng_.fork(0xD00D));
+  network_ = std::make_unique<net::SimNetwork>(
+      topology_, master_rng_.fork(0xD00D), config_.sub_shard_members);
   network_->set_control_loss(net::make_bernoulli(config_.control_loss));
   network_->set_latency_jitter(config_.jitter);
   network_->set_codec_roundtrip(config_.codec_roundtrip);
@@ -22,34 +22,41 @@ Cluster::Cluster(ClusterConfig config)
   lane_sinks_.resize(network_->lane_count());
 
   std::size_t n = topology_.member_count();
-  hosts_.resize(n);
-  endpoints_.resize(n);
+  hosts_.assign(n, nullptr);
+  endpoints_.assign(n, nullptr);
   removed_.assign(n, false);
   for (MemberId m = 0; m < n; ++m) spawn_member(m);
 }
 
 Cluster::~Cluster() {
   // Halt endpoints before the simulators die so no timer callback can touch
-  // a destroyed endpoint during teardown.
-  for (auto& ep : endpoints_) {
+  // a destroyed endpoint during teardown, then run destructors explicitly —
+  // arena objects are not owned by smart pointers.
+  for (Endpoint* ep : endpoints_) {
     if (ep) ep->halt();
   }
+  for (Endpoint* ep : endpoints_) arena_.destroy(ep);
+  for (SimHost* h : hosts_) arena_.destroy(h);
 }
 
 void Cluster::spawn_member(MemberId m) {
-  hosts_[m] = std::make_unique<SimHost>(m, *network_, directory_,
-                                        master_rng_.fork(m + 1),
-                                        config_.data_loss);
+  // Rejoin path: retire the dead member's old objects before creating the
+  // replacements (initial construction finds nullptrs here).
+  arena_.destroy(endpoints_[m]);
+  arena_.destroy(hosts_[m]);
+  hosts_[m] = arena_.create<SimHost>(m, *network_, directory_,
+                                     master_rng_.fork(m + 1),
+                                     config_.data_loss);
   auto policy = buffer::make_policy(config_.policy);
   RecordingSink* sink = &lane_sinks_[network_->lane_of(m)];
-  endpoints_[m] = std::make_unique<Endpoint>(*hosts_[m], config_.protocol,
-                                             std::move(policy), sink);
-  Endpoint* ep = endpoints_[m].get();
+  endpoints_[m] = arena_.create<Endpoint>(*hosts_[m], config_.protocol,
+                                          std::move(policy), sink);
+  Endpoint* ep = endpoints_[m];
   hosts_[m]->set_receiver(
       [ep](const proto::Message& msg, MemberId from) {
         ep->handle_message(msg, from);
       });
-  network_->attach(m, hosts_[m].get());
+  network_->attach(m, hosts_[m]);
   // A member rejoining after the first partition/heal starts with a fresh
   // endpoint: hand it the current connectivity generation (and severed
   // peers, if a partition is active) or it would reject every current-

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "buffer/factory.h"
+#include "common/arena.h"
 #include "harness/shard_pool.h"
 #include "harness/sim_host.h"
 #include "membership/directory.h"
@@ -64,6 +65,11 @@ struct ClusterConfig {
   /// 0 = hardware concurrency; always clamped to the region-lane count.
   /// Determinism contract: results are byte-identical for every value.
   std::size_t shards = 1;
+
+  /// Sub-shard regions larger than this many members into consecutive-member
+  /// chunk lanes (see net::SimNetwork); 0 (default) keeps one lane per
+  /// region and is bit-identical to the pre-sub-sharding harness.
+  std::size_t sub_shard_members = 0;
 };
 
 class Cluster {
@@ -234,8 +240,14 @@ class Cluster {
   std::vector<RecordingSink> lane_sinks_;
   RecordingSink merged_metrics_;
   std::vector<std::uint64_t> merged_revisions_;  // cache key for merged_metrics_
-  std::vector<std::unique_ptr<SimHost>> hosts_;
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  // Hosts and endpoints live in the arena: at 10^6 members, two million
+  // individual heap allocations dominate construction/teardown, and arena
+  // locality keeps a region's endpoint state on neighbouring pages. Rejoin
+  // replaces the objects (destroy + create); the dead slots leak until the
+  // cluster dies, bounded by churn volume.
+  common::Arena arena_;
+  std::vector<SimHost*> hosts_;
+  std::vector<Endpoint*> endpoints_;
   std::vector<bool> removed_;
   std::vector<Script> scripts_;  // min-heap via ScriptLater
   std::uint64_t next_script_seq_ = 1;

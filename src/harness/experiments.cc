@@ -777,6 +777,61 @@ ChurnOutcome run_churn_handoff(bool with_handoff, std::size_t region_size,
   return out;
 }
 
+// ------------------------------------- hierarchical repair makespan ----------
+
+MakespanOutcome run_makespan_point(const MakespanScenario& scenario,
+                                   const ExperimentDefaults& defaults) {
+  // Complete fanout-ary region tree, BFS-numbered: region 0 is the root,
+  // children of region k are k*fanout+1 .. k*fanout+fanout.
+  std::size_t regions = 0;
+  {
+    std::size_t level = 1;
+    for (std::size_t d = 0; d <= scenario.depth; ++d) {
+      regions += level;
+      level *= scenario.fanout;
+    }
+  }
+  ClusterConfig cc = base_config(defaults);
+  cc.region_sizes.assign(regions, scenario.region_size);
+  cc.parents.resize(regions);
+  cc.parents[0] = 0;
+  for (std::size_t r = 1; r < regions; ++r) {
+    cc.parents[r] = static_cast<RegionId>((r - 1) / scenario.fanout);
+  }
+  cc.seed = scenario.seed;
+  cc.shards = scenario.shards;
+  cc.sub_shard_members = scenario.sub_shard_members;
+  cc.protocol.hierarchy.enabled = true;
+  Cluster cluster(cc);
+
+  std::vector<MemberId> root = cluster.region_members(0);
+  MessageId id =
+      cluster.inject_data_to(root[0], 1, root, scenario.payload_bytes);
+  std::vector<MemberId> rest;
+  rest.reserve(cluster.size() - root.size());
+  for (std::size_t r = 1; r < regions; ++r) {
+    std::vector<MemberId> members =
+        cluster.region_members(static_cast<RegionId>(r));
+    rest.insert(rest.end(), members.begin(), members.end());
+  }
+  cluster.inject_session_to(root[0], 1, rest);
+  cluster.run_until_quiet(scenario.quiet_cap);
+
+  MakespanOutcome out;
+  out.members = cluster.size();
+  out.regions = regions;
+  out.all_recovered = cluster.all_received(id);
+  TimePoint done = TimePoint::zero();
+  for (const auto& ev : cluster.metrics().deliveries()) {
+    if (ev.id == id && ev.at > done) done = ev.at;
+  }
+  out.makespan_ms = done.ms();
+  out.local_requests = cluster.metrics().counters().local_requests_sent;
+  out.remote_requests = cluster.metrics().counters().remote_requests_sent;
+  out.events = cluster.events_fired();
+  return out;
+}
+
 // ----------------------------------------------------------- Ablation A1 ----
 
 double simulate_no_request_probability(std::size_t region_size, double p,

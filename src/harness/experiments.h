@@ -370,6 +370,41 @@ struct FaultOutcome {
 FaultOutcome run_fault_cell(FaultCell cell, const FaultScenario& scenario,
                             const ExperimentDefaults& defaults = {});
 
+// ---- Extension: hierarchical repair makespan --------------------------------
+
+/// One point of the repair-tree makespan sweep: a complete `fanout`-ary
+/// region tree `depth` levels deep below the root, `region_size` members
+/// per region, hierarchical repair on. Only the root region holds the
+/// message at t=0; every other member learns of it via Session and must
+/// recover it through the repair tree (region representative -> parent
+/// representative -> ... -> root). Makespan = time of the last delivery.
+struct MakespanScenario {
+  std::size_t fanout = 2;
+  std::size_t depth = 2;  ///< region-tree levels below the root region
+  std::size_t region_size = 12;
+  std::uint64_t seed = 1;
+  Duration quiet_cap = Duration::seconds(120);
+  /// Worker threads for the per-epoch lane loop (ClusterConfig::shards).
+  std::size_t shards = 1;
+  /// Sub-shard regions larger than this many members into chunk lanes
+  /// (ClusterConfig::sub_shard_members); 0 = one lane per region.
+  std::size_t sub_shard_members = 0;
+  std::size_t payload_bytes = 64;
+};
+
+struct MakespanOutcome {
+  std::size_t members = 0;
+  std::size_t regions = 0;
+  bool all_recovered = false;
+  double makespan_ms = 0.0;  ///< simulated time of the last delivery
+  std::uint64_t local_requests = 0;
+  std::uint64_t remote_requests = 0;  ///< Escalates + root-fallback requests
+  std::uint64_t events = 0;           ///< simulator events fired (witness)
+};
+
+MakespanOutcome run_makespan_point(const MakespanScenario& scenario,
+                                   const ExperimentDefaults& defaults = {});
+
 // ---- Ablation A5: handoff under churn --------------------------------------
 
 struct ChurnOutcome {

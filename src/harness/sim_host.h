@@ -41,6 +41,11 @@ class SimHost final : public IHost, public net::MessageHandler {
   const membership::RegionView& local_view() const override;
   const membership::RegionView& parent_view() const override;
   Duration rtt_estimate(MemberId peer) const override;
+  /// Both terms are monotone non-decreasing, so any view-affecting change
+  /// strictly advances the sum.
+  std::uint64_t view_epoch() const override {
+    return directory_.version() + suspicion_epoch_;
+  }
 
   // net::MessageHandler
   void on_message(const proto::Message& msg, MemberId from) override;

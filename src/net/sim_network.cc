@@ -13,25 +13,6 @@ namespace {
 // single-lane networks draw the same sequence as the legacy constructor).
 constexpr std::uint64_t kLaneDomain = 0x9A7E0000ULL;
 
-// Minimum one-way latency between members of different regions: the largest
-// epoch window for which a message sent inside a window can never need
-// delivery before the window's end barrier.
-Duration cross_region_lookahead(const Topology& topology) {
-  Duration min = Duration::infinite();
-  for (RegionId a = 0; a < topology.region_count(); ++a) {
-    if (topology.members_of(a).empty()) continue;
-    for (RegionId b = a + 1; b < topology.region_count(); ++b) {
-      if (topology.members_of(b).empty()) continue;
-      // Inter-region latency is a region-pair property, so any representative
-      // member of each region is exact.
-      Duration d = topology.one_way_latency(topology.members_of(a).front(),
-                                            topology.members_of(b).front());
-      if (d < min) min = d;
-    }
-  }
-  return min;
-}
-
 }  // namespace
 
 SimNetwork::SimNetwork(sim::Simulator& simulator, const Topology& topology,
@@ -40,33 +21,58 @@ SimNetwork::SimNetwork(sim::Simulator& simulator, const Topology& topology,
   lanes_.emplace_back(std::move(rng));
   lanes_[0].sim = &simulator;
   region_lane_.assign(topology_.region_count(), 0);
+  member_lane_.assign(topology_.member_count(), 0);
 }
 
-SimNetwork::SimNetwork(const Topology& topology, RandomEngine rng)
+SimNetwork::SimNetwork(const Topology& topology, RandomEngine rng,
+                       std::size_t sub_shard_members)
     : topology_(topology) {
-  Duration la = cross_region_lookahead(topology_);
-  bool sharded = topology_.region_count() >= 2 && la > Duration::zero();
+  // The safe epoch window: no cross-lane path can undercut the minimum
+  // topology edge, and splitting a region adds intra-region cross-lane
+  // traffic at that region's one-way delay.
+  Duration la = topology_.min_cross_region_latency();
+  std::size_t total_lanes = 0;
+  region_lane_.resize(topology_.region_count());
+  member_lane_.resize(topology_.member_count());
+  for (RegionId r = 0; r < static_cast<RegionId>(topology_.region_count());
+       ++r) {
+    const std::vector<MemberId>& members = topology_.members_of(r);
+    region_lane_[r] = total_lanes;
+    std::size_t chunks = 1;
+    if (sub_shard_members > 0 && members.size() > sub_shard_members) {
+      chunks = (members.size() + sub_shard_members - 1) / sub_shard_members;
+      Duration intra = topology_.intra_rtt(r) / 2;
+      if (intra < la) la = intra;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      member_lane_[members[i]] =
+          total_lanes + (chunks == 1 ? 0 : i / sub_shard_members);
+    }
+    total_lanes += chunks;
+  }
+  bool sharded = total_lanes >= 2 && la > Duration::zero() &&
+                 la != Duration::infinite();
   if (!sharded) {
-    // No cross-region lookahead: a single lane spanning every region.
+    // No usable lookahead: a single lane spanning every region.
     lanes_.emplace_back(std::move(rng));
     lanes_[0].owned_sim = std::make_unique<sim::Simulator>();
     lanes_[0].sim = lanes_[0].owned_sim.get();
     region_lane_.assign(topology_.region_count(), 0);
+    member_lane_.assign(topology_.member_count(), 0);
     return;
   }
   lookahead_ = la;
-  lanes_.reserve(topology_.region_count());
-  region_lane_.resize(topology_.region_count());
+  lanes_.reserve(total_lanes);
   // Lane 0 keeps the parent stream (so 1-lane sharded networks draw the
-  // same sequence as the legacy constructor); lanes r>0 take the split
-  // children, which are fork(kLaneDomain + r) by definition.
-  std::vector<RandomEngine> lane_rngs =
-      rng.split(topology_.region_count(), kLaneDomain);
-  for (RegionId r = 0; r < topology_.region_count(); ++r) {
-    lanes_.emplace_back(r == 0 ? std::move(rng) : std::move(lane_rngs[r]));
-    lanes_[r].owned_sim = std::make_unique<sim::Simulator>();
-    lanes_[r].sim = lanes_[r].owned_sim.get();
-    region_lane_[r] = r;
+  // same sequence as the legacy constructor); lanes l>0 take the split
+  // children, which are fork(kLaneDomain + l) by definition. With
+  // sub-sharding off the lane count equals the region count, so every
+  // existing configuration draws the exact streams it always did.
+  std::vector<RandomEngine> lane_rngs = rng.split(total_lanes, kLaneDomain);
+  for (std::size_t l = 0; l < total_lanes; ++l) {
+    lanes_.emplace_back(l == 0 ? std::move(rng) : std::move(lane_rngs[l]));
+    lanes_[l].owned_sim = std::make_unique<sim::Simulator>();
+    lanes_[l].sim = lanes_[l].owned_sim.get();
   }
 }
 

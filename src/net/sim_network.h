@@ -32,6 +32,14 @@
 // byte-identical results for any thread count. The legacy constructor
 // (external simulator) builds a single lane spanning all regions and behaves
 // exactly like the pre-sharding network.
+//
+// Sub-sharding (scale mode): regions larger than `sub_shard_members` are
+// additionally split into consecutive-member chunks, each chunk its own
+// lane. Intra-region traffic between chunks crosses lanes at intra_rtt/2,
+// so splitting a region lowers the safe epoch window to that delay — worth
+// it when one giant region would otherwise serialize the whole run on a
+// single lane. Off (0, the default): one lane per region, byte-identical to
+// the pre-sub-sharding layout.
 #pragma once
 
 #include <array>
@@ -82,10 +90,13 @@ class SimNetwork {
              RandomEngine rng);
 
   /// Sharded mode: one privately-owned simulator lane per region (collapsed
-  /// to a single lane when the topology has <2 regions or a non-positive
-  /// cross-region latency, which would leave no lookahead for barriers).
-  /// Lane 0 consumes `rng`'s own stream; lane r>0 uses rng.fork(kLaneDomain+r).
-  SimNetwork(const Topology& topology, RandomEngine rng);
+  /// to a single lane when that would leave fewer than two lanes or a
+  /// non-positive lookahead for barriers). Lane 0 consumes `rng`'s own
+  /// stream; lane l>0 uses rng.fork(kLaneDomain+l). `sub_shard_members`,
+  /// when nonzero, splits regions larger than it into chunk lanes of that
+  /// many consecutive members (see the sub-sharding note above).
+  SimNetwork(const Topology& topology, RandomEngine rng,
+             std::size_t sub_shard_members = 0);
 
   /// Register/deregister the endpoint that receives messages for `m`.
   /// Messages to unattached members are silently dropped (crashed/left).
@@ -149,9 +160,8 @@ class SimNetwork {
   // ---- lane surface (used by the sharded cluster harness) -----------------
 
   std::size_t lane_count() const { return lanes_.size(); }
-  std::size_t lane_of(MemberId m) const {
-    return region_lane_[topology_.region_of(m)];
-  }
+  std::size_t lane_of(MemberId m) const { return member_lane_[m]; }
+  /// First lane of `r` (its only lane unless the region is sub-sharded).
   std::size_t lane_of_region(RegionId r) const { return region_lane_[r]; }
   sim::Simulator& lane_sim(std::size_t lane) { return *lanes_[lane].sim; }
   sim::Simulator& simulator_for(MemberId m) { return *lanes_[lane_of(m)].sim; }
@@ -219,7 +229,8 @@ class SimNetwork {
 
   const Topology& topology_;
   std::vector<Lane> lanes_;
-  std::vector<std::size_t> region_lane_;  // RegionId -> lane index
+  std::vector<std::size_t> region_lane_;  // RegionId -> its first lane index
+  std::vector<std::size_t> member_lane_;  // MemberId -> lane index
   Duration lookahead_ = Duration::infinite();
   std::unordered_map<MemberId, MessageHandler*> handlers_;
   // member -> partition group; empty when no partition is active. Read-only

@@ -10,7 +10,8 @@ RegionId Topology::add_region(std::string name, std::optional<RegionId> parent,
   if (parent && *parent >= regions_.size()) {
     throw std::out_of_range("Topology::add_region: unknown parent region");
   }
-  regions_.push_back(Region{std::move(name), parent, intra_rtt, {}});
+  std::size_t depth = parent ? regions_[*parent].depth + 1 : 0;
+  regions_.push_back(Region{std::move(name), parent, intra_rtt, {}, depth});
   return static_cast<RegionId>(regions_.size() - 1);
 }
 
@@ -47,19 +48,72 @@ std::optional<RegionId> Topology::parent_of(RegionId r) const {
   return regions_.at(r).parent;
 }
 
-Duration Topology::inter_one_way(RegionId a, RegionId b) const {
+std::optional<Duration> Topology::inter_override(RegionId a, RegionId b) const {
   auto key = std::make_pair(std::min(a, b), std::max(a, b));
   for (const auto& [k, v] : inter_overrides_) {
     if (k == key) return v;
   }
+  return std::nullopt;
+}
+
+Duration Topology::inter_one_way(RegionId a, RegionId b) const {
+  if (auto ov = inter_override(a, b)) return *ov;
   return default_inter_one_way_;
+}
+
+Duration Topology::parent_edge_latency(RegionId r) const {
+  const std::optional<RegionId>& parent = regions_.at(r).parent;
+  if (!parent) return Duration::zero();
+  return inter_one_way(r, *parent);
 }
 
 Duration Topology::one_way_latency(MemberId from, MemberId to) const {
   RegionId ra = region_of(from);
   RegionId rb = region_of(to);
   if (ra == rb) return regions_[ra].intra_rtt / 2;
-  return inter_one_way(ra, rb);
+  // An explicit pair override models a direct link between the two regions
+  // and wins over the hierarchy path.
+  if (auto ov = inter_override(ra, rb)) return *ov;
+  // Sum per-edge latencies up both sides to the lowest common ancestor:
+  // members in deep sibling subtrees are farther apart than one flat hop.
+  Duration sum = Duration::zero();
+  RegionId a = ra;
+  RegionId b = rb;
+  while (a != b) {
+    const Region& reg_a = regions_[a];
+    const Region& reg_b = regions_[b];
+    if (reg_a.depth >= reg_b.depth) {
+      if (!reg_a.parent) break;  // distinct roots: bridge them below
+      sum += inter_one_way(a, *reg_a.parent);
+      a = *reg_a.parent;
+    } else {
+      sum += inter_one_way(b, *reg_b.parent);
+      b = *reg_b.parent;
+    }
+  }
+  if (a != b) sum += inter_one_way(a, b);  // forest: one hop between roots
+  return sum;
+}
+
+Duration Topology::min_cross_region_latency() const {
+  if (regions_.size() < 2) return Duration::infinite();
+  Duration min = Duration::infinite();
+  std::size_t roots = 0;
+  for (RegionId r = 0; r < static_cast<RegionId>(regions_.size()); ++r) {
+    if (!regions_[r].parent) {
+      ++roots;
+      continue;
+    }
+    Duration d = parent_edge_latency(r);
+    if (d < min) min = d;
+  }
+  if (roots >= 2 && default_inter_one_way_ < min) {
+    min = default_inter_one_way_;  // the bridge hop between distinct roots
+  }
+  for (const auto& [key, d] : inter_overrides_) {
+    if (d < min) min = d;
+  }
+  return min;
 }
 
 Topology make_hierarchy(const std::vector<std::size_t>& region_sizes,

@@ -2,8 +2,10 @@
 // an error-recovery hierarchy by distance from the sender (paper §2.1).
 //
 // Latency model: one-way delay between two members of the same region is
-// intra_rtt/2; across regions it is the configured inter-region one-way
-// delay (default 50 ms — "much higher than the latency within a region").
+// intra_rtt/2; across regions it sums the per-hop one-way delays (default
+// 50 ms per hop — "much higher than the latency within a region") along the
+// hierarchy path to the lowest common ancestor, so deep subtrees are
+// genuinely farther apart. An explicit pair override short-circuits the sum.
 // The topology is immutable once built; liveness/joins/leaves are tracked by
 // the membership directory, not here.
 #pragma once
@@ -44,6 +46,14 @@ class Topology {
 
   RegionId region_of(MemberId m) const { return member_region_.at(m); }
   std::optional<RegionId> parent_of(RegionId r) const;
+
+  /// Hops from `r` to its root region (0 for roots).
+  std::size_t region_depth(RegionId r) const { return regions_.at(r).depth; }
+
+  /// One-way latency of the edge from `r` to its parent (explicit override
+  /// for that pair if set, else the default). Roots have no parent edge.
+  Duration parent_edge_latency(RegionId r) const;
+
   const std::string& region_name(RegionId r) const {
     return regions_.at(r).name;
   }
@@ -64,12 +74,27 @@ class Topology {
     return one_way_latency(a, b) * 2;
   }
 
+  /// The default one-way latency for hops without an explicit override.
+  Duration default_inter_latency() const { return default_inter_one_way_; }
+
+  /// Conservative lower bound on the one-way latency between members of any
+  /// two distinct regions: the minimum over all hierarchy edges, explicit
+  /// pair overrides, and (with two or more roots) the root-bridge default.
+  /// Every cross-region path is either a single override or a sum of edges,
+  /// so no path can undercut this — it is the sharded harness's safe epoch
+  /// window. Duration::infinite() for single-region topologies.
+  Duration min_cross_region_latency() const;
+
+  /// Explicit symmetric override for the pair, if one was set.
+  std::optional<Duration> inter_override(RegionId a, RegionId b) const;
+
  private:
   struct Region {
     std::string name;
     std::optional<RegionId> parent;
     Duration intra_rtt;
     std::vector<MemberId> members;
+    std::size_t depth = 0;  // hops to the root of this region's tree
   };
 
   Duration inter_one_way(RegionId a, RegionId b) const;

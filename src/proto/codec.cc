@@ -140,6 +140,11 @@ void encode_body(ByteWriter& w, const Shed& m) {
   w.put_u32(m.from);
   encode_data_core(w, m.message);
 }
+void encode_body(ByteWriter& w, const Escalate& m) {
+  put_message_id(w, m.id);
+  w.put_u32(m.requester);
+  w.put_varint(m.hop);
+}
 void encode_body(ByteWriter& w, const CreditAck& m) {
   w.put_u32(m.member);
   w.put_u64(m.bytes_in_use);
@@ -254,6 +259,12 @@ bool decode_body(ByteReader& r, Shed& m) {
   m.from = r.get_u32();
   return decode_data_core(r, m.message);
 }
+bool decode_body(ByteReader& r, Escalate& m) {
+  m.id = get_message_id(r);
+  m.requester = r.get_u32();
+  m.hop = static_cast<std::uint32_t>(r.get_varint());
+  return r.ok();
+}
 bool decode_body(ByteReader& r, CreditAck& m) {
   m.member = r.get_u32();
   m.bytes_in_use = r.get_u64();
@@ -293,6 +304,7 @@ std::optional<Message> decode_from(ByteReader& r) {
     case MessageType::kBufferDigest: return decode_as<BufferDigest>(r);
     case MessageType::kShed: return decode_as<Shed>(r);
     case MessageType::kCreditAck: return decode_as<CreditAck>(r);
+    case MessageType::kEscalate: return decode_as<Escalate>(r);
   }
   return std::nullopt;
 }
@@ -366,6 +378,9 @@ std::size_t size_body(const BufferDigest& m) {
   return n;
 }
 std::size_t size_body(const Shed& m) { return 4 + size_data_core(m.message); }
+std::size_t size_body(const Escalate& m) {
+  return kMessageIdSize + 4 + varint_size(m.hop);
+}
 std::size_t size_body(const CreditAck& m) {
   std::size_t n = 4 + 8 + 8 + varint_size(m.cursors.size());
   for (const ReceiveCursor& c : m.cursors) n += 4 + varint_size(c.cursor);
@@ -400,6 +415,8 @@ MessageType type_of(const Message& m) {
         if constexpr (std::is_same_v<T, Shed>) return MessageType::kShed;
         if constexpr (std::is_same_v<T, CreditAck>)
           return MessageType::kCreditAck;
+        if constexpr (std::is_same_v<T, Escalate>)
+          return MessageType::kEscalate;
       },
       m);
 }
@@ -420,6 +437,7 @@ const char* type_name(MessageType t) {
     case MessageType::kBufferDigest: return "BUFFER_DIGEST";
     case MessageType::kShed: return "SHED";
     case MessageType::kCreditAck: return "CREDIT_ACK";
+    case MessageType::kEscalate: return "ESCALATE";
   }
   return "UNKNOWN";
 }

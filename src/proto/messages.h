@@ -225,10 +225,24 @@ struct CreditAck {
   friend bool operator==(const CreditAck&, const CreditAck&) = default;
 };
 
+/// Hierarchical-repair escalation (repair trees): a sub-region
+/// representative that cannot answer a NAK locally forwards it to its
+/// parent region's representative instead of the paper's random
+/// parent-region member. `requester` is the representative to repair
+/// (its regional relay then covers its whole sub-region); `hop` counts
+/// escalation levels climbed so far and bounds runaway forwarding.
+struct Escalate {
+  MessageId id;
+  MemberId requester = kInvalidMember;
+  std::uint32_t hop = 0;
+
+  friend bool operator==(const Escalate&, const Escalate&) = default;
+};
+
 using Message =
     std::variant<Data, Session, LocalRequest, RemoteRequest, Repair,
                  RegionalRepair, SearchRequest, SearchFound, Handoff, Gossip,
-                 History, BufferDigest, Shed, CreditAck>;
+                 History, BufferDigest, Shed, CreditAck, Escalate>;
 
 /// Stable wire tags; never renumber.
 enum class MessageType : std::uint8_t {
@@ -246,6 +260,7 @@ enum class MessageType : std::uint8_t {
   kBufferDigest = 12,
   kShed = 13,
   kCreditAck = 14,
+  kEscalate = 15,
 };
 
 MessageType type_of(const Message& m);

@@ -1,0 +1,33 @@
+#include "repair/repair_tree.h"
+
+#include "membership/directory.h"
+
+namespace rrmp::repair {
+
+RepairTree::RepairTree(const membership::Directory& directory,
+                       HierarchyParams params)
+    : directory_(directory), params_(params) {
+  rebuild();
+}
+
+void RepairTree::rebuild() {
+  const net::Topology& topo = directory_.topology();
+  reps_.assign(topo.region_count(), kInvalidMember);
+  for (RegionId r = 0; r < static_cast<RegionId>(topo.region_count()); ++r) {
+    reps_[r] = elect_representative(directory_.region_view(r).members(),
+                                    params_.salt, generation_);
+  }
+}
+
+void RepairTree::set_generation(std::uint64_t generation) {
+  generation_ = generation;
+  rebuild();
+}
+
+MemberId RepairTree::parent_representative(RegionId r) const {
+  std::optional<RegionId> parent = directory_.topology().parent_of(r);
+  if (!parent) return kInvalidMember;
+  return reps_.at(*parent);
+}
+
+}  // namespace rrmp::repair

@@ -1,0 +1,61 @@
+// Whole-tree view of the repair hierarchy: the per-region representative
+// assignment materialized for the harness, experiments, and tests.
+//
+// Endpoints never consult this class — each endpoint recomputes its own and
+// its parent region's representative from its local membership views (the
+// same pure election in repair/hierarchy.h), so no global state is on the
+// protocol's hot path. RepairTree exists for everything *around* the
+// protocol: asserting construction determinism, inspecting which members
+// aggregate NAKs in an experiment, and rebuilding the assignment when the
+// directory's view or the cluster's partition generation changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "repair/hierarchy.h"
+
+namespace rrmp::membership {
+class Directory;
+}
+
+namespace rrmp::repair {
+
+class RepairTree {
+ public:
+  /// Builds the initial assignment from the directory's current views.
+  RepairTree(const membership::Directory& directory, HierarchyParams params);
+
+  /// Recompute every region's representative from the directory's current
+  /// alive views and the current generation. Called on view changes and
+  /// partition-generation bumps; a no-op rebuild yields the identical
+  /// assignment (election is pure).
+  void rebuild();
+
+  /// Bump the election generation (a partition formed or healed) and
+  /// rebuild. Matches the endpoints, which mix their view_generation into
+  /// the same score.
+  void set_generation(std::uint64_t generation);
+  std::uint64_t generation() const { return generation_; }
+
+  /// The representative of `r`; kInvalidMember when the region has no alive
+  /// members.
+  MemberId representative(RegionId r) const { return reps_.at(r); }
+
+  /// The representative of r's parent region; kInvalidMember for roots.
+  MemberId parent_representative(RegionId r) const;
+
+  /// The full assignment, indexed by RegionId.
+  const std::vector<MemberId>& current() const { return reps_; }
+
+  const HierarchyParams& params() const { return params_; }
+
+ private:
+  const membership::Directory& directory_;
+  HierarchyParams params_;
+  std::uint64_t generation_ = 0;
+  std::vector<MemberId> reps_;  // indexed by RegionId
+};
+
+}  // namespace rrmp::repair

@@ -6,6 +6,7 @@
 #include "buffer/budget.h"
 #include "buffer/coordination.h"
 #include "common/time.h"
+#include "repair/hierarchy.h"
 #include "rrmp/flow_control.h"
 
 namespace rrmp {
@@ -88,6 +89,15 @@ struct Config {
   /// behaviour, and adaptive/piggyback off is bit-identical to the static
   /// credit design.
   FlowControlParams flow;
+
+  /// Hierarchical repair trees (see repair::HierarchyParams): per-region
+  /// representatives elected by rendezvous hashing aggregate NAKs — members
+  /// ask their region's representative first, and only representatives
+  /// escalate misses up the region hierarchy (one Escalate frame per region
+  /// per miss) instead of every member sampling random parent-region peers.
+  /// Disabled by default — the flat protocol is bit-identical to the
+  /// pre-hierarchy behaviour.
+  repair::HierarchyParams hierarchy;
 
   /// How a member locates a bufferer for a *discarded* message (§3.3).
   /// kRandomSearch is the paper's scheme; kMulticastQuery is the rejected

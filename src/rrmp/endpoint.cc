@@ -298,6 +298,8 @@ void Endpoint::handle_message(const proto::Message& msg, MemberId from) {
         if constexpr (std::is_same_v<T, proto::Shed>) handle_shed(m, from);
         if constexpr (std::is_same_v<T, proto::CreditAck>)
           handle_credit_ack(m, from);
+        if constexpr (std::is_same_v<T, proto::Escalate>)
+          handle_escalate(m, from);
       },
       msg);
 }
@@ -416,6 +418,20 @@ void Endpoint::handle_local_request(const proto::LocalRequest& r,
                proto::Message{proto::Repair{r.id, std::move(d->payload), false}});
     return;
   }
+  if (cfg_.hierarchy.enabled && is_representative()) {
+    // Aggregation point: the region's NAK funnel lands here, so a miss is
+    // ours to recover (escalating up the repair tree as needed). The
+    // requester is NOT recorded as a waiter — when the repair arrives it
+    // comes back remote and the regional relay covers the whole region; the
+    // requester's own retries are the fallback if that relay is lost.
+    SequenceTracker& tr = tracker(r.id.source);
+    if (!tr.has(r.id.seq)) {
+      for (std::uint64_t gap : tr.observe_hint(r.id.seq)) {
+        start_recovery(MessageId{r.id.source, gap});
+      }
+      return;
+    }
+  }
   // "Otherwise it ignores the request" (§2.2). Starting a recovery here
   // would let one request cascade into region-wide probing for a message
   // that may exist nowhere; the requester's own retries handle it.
@@ -470,6 +486,42 @@ void Endpoint::handle_remote_request(const proto::RemoteRequest& r,
     // Fall through to random search if the set is just us (we discarded).
   }
   start_search(r.id, r.requester);
+}
+
+void Endpoint::handle_escalate(const proto::Escalate& e, MemberId from) {
+  (void)from;
+  if (!cfg_.hierarchy.enabled) return;  // config mismatch: drop the frame
+  if (e.hop >= cfg_.hierarchy.max_hops) return;  // runaway-forwarding guard
+  metrics().on_request_received(self(), e.id, /*remote=*/true, host_.now());
+  store_->on_request_seen(e.id);
+  // Still buffered: repair the child representative; its regional relay
+  // then covers its whole sub-region with one multicast.
+  if (std::optional<proto::Data> d = store_->get(e.id)) {
+    metrics().on_repair_sent(self(), e.id, /*remote=*/true, host_.now());
+    host_.send(e.requester,
+               proto::Message{proto::Repair{e.id, std::move(d->payload), true}});
+    return;
+  }
+  SequenceTracker& tr = tracker(e.id.source);
+  if (!tr.has(e.id.seq)) {
+    // Never received: remember the child representative and recover the
+    // message ourselves, climbing one level higher with the incremented hop.
+    std::vector<MemberId>& w = waiters_[e.id];
+    if (!contains(w, e.requester)) w.push_back(e.requester);
+    for (std::uint64_t gap : tr.observe_hint(e.id.seq)) {
+      start_recovery(MessageId{e.id.source, gap});
+    }
+    if (auto it = recoveries_.find(e.id); it != recoveries_.end()) {
+      it->second.escalate_hop = std::max(it->second.escalate_hop, e.hop + 1);
+    }
+    return;
+  }
+  // Received but discarded: same bufferer-location path as a RemoteRequest.
+  if (MemberId holder = cached_holder(e.id); holder != kInvalidMember) {
+    host_.send(holder, proto::Message{proto::RemoteRequest{e.id, e.requester}});
+    return;
+  }
+  start_search(e.id, e.requester);
 }
 
 void Endpoint::handle_repair(const proto::Repair& r, MemberId from) {
@@ -682,6 +734,16 @@ void Endpoint::finish_recovery(const MessageId& id) {
 }
 
 MemberId Endpoint::pick_request_target(const MessageId& id) {
+  if (cfg_.hierarchy.enabled) {
+    // Repair tree: the first NAK goes to the region's aggregation point —
+    // deterministic, no RNG draw. Retries fall back to random neighbors in
+    // case the representative itself is wedged.
+    MemberId rep = region_representative();
+    if (rep != kInvalidMember && rep != self() &&
+        recoveries_[id].local_attempts == 0) {
+      return rep;
+    }
+  }
   if (cfg_.lookup == BuffererLookup::kHashDirect) {
     // Deterministic scheme [11]: ask the hash-selected bufferers directly,
     // round-robin over the set across attempts.
@@ -702,6 +764,14 @@ void Endpoint::local_attempt(const MessageId& id) {
   if (it == recoveries_.end()) return;
   RecoveryTask& task = it->second;
   task.local_timer = kNoTimer;
+  if (cfg_.hierarchy.enabled && task.local_attempts > 0 &&
+      task.remote_timer == kNoTimer && is_representative()) {
+    // Representative fail-over: the remote phase was skipped while some
+    // other member held the funnel; a re-election (crash, partition bump)
+    // can hand it to us mid-recovery. Pick the escalation up from here —
+    // at local_attempts == 0 start_recovery drives the remote phase itself.
+    remote_attempt(id);
+  }
   if (cfg_.max_attempts != 0 && task.local_attempts >= cfg_.max_attempts) {
     return;  // give up on the local phase; remote phase may still succeed
   }
@@ -717,7 +787,8 @@ void Endpoint::local_attempt(const MessageId& id) {
   if (cfg_.measure_rtt) probes_[id].try_emplace(q, host_.now());
   host_.send(q, proto::Message{proto::LocalRequest{id, self()}});
   task.local_timer =
-      schedule(request_timeout(q), [this, id] { local_attempt(id); });
+      schedule(retry_backoff(request_timeout(q), task.local_attempts - 1),
+               [this, id] { local_attempt(id); });
 }
 
 void Endpoint::remote_attempt(const MessageId& id) {
@@ -725,6 +796,34 @@ void Endpoint::remote_attempt(const MessageId& id) {
   if (it == recoveries_.end()) return;
   RecoveryTask& task = it->second;
   task.remote_timer = kNoTimer;
+  if (cfg_.hierarchy.enabled) {
+    // Multi-level repair: only the region's aggregation point escalates, and
+    // it escalates to its *parent region's* aggregation point rather than a
+    // random parent member. Non-representatives rely on the representative's
+    // funnel (plus their own local retries) — no per-member remote traffic.
+    if (!is_representative()) return;
+    if (cfg_.max_attempts != 0 && task.remote_attempts >= cfg_.max_attempts) {
+      return;
+    }
+    ++task.remote_attempts;
+    MemberId up = parent_representative();
+    if (up != kInvalidMember) {
+      metrics().on_request_sent(self(), id, /*remote=*/true, host_.now());
+      host_.send(up,
+                 proto::Message{proto::Escalate{id, self(), task.escalate_hop}});
+    } else if (id.source != self()) {
+      // Root of the repair tree: last resort is the original sender.
+      up = id.source;
+      metrics().on_request_sent(self(), id, /*remote=*/true, host_.now());
+      host_.send(up, proto::Message{proto::RemoteRequest{id, self()}});
+    } else {
+      return;  // we are the sender and the root — nobody above us
+    }
+    task.remote_timer =
+        schedule(retry_backoff(request_timeout(up), task.remote_attempts - 1),
+                 [this, id] { remote_attempt(id); });
+    return;
+  }
   const membership::RegionView& parent = host_.parent_view();
   if (parent.empty()) return;  // root region: no remote phase (§2.2)
   if (cfg_.max_attempts != 0 && task.remote_attempts >= cfg_.max_attempts) {
@@ -748,6 +847,57 @@ void Endpoint::remote_attempt(const MessageId& id) {
   }
   task.remote_timer =
       schedule(request_timeout(r), [this, id] { remote_attempt(id); });
+}
+
+// ---------------------------------------------------------- repair tree ----
+
+void Endpoint::refresh_representatives() {
+  std::uint64_t epoch = host_.view_epoch();
+  if (rep_cache_valid_ && rep_epoch_ == epoch && rep_generation_ == view_gen_) {
+    return;
+  }
+  // Own-region election excludes peers severed from us by an active
+  // partition: an unreachable representative funnels NAKs into a black hole.
+  // Folding the connectivity generation into the score re-runs the election
+  // deterministically on every partition/heal.
+  const std::vector<MemberId>& members = host_.local_view().members();
+  if (flow_unreachable_.empty()) {
+    local_rep_ =
+        repair::elect_representative(members, cfg_.hierarchy.salt, view_gen_);
+  } else {
+    rep_scratch_.clear();
+    for (MemberId m : members) {
+      if (!std::binary_search(flow_unreachable_.begin(),
+                              flow_unreachable_.end(), m)) {
+        rep_scratch_.push_back(m);
+      }
+    }
+    local_rep_ = repair::elect_representative(rep_scratch_,
+                                              cfg_.hierarchy.salt, view_gen_);
+  }
+  parent_rep_ = repair::elect_representative(host_.parent_view().members(),
+                                             cfg_.hierarchy.salt, view_gen_);
+  rep_cache_valid_ = true;
+  rep_epoch_ = epoch;
+  rep_generation_ = view_gen_;
+}
+
+MemberId Endpoint::region_representative() {
+  refresh_representatives();
+  return local_rep_;
+}
+
+MemberId Endpoint::parent_representative() {
+  refresh_representatives();
+  return parent_rep_;
+}
+
+Duration Endpoint::retry_backoff(Duration base, std::uint32_t attempts) const {
+  if (!cfg_.hierarchy.enabled || cfg_.hierarchy.max_backoff_shift == 0) {
+    return base;
+  }
+  std::uint32_t shift = std::min(attempts, cfg_.hierarchy.max_backoff_shift);
+  return base * static_cast<std::int64_t>(std::uint64_t{1} << shift);
 }
 
 // --------------------------------------------------------------- search ----
@@ -1087,8 +1237,16 @@ void Endpoint::credit_tick() {
     // frame is normally at the front, but a floor that moved backward (a
     // peer's first report arriving after faster peers') leaves newer frames
     // ahead of it — search the deque instead of trusting front().
+    // Consecutive re-multicasts of the same stall back off exponentially
+    // (stall_streak_): a receiver that cannot be unwedged by duplicates —
+    // e.g. one behind a partition — should not eat a full multicast every
+    // few ticks for as long as the partition lasts.
     if (flow_.outstanding() > 0 && flow_.window_floor() == stall_floor_) {
-      if (++stall_ticks_ >= kStallRetransmitTicks) {
+      std::uint32_t backoff_shift =
+          cfg_.flow.stall_backoff
+              ? std::min(stall_streak_, kMaxStallBackoffShift)
+              : 0;
+      if (++stall_ticks_ >= (kStallRetransmitTicks << backoff_shift)) {
         stall_ticks_ = 0;
         if (flow_.release_stalled_peers()) {
           // Every floor-holding cursor was a seeded binding ahead of its
@@ -1112,12 +1270,14 @@ void Endpoint::credit_tick() {
             // frame and its recovery did not close the gap in time.
             flow_.on_loss();
             aimd_loss_in_round_ = true;
+            ++stall_streak_;
           }
         }
       }
     } else {
       stall_floor_ = flow_.window_floor();
       stall_ticks_ = 0;
+      stall_streak_ = 0;
     }
   }
   // AIMD probe round: one additive step per clean round. The round must

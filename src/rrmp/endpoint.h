@@ -24,7 +24,15 @@
 //    under budget pressure (Config::buffer_coordination),
 //  - optional deterministic hash-direct lookup instead of randomized
 //    search, reproducing the authors' earlier scheme [11] (§3.4),
-//  - optional history exchange driving the stability-detection baseline.
+//  - optional history exchange driving the stability-detection baseline,
+//  - optional hierarchical repair trees (Config::hierarchy): each region's
+//    rendezvous-elected representative aggregates the region's NAKs —
+//    members direct their first local request at it, non-representatives
+//    skip the remote phase entirely, and only representatives escalate a
+//    miss (one Escalate frame) to the parent region's representative; the
+//    root region's representative falls back to the original sender.
+//    Hierarchy-mode retries back off exponentially so retry traffic stays
+//    bounded at million-member scale.
 //
 // The endpoint is transport-agnostic: it talks only to an IHost, so the same
 // code runs on the discrete-event simulator and on loopback UDP sockets.
@@ -40,6 +48,7 @@
 
 #include "buffer/hash_based.h"
 #include "buffer/policy.h"
+#include "common/flat_map.h"
 #include "buffer/stability.h"
 #include "buffer/store.h"
 #include "rrmp/config.h"
@@ -167,6 +176,11 @@ class Endpoint {
     TimerHandle remote_timer = kNoTimer;
     std::uint32_t local_attempts = 0;
     std::uint32_t remote_attempts = 0;
+    /// Hierarchy mode: escalation levels already climbed to reach us. 0 for
+    /// a gap we detected ourselves; an escalation-triggered recovery carries
+    /// the incoming hop + 1, so a cyclic (misconfigured) topology trips the
+    /// max_hops guard instead of forwarding forever.
+    std::uint32_t escalate_hop = 0;
   };
 
   struct SearchTask {
@@ -207,6 +221,7 @@ class Endpoint {
   void handle_buffer_digest(const proto::BufferDigest& d, MemberId from);
   void handle_shed(const proto::Shed& s, MemberId from);
   void handle_credit_ack(const proto::CreditAck& a, MemberId from);
+  void handle_escalate(const proto::Escalate& e, MemberId from);
 
   // Reception path shared by data/repair/regional-repair/handoff.
   // Returns true if the message was new.
@@ -218,6 +233,18 @@ class Endpoint {
   void local_attempt(const MessageId& id);
   void remote_attempt(const MessageId& id);
   MemberId pick_request_target(const MessageId& id);
+
+  // Hierarchical repair (cfg_.hierarchy). Representatives are recomputed
+  // lazily whenever the host's view epoch or the connectivity generation
+  // moved; election excludes partition-severed peers so an unreachable
+  // representative never blackholes the region's NAK funnel.
+  void refresh_representatives();
+  MemberId region_representative();
+  MemberId parent_representative();
+  bool is_representative() { return region_representative() == self(); }
+  /// Hierarchy-mode retry pacing: `base` doubled per prior attempt, capped
+  /// at base << hierarchy.max_backoff_shift. Identity outside hierarchy mode.
+  Duration retry_backoff(Duration base, std::uint32_t attempts) const;
 
   // Search (§3.3).
   void start_search(const MessageId& id, MemberId requester);
@@ -324,6 +351,13 @@ class Endpoint {
   std::uint64_t stall_floor_ = 0;
   std::uint32_t stall_ticks_ = 0;
   static constexpr std::uint32_t kStallRetransmitTicks = 3;
+  /// Consecutive stall re-multicasts of the same wedged floor: each one
+  /// doubles the tick threshold before the next (up to
+  /// kStallRetransmitTicks << kMaxStallBackoffShift), so a receiver that is
+  /// genuinely gone stops drawing a region-wide re-multicast every few
+  /// ticks. Reset the moment the floor advances.
+  std::uint32_t stall_streak_ = 0;
+  static constexpr std::uint32_t kMaxStallBackoffShift = 3;
   /// Transmitted frames not yet below the window floor, oldest first. The
   /// sender is the retransmission source of last resort for its own window:
   /// the BufferStore may evict these copies under budget pressure (they
@@ -360,15 +394,27 @@ class Endpoint {
   std::uint32_t quiet_ticks_ = 0;
   static constexpr std::uint32_t kQuietAckRefreshTicks = 8;
 
+  // Hierarchical-repair representative cache (cfg_.hierarchy.enabled);
+  // rep_epoch_ mirrors host_.view_epoch() and rep_generation_ mirrors
+  // view_gen_ as of the last election.
+  MemberId local_rep_ = kInvalidMember;
+  MemberId parent_rep_ = kInvalidMember;
+  bool rep_cache_valid_ = false;
+  std::uint64_t rep_epoch_ = 0;
+  std::uint64_t rep_generation_ = 0;
+  std::vector<MemberId> rep_scratch_;
+
   std::map<MemberId, SequenceTracker> trackers_;
-  std::unordered_map<MessageId, RecoveryTask> recoveries_;
+  // Flat open-addressing maps on the per-message hot path: at million-member
+  // scale the recovery/waiter churn outgrows unordered_map's node traffic.
+  common::FlatMap<MessageId, RecoveryTask> recoveries_;
   // Outstanding local probes per message, for RTT sampling: when we FIRST
   // probed each target. Attributing a repair to the first probe of its
   // sender avoids Karn's retransmission ambiguity (a retry to the same
   // target would otherwise yield a near-zero sample).
   std::unordered_map<MessageId, std::map<MemberId, TimePoint>> probes_;
   RttEstimator rtt_;
-  std::unordered_map<MessageId, std::vector<MemberId>> waiters_;
+  common::FlatMap<MessageId, std::vector<MemberId>> waiters_;
   std::unordered_map<MessageId, SearchTask> searches_;
   std::unordered_map<MessageId, PendingRelay> pending_relays_;
   std::unordered_map<MessageId, PendingReply> pending_replies_;

@@ -78,6 +78,13 @@ struct FlowControlParams {
   /// receivers (plus a periodic refresh in case frames were lost).
   bool piggyback = false;
 
+  /// Exponential backoff between stall re-multicasts of the same wedged
+  /// frame: the stall tick threshold doubles per re-multicast (capped at
+  /// 8x) and resets when the floor advances, so a frame wedged behind a
+  /// congested window isn't re-injected into it at a fixed cadence. Off
+  /// (the default): the flat retransmit cadence of the previous revision.
+  bool stall_backoff = false;
+
   friend bool operator==(const FlowControlParams&,
                          const FlowControlParams&) = default;
 

@@ -53,6 +53,12 @@ class IHost {
   /// Round-trip-time estimate to a peer (drives retry timers; paper sets
   /// retry timeouts to the estimated RTT of the probed member).
   virtual Duration rtt_estimate(MemberId peer) const = 0;
+
+  /// Monotone counter that advances whenever local_view()/parent_view() may
+  /// have changed contents; lets the endpoint cache view-derived state
+  /// (e.g. its repair-tree representative) without rescanning members per
+  /// use. Hosts whose views are immutable snapshots keep the default 0.
+  virtual std::uint64_t view_epoch() const { return 0; }
 };
 
 }  // namespace rrmp

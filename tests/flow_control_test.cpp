@@ -755,5 +755,45 @@ TEST(FlowEndpointTest, AdaptiveBurstDeliversEverything) {
   }
 }
 
+TEST(FlowEndpointTest, StallRemcastsBackOffExponentially) {
+  // A frame no receiver can get (total data loss hits the stream and every
+  // stall re-multicast alike) wedges the floor on *honest* cursors — the
+  // release path never fires, so the sender re-multicasts. The interval
+  // must double per consecutive re-multicast (3, 6, 12, 24, 24... ticks),
+  // not stay at the flat every-3-ticks cadence: a receiver that duplicates
+  // cannot unwedge should not eat a multicast every 15 ms indefinitely.
+  harness::ClusterConfig cc = flow_cluster(3, 41, /*window=*/4);
+  cc.protocol.flow.stall_backoff = true;
+  harness::Cluster cluster(cc);
+  std::uint64_t clean_remcasts = 0;
+  cluster.schedule_script_after(Duration::millis(1), [&] {
+    cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x11));
+  });
+  cluster.schedule_script_after(Duration::millis(100), [&] {
+    // Frame 1 landed and was acked: every binding is honest at cursor 1.
+    ASSERT_EQ(cluster.endpoint(0).flow().window_floor(), 1u);
+    clean_remcasts = cluster.metrics().counters().flow_stall_remcasts;
+    cluster.set_data_loss(1.0);
+    cluster.endpoint(0).multicast(std::vector<std::uint8_t>(32, 0x22));
+  });
+  cluster.run_for(Duration::millis(1100));  // 1000 ms (200 ticks) wedged
+
+  std::uint64_t wedged =
+      cluster.metrics().counters().flow_stall_remcasts - clean_remcasts;
+  // Backed-off cadence over 200 ticks: re-multicasts at ticks 3, 9, 21, 45,
+  // then every 24 — about 10. The flat cadence would be ~66.
+  EXPECT_GE(wedged, 5u);
+  EXPECT_LE(wedged, 20u);
+  EXPECT_EQ(cluster.metrics().counters().flow_stall_releases, 0u);
+
+  // Heal: the next re-multicast lands, the floor advances, and the backoff
+  // streak resets with it — the stream finishes.
+  cluster.schedule_script_after(Duration::zero(),
+                                [&] { cluster.set_data_loss(0.0); });
+  cluster.run_for(Duration::seconds(2));
+  EXPECT_TRUE(cluster.all_received(MessageId{0, 2}));
+  EXPECT_EQ(cluster.endpoint(0).flow().window_floor(), 2u);
+}
+
 }  // namespace
 }  // namespace rrmp

@@ -55,6 +55,48 @@ TEST(TopologyTest, InterRegionLatencyDefaultAndOverride) {
   EXPECT_EQ(topo.rtt(m0, m2), Duration::millis(160));
 }
 
+TEST(TopologyTest, DeepHierarchyLatencySumsHopsToCommonAncestor) {
+  // root -> a -> aa and root -> b: members of aa and b are three hops
+  // apart (aa->a, a->root, root->b), not one flat default hop.
+  Topology topo;
+  topo.set_default_inter_latency(Duration::millis(50));
+  RegionId root = topo.add_region("root", std::nullopt);
+  RegionId a = topo.add_region("a", root);
+  RegionId aa = topo.add_region("aa", a);
+  RegionId b = topo.add_region("b", root);
+  MemberId m_root = topo.add_member(root);
+  MemberId m_aa = topo.add_member(aa);
+  MemberId m_b = topo.add_member(b);
+  EXPECT_EQ(topo.region_depth(root), 0u);
+  EXPECT_EQ(topo.region_depth(a), 1u);
+  EXPECT_EQ(topo.region_depth(aa), 2u);
+  // Ancestor-descendant: one hop per level.
+  EXPECT_EQ(topo.one_way_latency(m_root, m_aa), Duration::millis(100));
+  EXPECT_EQ(topo.one_way_latency(m_aa, m_root), Duration::millis(100));
+  // Cross-subtree: both paths to the common ancestor.
+  EXPECT_EQ(topo.one_way_latency(m_aa, m_b), Duration::millis(150));
+  // A per-edge override changes every path through that edge...
+  topo.set_inter_latency(a, aa, Duration::millis(10));
+  EXPECT_EQ(topo.one_way_latency(m_aa, m_b), Duration::millis(110));
+  EXPECT_EQ(topo.parent_edge_latency(aa), Duration::millis(10));
+  // ...while a direct pair override short-circuits the hierarchy sum.
+  topo.set_inter_latency(aa, b, Duration::millis(30));
+  EXPECT_EQ(topo.one_way_latency(m_aa, m_b), Duration::millis(30));
+  EXPECT_EQ(topo.one_way_latency(m_b, m_aa), Duration::millis(30));
+}
+
+TEST(TopologyTest, ForestLatencyBridgesDistinctRoots) {
+  Topology topo;
+  topo.set_default_inter_latency(Duration::millis(50));
+  RegionId r0 = topo.add_region("tree0", std::nullopt);
+  RegionId r1 = topo.add_region("tree1", std::nullopt);
+  RegionId r1c = topo.add_region("tree1-child", r1);
+  MemberId m0 = topo.add_member(r0);
+  MemberId m1c = topo.add_member(r1c);
+  // Climb to tree1's root, then one bridging hop between the roots.
+  EXPECT_EQ(topo.one_way_latency(m0, m1c), Duration::millis(100));
+}
+
 TEST(TopologyTest, MakeHierarchyBuildsExpectedShape) {
   Topology topo = make_hierarchy({4, 3, 2});
   EXPECT_EQ(topo.region_count(), 3u);

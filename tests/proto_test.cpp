@@ -134,6 +134,18 @@ TEST(CodecTest, EmptyCreditAckRoundTrip) {
   EXPECT_EQ(round_trip(a), a);
 }
 
+TEST(CodecTest, EscalateRoundTrip) {
+  Escalate e{MessageId{4, 1ULL << 20}, 77, 3};
+  EXPECT_EQ(round_trip(e), e);
+  Escalate zero_hop{MessageId{0, 1}, 2, 0};
+  EXPECT_EQ(round_trip(zero_hop), zero_hop);
+}
+
+TEST(CodecTest, EscalateEncodedSizeIsExact) {
+  Escalate e{MessageId{12, 999}, 5, 16};
+  EXPECT_EQ(encoded_size(Message{e}), encode(Message{e}).size());
+}
+
 TEST(CodecTest, ViewGenerationRoundTrips) {
   // The fault-injection connectivity generation rides both coordination
   // frames as an optional trailing varint (absent when 0).
@@ -179,6 +191,7 @@ TEST(CodecTest, TypeTagsAreStable) {
   EXPECT_EQ(static_cast<int>(type_of(Message{BufferDigest{}})), 12);
   EXPECT_EQ(static_cast<int>(type_of(Message{Shed{}})), 13);
   EXPECT_EQ(static_cast<int>(type_of(Message{CreditAck{}})), 14);
+  EXPECT_EQ(static_cast<int>(type_of(Message{Escalate{}})), 15);
 }
 
 TEST(CodecTest, TypeNamesAreDistinct) {

@@ -1,0 +1,233 @@
+// Unit + harness tests for the hierarchical repair subsystem (src/repair):
+// rendezvous election, RepairTree construction/rebuild determinism, and
+// end-to-end multi-level recovery through representatives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/cluster.h"
+#include "membership/directory.h"
+#include "net/topology.h"
+#include "repair/hierarchy.h"
+#include "repair/repair_tree.h"
+
+namespace rrmp {
+namespace {
+
+// ---- pure election ---------------------------------------------------------
+
+TEST(HierarchyElectionTest, OrderIndependent) {
+  std::vector<MemberId> a = {5, 9, 1, 14, 3};
+  std::vector<MemberId> b = a;
+  std::sort(b.begin(), b.end());
+  std::reverse(b.begin(), b.end());
+  for (std::uint64_t gen = 0; gen < 4; ++gen) {
+    EXPECT_EQ(repair::elect_representative(a, 0x5A17, gen),
+              repair::elect_representative(b, 0x5A17, gen));
+  }
+}
+
+TEST(HierarchyElectionTest, EmptyAndSingleton) {
+  EXPECT_EQ(repair::elect_representative({}, 1, 0), kInvalidMember);
+  EXPECT_EQ(repair::elect_representative({42}, 1, 0), MemberId{42});
+  EXPECT_EQ(repair::elect_representative({42}, 1, 99), MemberId{42});
+}
+
+TEST(HierarchyElectionTest, WinnerIsAMember) {
+  std::vector<MemberId> members;
+  for (MemberId m = 100; m < 120; ++m) members.push_back(m);
+  for (std::uint64_t gen = 0; gen < 8; ++gen) {
+    MemberId rep = repair::elect_representative(members, 7, gen);
+    EXPECT_NE(std::find(members.begin(), members.end(), rep), members.end());
+  }
+}
+
+TEST(HierarchyElectionTest, GenerationReshufflesDeterministically) {
+  std::vector<MemberId> members;
+  for (MemberId m = 0; m < 16; ++m) members.push_back(m);
+  // Deterministic for a fixed (salt, generation)...
+  EXPECT_EQ(repair::elect_representative(members, 3, 5),
+            repair::elect_representative(members, 3, 5));
+  // ...and the generation axis actually moves the assignment: over eight
+  // generations of sixteen candidates at this salt, at least two distinct
+  // winners appear (pure function — no flakiness).
+  std::vector<MemberId> winners;
+  for (std::uint64_t gen = 0; gen < 8; ++gen) {
+    winners.push_back(repair::elect_representative(members, 3, gen));
+  }
+  std::sort(winners.begin(), winners.end());
+  winners.erase(std::unique(winners.begin(), winners.end()), winners.end());
+  EXPECT_GE(winners.size(), 2u);
+}
+
+// ---- RepairTree ------------------------------------------------------------
+
+net::Topology chain_topology(std::size_t levels, std::size_t region_size) {
+  std::vector<std::size_t> sizes(levels, region_size);
+  std::vector<RegionId> parents(levels);
+  for (std::size_t r = 0; r < levels; ++r) {
+    parents[r] = r == 0 ? 0 : static_cast<RegionId>(r - 1);
+  }
+  return net::make_hierarchy(sizes, Duration::millis(10), Duration::millis(50),
+                             &parents);
+}
+
+TEST(RepairTreeTest, ConstructionIsDeterministic) {
+  net::Topology topo = chain_topology(3, 8);
+  membership::Directory dir(topo);
+  repair::HierarchyParams params;
+  params.enabled = true;
+  params.salt = 0xABCD;
+  repair::RepairTree t1(dir, params);
+  repair::RepairTree t2(dir, params);
+  EXPECT_EQ(t1.current(), t2.current());
+  for (RegionId r = 0; r < 3; ++r) {
+    const std::vector<MemberId>& members = topo.members_of(r);
+    EXPECT_NE(std::find(members.begin(), members.end(), t1.representative(r)),
+              members.end());
+  }
+  EXPECT_EQ(t1.parent_representative(0), kInvalidMember);  // root
+  EXPECT_EQ(t1.parent_representative(1), t1.representative(0));
+  EXPECT_EQ(t1.parent_representative(2), t1.representative(1));
+}
+
+TEST(RepairTreeTest, ViewChangeRebuild) {
+  net::Topology topo = chain_topology(2, 6);
+  membership::Directory dir(topo);
+  repair::RepairTree tree(dir, {});
+  MemberId old_rep = tree.representative(0);
+  dir.mark_failed(old_rep);
+  tree.rebuild();
+  MemberId new_rep = tree.representative(0);
+  EXPECT_NE(new_rep, old_rep);
+  EXPECT_TRUE(dir.alive(new_rep));
+  // Rejoin restores the exact original assignment: the election is a pure
+  // function of (members, salt, generation).
+  dir.mark_joined(old_rep);
+  tree.rebuild();
+  EXPECT_EQ(tree.representative(0), old_rep);
+}
+
+TEST(RepairTreeTest, GenerationBumpRebuilds) {
+  net::Topology topo = chain_topology(1, 16);
+  membership::Directory dir(topo);
+  repair::RepairTree tree(dir, {});
+  EXPECT_EQ(tree.generation(), 0u);
+  std::vector<MemberId> winners;
+  for (std::uint64_t gen = 0; gen < 8; ++gen) {
+    tree.set_generation(gen);
+    EXPECT_EQ(tree.generation(), gen);
+    winners.push_back(tree.representative(0));
+  }
+  std::sort(winners.begin(), winners.end());
+  winners.erase(std::unique(winners.begin(), winners.end()), winners.end());
+  EXPECT_GE(winners.size(), 2u);  // the bump genuinely re-runs the election
+}
+
+TEST(RepairTreeTest, EmptyRegionHasNoRepresentative) {
+  net::Topology topo = chain_topology(2, 2);
+  membership::Directory dir(topo);
+  for (MemberId m : topo.members_of(1)) dir.mark_failed(m);
+  repair::RepairTree tree(dir, {});
+  EXPECT_EQ(tree.representative(1), kInvalidMember);
+  EXPECT_NE(tree.representative(0), kInvalidMember);
+}
+
+// ---- end-to-end hierarchical recovery --------------------------------------
+
+harness::ClusterConfig hierarchy_chain_config(std::size_t depth,
+                                              std::size_t region_size,
+                                              std::uint64_t seed) {
+  harness::ClusterConfig cc;
+  cc.region_sizes.assign(depth + 1, region_size);
+  cc.parents.resize(depth + 1);
+  for (std::size_t r = 0; r <= depth; ++r) {
+    cc.parents[r] = r == 0 ? 0 : static_cast<RegionId>(r - 1);
+  }
+  cc.seed = seed;
+  cc.protocol.hierarchy.enabled = true;
+  return cc;
+}
+
+TEST(HierarchicalRecoveryTest, DeepChainRecoversThroughRepresentatives) {
+  harness::Cluster cluster(hierarchy_chain_config(3, 10, 0x41));
+  std::vector<MemberId> root = cluster.region_members(0);
+  MessageId id = cluster.inject_data_to(root[0], 1, root);
+  for (RegionId r = 1; r <= 3; ++r) {
+    cluster.inject_session_to(root[0], 1, cluster.region_members(r));
+  }
+  cluster.run_until_quiet(Duration::seconds(30));
+  EXPECT_TRUE(cluster.all_received(id));
+  // The funnel property: only one member per non-root region escalates, so
+  // cross-region request traffic is per-region, not per-member. Allow
+  // generous retries and still stay far under the flat path's volume.
+  EXPECT_GT(cluster.metrics().counters().remote_requests_sent, 0u);
+  EXPECT_LE(cluster.metrics().counters().remote_requests_sent, 30u);
+}
+
+TEST(HierarchicalRecoveryTest, RunsAreDeterministic) {
+  auto run = [](std::size_t shards) {
+    harness::ClusterConfig cc = hierarchy_chain_config(2, 8, 0x42);
+    cc.shards = shards;
+    harness::Cluster cluster(cc);
+    std::vector<MemberId> root = cluster.region_members(0);
+    MessageId id = cluster.inject_data_to(root[0], 1, root);
+    for (RegionId r = 1; r <= 2; ++r) {
+      cluster.inject_session_to(root[0], 1, cluster.region_members(r));
+    }
+    cluster.run_until_quiet(Duration::seconds(30));
+    EXPECT_TRUE(cluster.all_received(id));
+    return cluster.events_fired();
+  };
+  std::uint64_t once = run(1);
+  EXPECT_EQ(once, run(1));
+  EXPECT_EQ(once, run(2));
+}
+
+TEST(HierarchicalRecoveryTest, SubShardedLanesStayDeterministic) {
+  auto run = [](std::size_t sub_shard, std::size_t shards) {
+    harness::ClusterConfig cc = hierarchy_chain_config(2, 12, 0x43);
+    cc.sub_shard_members = sub_shard;
+    cc.shards = shards;
+    harness::Cluster cluster(cc);
+    std::vector<MemberId> root = cluster.region_members(0);
+    MessageId id = cluster.inject_data_to(root[0], 1, root);
+    for (RegionId r = 1; r <= 2; ++r) {
+      cluster.inject_session_to(root[0], 1, cluster.region_members(r));
+    }
+    cluster.run_until_quiet(Duration::seconds(30));
+    EXPECT_TRUE(cluster.all_received(id));
+    return cluster.events_fired();
+  };
+  // Sub-sharding splits each 12-member region into 4-member chunk lanes.
+  // Worker count must never change results; lane layout may (different
+  // lookahead), so compare within each layout.
+  std::uint64_t sharded = run(4, 1);
+  EXPECT_EQ(sharded, run(4, 2));
+  EXPECT_EQ(sharded, run(4, 4));
+  EXPECT_EQ(run(0, 1), run(0, 2));
+}
+
+TEST(HierarchicalRecoveryTest, RepresentativeCrashFailsOver) {
+  // Crash region 1's elected representative mid-recovery; the remaining
+  // members re-elect deterministically and recovery still completes.
+  harness::ClusterConfig cc = hierarchy_chain_config(1, 8, 0x44);
+  harness::Cluster cluster(cc);
+  repair::RepairTree tree(cluster.directory(), cc.protocol.hierarchy);
+  MemberId rep = tree.representative(1);
+  ASSERT_NE(rep, kInvalidMember);
+
+  std::vector<MemberId> root = cluster.region_members(0);
+  MessageId id = cluster.inject_data_to(root[0], 1, root);
+  cluster.inject_session_to(root[0], 1, cluster.region_members(1));
+  cluster.schedule_script_after(Duration::millis(5),
+                                [&cluster, rep] { cluster.crash(rep); });
+  cluster.run_until_quiet(Duration::seconds(30));
+  for (MemberId m : cluster.region_members(1)) {
+    if (m == rep) continue;
+    EXPECT_TRUE(cluster.endpoint(m).has_received(id)) << "member " << m;
+  }
+}
+
+}  // namespace
+}  // namespace rrmp

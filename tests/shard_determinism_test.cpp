@@ -484,6 +484,90 @@ TEST(ShardDeterminism, PartitionHealRunsAreShardCountInvariant) {
   expect_identical(s1, s4, "partition shards=1 vs shards=4");
 }
 
+RunDigest run_hierarchy_workload(std::size_t shards,
+                                 std::size_t sub_shard_members) {
+  // The hierarchical repair subsystem on the deterministic-ordering hook:
+  // representatives funnel NAKs and escalate level by level while loss,
+  // jitter and churn run, and regions are optionally sub-sharded into
+  // chunk lanes (the scale refactor's lane layout). Escalation targeting is
+  // view-derived, not RNG-drawn, so every digest must be byte-identical at
+  // every worker count.
+  ClusterConfig cc;
+  cc.region_sizes = {6, 6, 6, 6};
+  cc.parents = {0, 0, 1, 2};  // a 3-deep chain hanging off the root
+  cc.seed = 2035;
+  cc.data_loss = 0.20;
+  cc.control_loss = 0.02;
+  cc.jitter = 0.15;
+  cc.codec_roundtrip = true;
+  cc.shards = shards;
+  cc.sub_shard_members = sub_shard_members;
+  cc.protocol.hierarchy.enabled = true;
+  Cluster cluster(cc);
+
+  for (int i = 0; i < 8; ++i) {
+    cluster.schedule_script(
+        TimePoint::zero() + Duration::millis(20) * i,
+        [&cluster] {
+          cluster.endpoint(0).multicast(std::vector<std::uint8_t>(48, 0x2D));
+        });
+  }
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(70),
+                          [&cluster] { cluster.leave(8); });
+  cluster.schedule_script(TimePoint::zero() + Duration::millis(110),
+                          [&cluster] { cluster.crash(14); });
+
+  cluster.run_for(Duration::seconds(1));
+  cluster.run_until_quiet(Duration::seconds(2));
+
+  RunDigest d;
+  const RecordingSink& m = cluster.metrics();
+  d.counters = m.counters();
+  d.deliveries = m.deliveries();
+  d.stores = m.stores();
+  d.discards = m.discards();
+  d.promotions = m.promotions();
+  d.recovery_latencies = m.recovery_latencies();
+  d.traffic = cluster.network().stats();
+  d.events_fired = cluster.events_fired();
+  d.final_now = cluster.now();
+  d.total_buffered = cluster.total_buffered();
+  d.lanes = cluster.lane_count();
+  return d;
+}
+
+TEST(ShardDeterminism, HierarchyRunsAreShardCountInvariant) {
+  RunDigest s1 = run_hierarchy_workload(1, 0);
+  RunDigest s2 = run_hierarchy_workload(2, 0);
+  RunDigest s4 = run_hierarchy_workload(4, 0);
+
+  // The repair tree must actually have engaged: escalations on the wire and
+  // recoveries completing through them.
+  std::size_t esc_idx = static_cast<std::size_t>(proto::MessageType::kEscalate);
+  ASSERT_GT(s1.traffic.sends_by_type[esc_idx], 0u);
+  ASSERT_GT(s1.counters.recoveries, 0u);
+
+  expect_identical(s1, s2, "hierarchy shards=1 vs shards=2");
+  expect_identical(s1, s4, "hierarchy shards=1 vs shards=4");
+}
+
+TEST(ShardDeterminism, SubShardedHierarchyRunsAreShardCountInvariant) {
+  // Sub-shard every 6-member region into 3-member chunk lanes (8 lanes for
+  // 4 regions): the chunked lane layout changes the lookahead and the lane
+  // RNG streams, so it is its own baseline — but worker count must still
+  // never matter, including workers straddling chunks of one region.
+  RunDigest s1 = run_hierarchy_workload(1, 3);
+  RunDigest s2 = run_hierarchy_workload(2, 3);
+  RunDigest s4 = run_hierarchy_workload(4, 3);
+
+  ASSERT_EQ(s1.lanes, 8u);
+  std::size_t esc_idx = static_cast<std::size_t>(proto::MessageType::kEscalate);
+  ASSERT_GT(s1.traffic.sends_by_type[esc_idx], 0u);
+
+  expect_identical(s1, s2, "sub-sharded shards=1 vs shards=2");
+  expect_identical(s1, s4, "sub-sharded shards=1 vs shards=4");
+}
+
 TEST(ShardDeterminism, SoleCopyProtectedWhenRedundantVictimAvailable) {
   // Regression for the coordination cost model, at the store level: under
   // pressure, a digest-advertised (redundant) entry is evicted even though
