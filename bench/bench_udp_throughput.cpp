@@ -1,0 +1,297 @@
+// Real-transport throughput: the loopback-UDP bus under a windowed flood.
+//
+// Section 1 (bus level): member 0 floods 256-byte datagrams round-robin to
+// three receivers on one bus, windowed on outstanding datagrams, once per
+// syscall mode — the scalar recvfrom/sendto path (the pre-batching
+// behaviour, kept as the fallback), the batched recvmmsg/sendmmsg +
+// segment-ring path at two batch sizes, and the GSO/GRO segmentation-
+// offload path (UDP_SEGMENT trains out, UDP_GRO coalescing in). Reported
+// per cell: delivered msgs/s, p99 end-to-end delivery latency (payloads
+// carry their send timestamp), and syscalls per delivered message
+// (send + recv + poll).
+//
+// Section 2 (runtime level): unmodified protocol endpoints (UdpRuntime)
+// disseminate a message stream with no loss, single-worker vs
+// one-worker-per-core, reporting protocol-level delivery throughput. On a
+// single-core host both cells collapse to one worker; the cell is
+// informational (no shape verdict) for that reason.
+//
+// RRMP_UDP_SECONDS truncates each flood cell's duration for CI smoke runs
+// (default 1.5 s per cell).
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/udp_runtime.h"
+#include "net/udp_host.h"
+
+namespace rrmp {
+namespace {
+
+constexpr std::uint16_t kBasePort = 41200;
+constexpr std::size_t kReceivers = 3;
+constexpr std::size_t kPayloadBytes = 256;
+constexpr std::size_t kWindow = 256;  // max outstanding datagrams
+
+double flood_seconds() {
+  if (const char* env = std::getenv("RRMP_UDP_SECONDS")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.5;
+}
+
+struct FloodResult {
+  double msgs_per_sec = 0;
+  double p99_us = 0;
+  double syscalls_per_msg = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t ring_replacements = 0;
+};
+
+/// Windowed flood on one bus: a 1 ms producer timer keeps up to kWindow
+/// datagrams outstanding; receivers record per-datagram latency from the
+/// timestamp stamped into the payload.
+FloodResult run_flood(net::UdpBusConfig bus_cfg, std::uint16_t port,
+                      double seconds) {
+  net::UdpBus bus(1 + kReceivers, port, bus_cfg);
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t reclaimed = 0;  // window slots written off as lost
+  std::vector<std::int64_t> latencies;
+  latencies.reserve(1 << 20);
+
+  std::vector<std::uint8_t> payload(kPayloadBytes, 0xAB);
+  auto top_up = [&] {
+    while (sent - delivered - reclaimed < kWindow) {
+      std::int64_t stamp = bus.now().us();
+      std::memcpy(payload.data(), &stamp, sizeof(stamp));
+      bus.send(0, static_cast<MemberId>(1 + sent % kReceivers), payload);
+      ++sent;
+    }
+  };
+  // Self-clocking window: each delivery opens a slot and the callback
+  // refills it immediately, so the loop measures the syscall + copy path,
+  // not a producer pacing interval.
+  bus.set_receive_callback(
+      [&](MemberId, MemberId, SharedBytes bytes) {
+        if (bytes.size() < 8) return;
+        std::int64_t stamp;
+        std::memcpy(&stamp, bytes.data(), sizeof(stamp));
+        latencies.push_back(bus.now().us() - stamp);
+        ++delivered;
+        top_up();
+      });
+
+  std::uint64_t last_delivered = 0;
+  int stall_ticks = 0;
+  std::function<void()> reclaim_tick = [&] {
+    // Datagrams the kernel drops (socket-buffer overflow) would leak
+    // window slots forever; a window that makes no delivery progress for
+    // 50 ticks is written off wholesale and refilled.
+    if (delivered == last_delivered &&
+        sent - delivered - reclaimed >= kWindow) {
+      if (++stall_ticks >= 50) {
+        reclaimed += sent - delivered - reclaimed;
+        stall_ticks = 0;
+      }
+    } else {
+      stall_ticks = 0;
+      last_delivered = delivered;
+    }
+    top_up();
+    bus.schedule_after(Duration::millis(1), reclaim_tick);
+  };
+  bus.schedule_after(Duration::zero(), reclaim_tick);
+
+  TimePoint start = bus.now();
+  bus.run_until(start + Duration::micros(
+                            static_cast<std::int64_t>(seconds * 1e6)));
+  double elapsed = static_cast<double>((bus.now() - start).us()) / 1e6;
+
+  FloodResult r;
+  r.delivered = delivered;
+  r.msgs_per_sec = elapsed > 0 ? static_cast<double>(delivered) / elapsed : 0;
+  if (!latencies.empty()) {
+    std::size_t idx = latencies.size() * 99 / 100;
+    idx = std::min(idx, latencies.size() - 1);
+    std::nth_element(latencies.begin(),
+                     latencies.begin() + static_cast<std::ptrdiff_t>(idx),
+                     latencies.end());
+    r.p99_us = static_cast<double>(latencies[idx]);
+  }
+  std::uint64_t syscalls =
+      bus.send_syscalls() + bus.recv_syscalls() + bus.poll_syscalls();
+  r.syscalls_per_msg =
+      delivered > 0 ? static_cast<double>(syscalls) / static_cast<double>(delivered)
+                    : 0;
+  r.ring_replacements = bus.ring_replacements();
+  return r;
+}
+
+struct RuntimeResult {
+  double msgs_per_sec = 0;
+  bool all_delivered = false;
+  std::size_t workers = 0;
+};
+
+/// Protocol-level stream: endpoint 0 ip-multicasts `messages` payloads,
+/// paced a few per session interval so recovery machinery idles; measures
+/// end-to-end delivery throughput (payload deliveries per second).
+RuntimeResult run_runtime_stream(std::size_t workers, std::uint16_t port,
+                                 int messages) {
+  net::Topology topo = net::make_hierarchy(
+      {4, 4}, Duration::millis(2), Duration::millis(4));
+  harness::UdpRuntimeConfig cfg;
+  cfg.base_port = port;
+  cfg.seed = 11;
+  cfg.workers = workers;
+  cfg.emulate_latency = false;
+  cfg.protocol.session_interval = Duration::millis(20);
+  harness::UdpRuntime rt(topo, cfg);
+
+  TimePoint start = rt.bus().now();
+  std::vector<MessageId> ids;
+  for (int burst = 0; burst < messages; burst += 8) {
+    for (int i = burst; i < std::min(messages, burst + 8); ++i) {
+      ids.push_back(rt.endpoint(0).multicast(
+          std::vector<std::uint8_t>(kPayloadBytes, 0x5A)));
+    }
+    rt.run_for(Duration::millis(5));
+  }
+  rt.run_for(Duration::millis(300));
+  double elapsed =
+      static_cast<double>((rt.bus().now() - start).us()) / 1e6;
+
+  RuntimeResult r;
+  r.workers = rt.worker_count();
+  r.all_delivered = true;
+  std::size_t deliveries = 0;
+  for (const MessageId& id : ids) {
+    std::size_t got = rt.count_received(id);
+    deliveries += got;
+    if (got != topo.member_count()) r.all_delivered = false;
+  }
+  r.msgs_per_sec =
+      elapsed > 0 ? static_cast<double>(deliveries) / elapsed : 0;
+  return r;
+}
+
+}  // namespace
+}  // namespace rrmp
+
+int main() {
+  using namespace rrmp;
+  double seconds = flood_seconds();
+  bench::banner("UDP throughput (real loopback sockets)",
+                "windowed flood, " + std::to_string(kPayloadBytes) +
+                    " B payloads, window " + std::to_string(kWindow) +
+                    ", " + std::to_string(seconds) + " s per cell");
+  bench::JsonReport report("udp_throughput");
+
+  bool sockets_ok = true;
+  try {
+    net::UdpBus probe(1, kBasePort);
+  } catch (const std::runtime_error&) {
+    sockets_ok = false;
+  }
+  if (!sockets_ok) {
+    // Sandboxes that forbid binding UDP sockets skip the measurement the
+    // same way the tier-2 socket suites do.
+    std::printf("UDP sockets unavailable: skipping measurement\n");
+    report.verdict(true, "skipped: UDP sockets unavailable");
+    report.write_if_requested();
+    return 0;
+  }
+
+  analysis::Table table({"mode", "msgs/s", "p99 us", "syscalls/msg",
+                         "delivered", "ring repl"});
+  auto add_row = [&](const std::string& mode, const FloodResult& r) {
+    table.add_row({mode, std::to_string(static_cast<std::int64_t>(r.msgs_per_sec)),
+                   std::to_string(static_cast<std::int64_t>(r.p99_us)),
+                   std::to_string(r.syscalls_per_msg),
+                   std::to_string(r.delivered),
+                   std::to_string(r.ring_replacements)});
+  };
+
+  net::UdpBusConfig scalar_cfg;
+  scalar_cfg.batched_syscalls = false;
+  FloodResult scalar = run_flood(scalar_cfg, kBasePort, seconds);
+  add_row("scalar sendto/recvfrom", scalar);
+
+  net::UdpBusConfig batched32;
+  batched32.batch_size = 32;
+  FloodResult b32 = run_flood(batched32, kBasePort + 8, seconds);
+  add_row("batched recvmmsg/sendmmsg x32", b32);
+
+  net::UdpBusConfig batched64;
+  batched64.batch_size = 64;
+  FloodResult b64 = run_flood(batched64, kBasePort + 16, seconds);
+  add_row("batched recvmmsg/sendmmsg x64", b64);
+
+  net::UdpBusConfig offload_cfg;
+  offload_cfg.batch_size = 32;
+  offload_cfg.segmentation_offload = true;
+  FloodResult offl = run_flood(offload_cfg, kBasePort + 24, seconds);
+  add_row("gso/gro offload x32", offl);
+
+  table.print(std::cout);
+  bench::maybe_write_csv("udp_throughput", table);
+  report.add_table("bus flood: scalar vs batched syscalls", table);
+
+  report.add_scalar("scalar_msgs_per_sec", scalar.msgs_per_sec);
+  report.add_scalar("batched_msgs_per_sec", b32.msgs_per_sec);
+  report.add_scalar("batched64_msgs_per_sec", b64.msgs_per_sec);
+  report.add_scalar("offload_msgs_per_sec", offl.msgs_per_sec);
+  report.add_scalar("scalar_p99_us", scalar.p99_us);
+  report.add_scalar("batched_p99_us", b32.p99_us);
+  report.add_scalar("offload_p99_us", offl.p99_us);
+  report.add_scalar("scalar_syscalls_per_msg", scalar.syscalls_per_msg);
+  report.add_scalar("batched_syscalls_per_msg", b32.syscalls_per_msg);
+  report.add_scalar("offload_syscalls_per_msg", offl.syscalls_per_msg);
+  // The batched path's throughput claim is judged at its best
+  // configuration: syscall batching alone where that is what the kernel
+  // rewards, GSO/GRO segmentation offload where (as on most modern
+  // kernels) the per-datagram stack traversal dominates instead.
+  double best = std::max({b32.msgs_per_sec, b64.msgs_per_sec,
+                          offl.msgs_per_sec});
+  double speedup = scalar.msgs_per_sec > 0
+                       ? best / scalar.msgs_per_sec
+                       : 0;
+  report.add_scalar("batch_speedup", speedup);
+
+  report.verdict(speedup >= 2.0,
+                 "batched path >= 2x scalar msgs/s (speedup " +
+                     std::to_string(speedup) + ")");
+  report.verdict(
+      b32.syscalls_per_msg <= 0.5 * scalar.syscalls_per_msg,
+      "batching at least halves syscalls per delivered message");
+  report.verdict(scalar.p99_us > 0 && b32.p99_us > 0 && offl.p99_us > 0,
+                 "p99 delivery latency measured on all paths");
+
+  // --- protocol endpoints over the batched runtime ---------------------------
+  int messages = seconds >= 1.0 ? 160 : 48;
+  RuntimeResult w1 = run_runtime_stream(1, kBasePort + 32, messages);
+  RuntimeResult whw = run_runtime_stream(0, kBasePort + 48, messages);
+  analysis::Table rt_table({"workers", "protocol msgs/s", "all delivered"});
+  rt_table.add_row({"1", std::to_string(static_cast<std::int64_t>(w1.msgs_per_sec)),
+                    w1.all_delivered ? "yes" : "no"});
+  rt_table.add_row({std::to_string(whw.workers) + " (per-core)",
+                    std::to_string(static_cast<std::int64_t>(whw.msgs_per_sec)),
+                    whw.all_delivered ? "yes" : "no"});
+  rt_table.print(std::cout);
+  bench::maybe_write_csv("udp_throughput_runtime", rt_table);
+  report.add_table("protocol stream: workers", rt_table);
+  report.add_scalar("runtime_msgs_per_sec_w1", w1.msgs_per_sec);
+  report.add_scalar("runtime_msgs_per_sec_percore", whw.msgs_per_sec);
+  report.add_scalar("runtime_workers_percore",
+                    static_cast<double>(whw.workers));
+  report.verdict(w1.all_delivered && whw.all_delivered,
+                 "protocol stream fully delivered at every worker count");
+
+  report.write_if_requested();
+  return report.all_ok() ? 0 : 1;
+}

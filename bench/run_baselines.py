@@ -35,6 +35,7 @@ FIG_BENCHES = [
     "bench_fig7_received_vs_buffered",
     "bench_fig8_search_vs_bufferers",
     "bench_fig9_search_vs_region_size",
+    "bench_udp_throughput",
 ]
 
 # Google Benchmark binaries whose per-benchmark ns/op numbers are folded into

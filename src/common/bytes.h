@@ -47,6 +47,21 @@ class SharedBytes {
     return SharedBytes(std::vector<std::uint8_t>(data.begin(), data.end()));
   }
 
+  /// Alias [offset, offset+len) of an externally owned buffer — no copy.
+  /// The caller promises the bytes are not mutated while any SharedBytes
+  /// (or slice of one) still references `owner`; the UDP segment ring
+  /// upholds this by recycling a slot only once its use_count drops back
+  /// to the ring's own reference.
+  static SharedBytes adopt(
+      std::shared_ptr<const std::vector<std::uint8_t>> owner,
+      std::size_t offset, std::size_t len) {
+    SharedBytes out;
+    out.data_ = owner->data() + offset;
+    out.size_ = len;
+    out.owner_ = std::move(owner);
+    return out;
+  }
+
   /// A view of [offset, offset+len) sharing this buffer's owner — no copy.
   /// Requires offset + len <= size().
   SharedBytes slice(std::size_t offset, std::size_t len) const {

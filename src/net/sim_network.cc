@@ -236,11 +236,18 @@ void SimNetwork::ip_multicast(MemberId from, const proto::Message& msg,
       ++src.stats.severed;
       continue;
     }
-    // A lossy-edge receiver's override replaces the uniform per-receiver
-    // draw for its link only; everyone else draws exactly as before.
-    LossModel* link = src.links.find(from, member);
-    bool lost = link != nullptr ? link->drop(src.rng)
-                                : src.rng.bernoulli(per_receiver_loss);
+    // A deterministic drop schedule (transport-parity experiments) replaces
+    // every draw and consumes no RNG; otherwise a lossy-edge receiver's
+    // override replaces the uniform per-receiver draw for its link only,
+    // and everyone else draws exactly as before.
+    bool lost;
+    if (data_drop_fn_) {
+      lost = data_drop_fn_(msg, member);
+    } else {
+      LossModel* link = src.links.find(from, member);
+      lost = link != nullptr ? link->drop(src.rng)
+                             : src.rng.bernoulli(per_receiver_loss);
+    }
     if (lost) {
       ++src.stats.dropped;
       continue;

@@ -44,6 +44,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -135,6 +136,16 @@ class SimNetwork {
 
   /// Multiply each latency by U(1, 1+fraction). 0 disables jitter.
   void set_latency_jitter(double fraction) { jitter_fraction_ = fraction; }
+
+  /// Deterministic drop schedule for the initial dissemination: when set,
+  /// ip_multicast asks `fn(msg, receiver)` instead of drawing from the loss
+  /// model / Bernoulli rate, consuming no RNG. This lets an experiment run
+  /// the *same* loss schedule on the simulator and on the real UDP
+  /// transport (transport-parity recovery curves). Unset (default) leaves
+  /// every draw bit-identical to the pre-hook behaviour.
+  using DataDropFn =
+      std::function<bool(const proto::Message& msg, MemberId to)>;
+  void set_data_drop_fn(DataDropFn fn) { data_drop_fn_ = std::move(fn); }
 
   /// Encode+decode every message in flight (wire-format fidelity checks).
   void set_codec_roundtrip(bool on) { codec_roundtrip_ = on; }
@@ -238,6 +249,7 @@ class SimNetwork {
   std::vector<std::uint32_t> partition_group_;
   double jitter_fraction_ = 0.0;
   bool codec_roundtrip_ = false;
+  DataDropFn data_drop_fn_;
 };
 
 }  // namespace rrmp::net

@@ -1,15 +1,23 @@
-// Unit tests for the loopback-UDP datagram bus (sockets, timers, delays).
-// Skipped when the environment forbids binding UDP sockets.
+// Unit tests for the loopback-UDP datagram bus (sockets, timers, delays,
+// batched syscalls, segment-ring receive). Skipped when the environment
+// forbids binding UDP sockets.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "net/udp_host.h"
 
 namespace rrmp::net {
 namespace {
 
-std::unique_ptr<UdpBus> try_bus(std::size_t members, std::uint16_t port) {
+std::unique_ptr<UdpBus> try_bus(std::size_t members, std::uint16_t port,
+                                UdpBusConfig cfg = {}) {
   try {
-    return std::make_unique<UdpBus>(members, port);
+    return std::make_unique<UdpBus>(members, port, cfg);
   } catch (const std::runtime_error&) {
     return nullptr;
   }
@@ -103,6 +111,273 @@ TEST(UdpBusTest, SendToInvalidMemberIsIgnored) {
   bus->send(0, 99, {1});  // out of range: dropped silently
   bus->run_until(bus->now() + Duration::millis(50));
   EXPECT_EQ(bus->datagrams_sent(), 0u);
+}
+
+// Regression (port wrap-around): base_port + i used to be truncated through
+// uint16, so a high base port with enough members silently wrapped past
+// 65535 and bound colliding/wrong ports. Construction must throw instead.
+// The check runs before any socket is opened, so no skip guard is needed.
+TEST(UdpBusTest, ConstructorRejectsPortRangeOverflow) {
+  EXPECT_THROW(UdpBus(100, 65500), std::runtime_error);
+  EXPECT_THROW(UdpBus(65537, 1024), std::runtime_error);
+}
+
+// Regression (EINTR mid-drain): any recv error used to be treated as
+// "socket drained", silently abandoning queued datagrams until the next
+// poll wakeup. The classification must retry on EINTR, stop only on
+// EAGAIN/EWOULDBLOCK, and surface everything else as an error.
+TEST(UdpBusTest, RecvErrnoClassification) {
+  using detail::RecvDisposition;
+  EXPECT_EQ(detail::classify_recv_errno(EINTR), RecvDisposition::kRetry);
+  EXPECT_EQ(detail::classify_recv_errno(EAGAIN), RecvDisposition::kDrained);
+  EXPECT_EQ(detail::classify_recv_errno(EWOULDBLOCK),
+            RecvDisposition::kDrained);
+  EXPECT_EQ(detail::classify_recv_errno(ECONNREFUSED),
+            RecvDisposition::kError);
+  EXPECT_EQ(detail::classify_recv_errno(EBADF), RecvDisposition::kError);
+}
+
+// Regression (dead copy + ignored short writes on the immediate send
+// path): wrapping a vector into SharedBytes must move, not copy, and the
+// short-write predicate must flag partial datagram writes.
+TEST(UdpBusTest, ImmediateSendPathMovesAndDetectsShortWrites) {
+  std::vector<std::uint8_t> payload(1024, 7);
+  const std::uint8_t* before = payload.data();
+  SharedBytes wrapped(std::move(payload));
+  EXPECT_EQ(wrapped.data(), before);  // moved, not copied
+
+  EXPECT_TRUE(detail::is_short_write(10, 1024));
+  EXPECT_FALSE(detail::is_short_write(1024, 1024));
+  EXPECT_FALSE(detail::is_short_write(-1, 1024));  // error, not short write
+}
+
+TEST(UdpBusTest, BurstLargerThanOneBatchAllDelivered) {
+  UdpBusConfig cfg;
+  cfg.batch_size = 8;  // burst spans many recvmmsg/sendmmsg batches
+  auto bus = try_bus(2, 39570, cfg);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  constexpr int kBurst = 50;
+  std::vector<bool> seen(kBurst, false);
+  int received = 0;
+  bus->set_receive_callback(
+      [&](MemberId to, MemberId, std::span<const std::uint8_t> bytes) {
+        if (to != 1 || bytes.size() != 2) return;
+        seen[bytes[0]] = true;
+        if (++received == kBurst) bus->stop();
+      });
+  for (int i = 0; i < kBurst; ++i) {
+    bus->send(0, 1, {static_cast<std::uint8_t>(i), 0xEE});
+  }
+  bus->run_until(bus->now() + Duration::millis(1000));
+  EXPECT_EQ(received, kBurst);
+  for (int i = 0; i < kBurst; ++i) EXPECT_TRUE(seen[i]) << "datagram " << i;
+  EXPECT_EQ(bus->datagrams_sent(), static_cast<std::uint64_t>(kBurst));
+}
+
+TEST(UdpBusTest, StrayPortFilteringUnderBatching) {
+  auto bus = try_bus(2, 39580);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  int delivered = 0;
+  bus->set_receive_callback(
+      [&](MemberId, MemberId from, std::span<const std::uint8_t>) {
+        ++delivered;
+        EXPECT_EQ(from, 0u);  // never the stray sender
+      });
+  // An unrelated socket far outside the bus's port range sprays datagrams
+  // at member 1 — they must be counted but never delivered.
+  int stray = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(stray, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(39581);
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  std::uint8_t junk[3] = {1, 2, 3};
+  for (int i = 0; i < 5; ++i) {
+    ::sendto(stray, junk, sizeof(junk), 0,
+             reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
+  }
+  bus->send(0, 1, {42});
+  bus->run_until(bus->now() + Duration::millis(300));
+  ::close(stray);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(bus->datagrams_received(), 6u);  // 5 stray + 1 legit
+}
+
+// The zero-copy contract: a SharedBytes held across further receives stays
+// intact because the ring replaces (never overwrites) a still-referenced
+// slot when its turn comes around again.
+TEST(UdpBusTest, RingSlotReuseAfterReleasePreservesPinnedPayload) {
+  UdpBusConfig cfg;
+  cfg.batch_size = 2;
+  cfg.ring_segments = 4;  // tiny ring: wraps quickly
+  auto bus = try_bus(2, 39590, cfg);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  SharedBytes pinned;
+  int received = 0;
+  constexpr int kTotal = 24;  // wraps the 4-slot ring several times
+  bus->set_receive_callback(
+      [&](MemberId to, MemberId, SharedBytes bytes) {
+        if (to != 1) return;
+        if (received == 0) pinned = bytes;  // pin the first slot
+        if (++received == kTotal) bus->stop();
+      });
+  for (int i = 0; i < kTotal; ++i) {
+    bus->send(0, 1, {static_cast<std::uint8_t>(0x10 + i), 0x77});
+  }
+  bus->run_until(bus->now() + Duration::millis(1000));
+  ASSERT_EQ(received, kTotal);
+  // The pinned view still reads the *first* datagram's bytes.
+  ASSERT_EQ(pinned.size(), 2u);
+  EXPECT_EQ(pinned.data()[0], 0x10);
+  EXPECT_EQ(pinned.data()[1], 0x77);
+  // The ring had to replace the pinned slot at least once to keep going.
+  EXPECT_GE(bus->ring_replacements(), 1u);
+}
+
+TEST(UdpBusTest, ScalarFallbackPathStillDelivers) {
+  UdpBusConfig cfg;
+  cfg.batched_syscalls = false;  // forced pre-batching path
+  auto bus = try_bus(2, 39600, cfg);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  EXPECT_FALSE(bus->batching_active());
+  std::vector<std::uint8_t> got;
+  bus->set_receive_callback(
+      [&](MemberId to, MemberId, std::span<const std::uint8_t> bytes) {
+        if (to == 1) {
+          got.assign(bytes.begin(), bytes.end());
+          bus->stop();
+        }
+      });
+  bus->send(0, 1, {9, 8, 7});
+  bus->run_until(bus->now() + Duration::millis(500));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(UdpBusTest, SharedFanOutDeliversOneWireImagePerReceiver) {
+  auto bus = try_bus(3, 39610);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  int received = 0;
+  bus->set_receive_callback(
+      [&](MemberId, MemberId, std::span<const std::uint8_t> bytes) {
+        EXPECT_EQ(bytes.size(), 4u);
+        if (++received == 2) bus->stop();
+      });
+  SharedBytes wire(std::vector<std::uint8_t>{1, 2, 3, 4});
+  bus->send_shared(0, 1, wire);  // refcounted: no per-receiver copy
+  bus->send_shared(0, 2, wire);
+  bus->run_until(bus->now() + Duration::millis(500));
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(bus->datagrams_sent(), 2u);
+}
+
+// Subset ownership (thread-per-core runtime): two buses over one port
+// group, each binding half the members, exchange datagrams through the
+// kernel.
+TEST(UdpBusTest, SubsetBusesExchangeAcrossOwnershipBoundary) {
+  UdpBusConfig lo;
+  lo.first_member = 0;
+  lo.owned_count = 1;
+  UdpBusConfig hi;
+  hi.first_member = 1;
+  hi.owned_count = 1;
+  auto bus_lo = try_bus(2, 39620, lo);
+  if (!bus_lo) GTEST_SKIP() << "UDP sockets unavailable";
+  auto bus_hi = try_bus(2, 39620, hi);
+  ASSERT_TRUE(bus_hi) << "subset buses must not collide on ports";
+  EXPECT_TRUE(bus_lo->owns(0));
+  EXPECT_FALSE(bus_lo->owns(1));
+  std::vector<std::uint8_t> got;
+  MemberId got_from = kInvalidMember;
+  bus_hi->set_receive_callback(
+      [&](MemberId to, MemberId from, std::span<const std::uint8_t> bytes) {
+        if (to == 1) {
+          got.assign(bytes.begin(), bytes.end());
+          got_from = from;
+          bus_hi->stop();
+        }
+      });
+  bus_lo->send(0, 1, {5, 6});
+  bus_lo->flush_sends();
+  bus_hi->run_until(bus_hi->now() + Duration::millis(500));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{5, 6}));
+  EXPECT_EQ(got_from, 0u);
+}
+
+// GSO/GRO offload: a burst of equal-size datagrams to one receiver is sent
+// as UDP_SEGMENT trains and received (possibly kernel-coalesced) with every
+// datagram's distinct content and per-destination order intact. Where the
+// kernel lacks the offload, the bus silently falls back and the same
+// contract holds.
+TEST(UdpBusTest, OffloadTrainsPreserveDatagramBoundariesAndOrder) {
+  UdpBusConfig cfg;
+  cfg.batch_size = 16;
+  cfg.segmentation_offload = true;
+  auto bus = try_bus(2, 39640, cfg);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  constexpr int kCount = 40;
+  std::vector<std::vector<std::uint8_t>> got;
+  bus->set_receive_callback(
+      [&](MemberId to, MemberId, SharedBytes bytes) {
+        if (to == 1) got.emplace_back(bytes.data(), bytes.data() + bytes.size());
+      });
+  for (int i = 0; i < kCount; ++i) {
+    std::vector<std::uint8_t> payload(64, 0);
+    payload[0] = static_cast<std::uint8_t>(i);
+    payload[63] = static_cast<std::uint8_t>(0xFF - i);
+    bus->send(0, 1, std::move(payload));
+  }
+  // A trailing burst of different sizes must survive the train carving.
+  bus->send(0, 1, {0xEE});
+  bus->send(0, 1, {0xDD, 0xDC, 0xDB});
+  bus->run_until(bus->now() + Duration::millis(500));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount) + 2);
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)].size(), 64u) << "datagram " << i;
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][0],
+              static_cast<std::uint8_t>(i));
+    EXPECT_EQ(got[static_cast<std::size_t>(i)][63],
+              static_cast<std::uint8_t>(0xFF - i));
+  }
+  EXPECT_EQ(got[kCount], std::vector<std::uint8_t>{0xEE});
+  EXPECT_EQ(got[kCount + 1], (std::vector<std::uint8_t>{0xDD, 0xDC, 0xDB}));
+  if (bus->offload_active()) {
+    // 40 equal-size datagrams queued together must have trained: far fewer
+    // send syscalls than datagrams.
+    EXPECT_GE(bus->gso_batches(), 1u);
+    EXPECT_LT(bus->send_syscalls(), static_cast<std::uint64_t>(kCount));
+  }
+}
+
+// Round-robin fan-out across several receivers: the flush buckets the
+// queue by destination, so every receiver gets its full, in-order stream
+// even when trains and singletons interleave.
+TEST(UdpBusTest, OffloadFanOutBucketsByDestination) {
+  UdpBusConfig cfg;
+  cfg.segmentation_offload = true;
+  auto bus = try_bus(4, 39650, cfg);
+  if (!bus) GTEST_SKIP() << "UDP sockets unavailable";
+  constexpr int kRounds = 30;
+  std::vector<std::vector<std::uint8_t>> per_member[4];
+  bus->set_receive_callback(
+      [&](MemberId to, MemberId, SharedBytes bytes) {
+        per_member[to].emplace_back(bytes.data(), bytes.data() + bytes.size());
+      });
+  for (int i = 0; i < kRounds; ++i) {
+    for (MemberId to = 1; to < 4; ++to) {
+      bus->send(0, to, {static_cast<std::uint8_t>(i), std::uint8_t(to)});
+    }
+  }
+  bus->run_until(bus->now() + Duration::millis(500));
+  for (MemberId to = 1; to < 4; ++to) {
+    ASSERT_EQ(per_member[to].size(), static_cast<std::size_t>(kRounds))
+        << "member " << to;
+    for (int i = 0; i < kRounds; ++i) {
+      EXPECT_EQ(per_member[to][static_cast<std::size_t>(i)],
+                (std::vector<std::uint8_t>{static_cast<std::uint8_t>(i),
+                                           std::uint8_t(to)}))
+          << "member " << to << " datagram " << i;
+    }
+  }
 }
 
 }  // namespace
